@@ -1,0 +1,27 @@
+//! Section 4.1 benchmark: evaluating the Eq. 1-3 memory-access model and the
+//! two-level split optimisation (also prints the worked-example answer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f3r_core::cost_model::{best_split, eq123, RowCosts};
+use std::hint::black_box;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let costs = RowCosts::paper_example();
+    let best = best_split(costs, 64);
+    eprintln!(
+        "cost model worked example: best two-level split of F^64 is m_outer = {} ({}/{} words per row)",
+        best.m_outer, best.nested_traffic, best.reference_traffic
+    );
+    let mut group = c.benchmark_group("cost_model_eq123");
+    group.sample_size(50);
+    group.bench_function("best_two_level_split_m64", |b| {
+        b.iter(|| black_box(best_split(black_box(costs), black_box(64))))
+    });
+    group.bench_function("eq123_f3r_operating_point", |b| {
+        b.iter(|| black_box(eq123(black_box(costs), black_box(4), black_box(2))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 1 benchmark: full solves of the CPU-node configuration — the three
+//! F3R precision schemes against CG and FGMRES(64) on the HPCG problem, and
+//! against BiCGStab on the HPGMP problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_bench::BenchProblem;
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_cpu_node");
+    group.sample_size(10);
+    for problem in [BenchProblem::hpcg(), BenchProblem::hpgmp()] {
+        for scheme in [F3rScheme::Fp64, F3rScheme::Fp32, F3rScheme::Fp16] {
+            let mut solver = problem.f3r(scheme, false);
+            group.bench_function(BenchmarkId::new(&problem.name, solver.name()), |b| {
+                b.iter(|| problem.solve_checked(&mut solver))
+            });
+        }
+        for prec in [Precision::Fp64, Precision::Fp16] {
+            let mut solver = problem.krylov_baseline(prec);
+            group.bench_function(BenchmarkId::new(&problem.name, solver.name()), |b| {
+                b.iter(|| problem.solve_checked(solver.as_mut()))
+            });
+        }
+        let mut fgmres = problem.fgmres64(Precision::Fp64);
+        group.bench_function(BenchmarkId::new(&problem.name, fgmres.name()), |b| {
+            b.iter(|| problem.solve_checked(&mut fgmres))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

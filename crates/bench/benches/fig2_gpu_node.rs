@@ -1,0 +1,22 @@
+//! Figure 2 benchmark: the GPU-node configuration (SD-AINV preconditioner +
+//! sliced-ELLPACK SpMV) for the three F3R precision schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_bench::BenchProblem;
+use f3r_core::prelude::*;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_gpu_node");
+    group.sample_size(10);
+    let problem = BenchProblem::hpcg_sell();
+    for scheme in [F3rScheme::Fp64, F3rScheme::Fp32, F3rScheme::Fp16] {
+        let mut solver = problem.f3r(scheme, true);
+        group.bench_function(BenchmarkId::new(&problem.name, solver.name()), |b| {
+            b.iter(|| problem.solve_checked(&mut solver))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

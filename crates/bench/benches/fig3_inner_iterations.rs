@@ -1,0 +1,31 @@
+//! Figure 3 benchmark: fp16-F3R solve time as (m2, m3, m4) vary around the
+//! default (8, 4, 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_bench::BenchProblem;
+use f3r_core::prelude::*;
+
+fn bench_fig3(c: &mut Criterion) {
+    let problem = BenchProblem::hpcg();
+    let configs = [
+        ("default_8-4-2", F3rParams::default()),
+        ("m4=1", F3rParams::with_inner(8, 4, 1)),
+        ("m4=3", F3rParams::with_inner(8, 4, 3)),
+        ("m3=2", F3rParams::with_inner(8, 2, 2)),
+        ("m3=6", F3rParams::with_inner(8, 6, 2)),
+        ("m2=6", F3rParams::with_inner(6, 4, 2)),
+        ("m2=10", F3rParams::with_inner(10, 4, 2)),
+    ];
+    let mut group = c.benchmark_group("fig3_inner_iterations");
+    group.sample_size(10);
+    for (label, params) in configs {
+        let mut solver = problem.f3r_with(params, F3rScheme::Fp16);
+        group.bench_function(BenchmarkId::new(&problem.name, label), |b| {
+            b.iter(|| problem.solve_checked(&mut solver))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4 / Table 4 benchmark: fp16-F3R against the nesting-depth
+//! reference solvers F2, fp16-F2, F3, fp16-F3 and F4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_bench::BenchProblem;
+use f3r_core::prelude::*;
+use std::sync::Arc;
+
+fn bench_fig4(c: &mut Criterion) {
+    let problem = BenchProblem::hpcg();
+    let settings = problem.settings(false);
+    let specs = vec![
+        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
+        f2_spec(&settings),
+        fp16_f2_spec(&settings),
+        f3_spec(&settings),
+        fp16_f3_spec(&settings),
+        f4_spec(&settings),
+    ];
+    let mut group = c.benchmark_group("fig4_nesting_depth");
+    group.sample_size(10);
+    for spec in specs {
+        let name = spec.name.clone();
+        let mut solver = NestedSolver::new(Arc::clone(&problem.matrix), spec);
+        group.bench_function(BenchmarkId::new(&problem.name, name), |b| {
+            b.iter(|| problem.solve_checked(&mut solver))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 5 benchmark: fp16-F3R solve time as the adaptive weight-update
+//! cycle c varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_bench::BenchProblem;
+use f3r_core::prelude::*;
+
+fn bench_fig5(c: &mut Criterion) {
+    let problem = BenchProblem::hpcg();
+    let mut group = c.benchmark_group("fig5_weight_cycle");
+    group.sample_size(10);
+    for cycle in [1usize, 16, 64, 256] {
+        let params = F3rParams {
+            weight_cycle: cycle,
+            ..F3rParams::default()
+        };
+        let mut solver = problem.f3r_with(params, F3rScheme::Fp16);
+        group.bench_function(BenchmarkId::new(&problem.name, format!("c={cycle}")), |b| {
+            b.iter(|| problem.solve_checked(&mut solver))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

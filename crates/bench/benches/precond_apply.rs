@@ -1,0 +1,50 @@
+//! Preconditioner application benchmark: block-Jacobi ILU(0)/IC(0) and the
+//! SD-AINV approximate inverse, per storage precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_bench::BenchProblem;
+use f3r_precision::Precision;
+use f3r_precond::{build_preconditioner, PrecondKind};
+use half::f16;
+use std::hint::black_box;
+
+fn bench_precond(c: &mut Criterion) {
+    let p = BenchProblem::hpcg();
+    let a = &p.matrix_csr;
+    let n = a.n_rows();
+    let kinds = [
+        ("bj-ic0", PrecondKind::BlockJacobiIc0 { blocks: 8, alpha: 1.0 }),
+        ("sd-ainv", PrecondKind::SdAinv { alpha: 1.0, order: 2 }),
+    ];
+    let mut group = c.benchmark_group("precond_apply");
+    group.sample_size(30);
+    for (label, kind) in kinds {
+        for prec in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            let id = BenchmarkId::new(label, prec.name());
+            match prec {
+                Precision::Fp64 => {
+                    let m = build_preconditioner::<f64>(a, &kind);
+                    let r = vec![1.0f64; n];
+                    let mut z = vec![0.0f64; n];
+                    group.bench_function(id, |b| b.iter(|| m.apply(black_box(&r), black_box(&mut z))));
+                }
+                Precision::Fp32 => {
+                    let m = build_preconditioner::<f32>(a, &kind);
+                    let r = vec![1.0f32; n];
+                    let mut z = vec![0.0f32; n];
+                    group.bench_function(id, |b| b.iter(|| m.apply(black_box(&r), black_box(&mut z))));
+                }
+                Precision::Fp16 => {
+                    let m = build_preconditioner::<f16>(a, &kind);
+                    let r = vec![f16::from_f32(1.0); n];
+                    let mut z = vec![f16::from_f32(0.0); n];
+                    group.bench_function(id, |b| b.iter(|| m.apply(black_box(&r), black_box(&mut z))));
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precond);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! SpMV micro-benchmark across matrix storage precisions and backends —
+//! the bandwidth effect that Section 4 of the paper builds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use f3r_bench::BenchProblem;
+use f3r_precision::{f16, Precision};
+use f3r_sparse::spmv::{spmv_seq, spmv_sell_seq};
+use f3r_sparse::SellMatrix;
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let p = BenchProblem::hpcg();
+    let a64 = &p.matrix_csr;
+    let a32 = a64.to_precision::<f32>();
+    let a16 = a64.to_precision::<f16>();
+    let n = a64.n_rows();
+    let x64: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) / 11.0).collect();
+    let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(30);
+    group.throughput(Throughput::Bytes(
+        f3r_precision::traffic::TrafficModel::spmv_bytes(a64.nnz(), n, Precision::Fp64, Precision::Fp64),
+    ));
+    let mut y64 = vec![0.0f64; n];
+    group.bench_function(BenchmarkId::new("csr", "A fp64 / x fp64"), |b| {
+        b.iter(|| spmv_seq(black_box(a64), black_box(&x64), black_box(&mut y64)))
+    });
+    let mut y32 = vec![0.0f32; n];
+    group.bench_function(BenchmarkId::new("csr", "A fp32 / x fp32"), |b| {
+        b.iter(|| spmv_seq(black_box(&a32), black_box(&x32), black_box(&mut y32)))
+    });
+    group.bench_function(BenchmarkId::new("csr", "A fp16 / x fp32"), |b| {
+        b.iter(|| spmv_seq(black_box(&a16), black_box(&x32), black_box(&mut y32)))
+    });
+
+    let sell16 = SellMatrix::from_csr(&a16, 32);
+    group.bench_function(BenchmarkId::new("sell32", "A fp16 / x fp32"), |b| {
+        b.iter(|| spmv_sell_seq(black_box(&sell16), black_box(&x32), black_box(&mut y32)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 2 benchmark: building (and computing statistics of) the test-matrix
+//! suite generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_experiments::{symmetric_suite, SuiteScale};
+use f3r_sparse::gen::{elasticity_like_3d, hpcg_matrix, hpgmp_matrix};
+use f3r_sparse::MatrixStats;
+use std::hint::black_box;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_suite_build");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("generator", "hpcg_16^3"), |b| {
+        b.iter(|| black_box(hpcg_matrix(16, 16, 16)))
+    });
+    group.bench_function(BenchmarkId::new("generator", "hpgmp_16^3"), |b| {
+        b.iter(|| black_box(hpgmp_matrix(16, 16, 16, 0.5)))
+    });
+    group.bench_function(BenchmarkId::new("generator", "elasticity_6^3"), |b| {
+        b.iter(|| black_box(elasticity_like_3d(6, 6, 6, 0.3)))
+    });
+    group.bench_function(BenchmarkId::new("suite", "symmetric_tiny_with_stats"), |b| {
+        b.iter(|| {
+            let probs = symmetric_suite(SuiteScale::Tiny);
+            let total: usize = probs.iter().map(|p| MatrixStats::compute(&p.matrix).nnz).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 3 benchmark: time per preconditioner application for each solver
+//! family (the table itself counts M invocations; this bench measures the
+//! cost of producing those counts end to end and prints them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_bench::BenchProblem;
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+
+fn bench_table3(c: &mut Criterion) {
+    let problem = BenchProblem::hpcg();
+    // Print the Table 3 row once so the bench log records the counts.
+    {
+        let mut f3r16 = problem.f3r(F3rScheme::Fp16, false);
+        let r = problem.solve_checked(&mut f3r16);
+        let mut cg = problem.krylov_baseline(Precision::Fp64);
+        let rc = problem.solve_checked(cg.as_mut());
+        eprintln!(
+            "table3 counts on {}: fp16-F3R = {} M applications, fp64-CG = {}",
+            problem.name, r.precond_applications, rc.precond_applications
+        );
+    }
+    let mut group = c.benchmark_group("table3_precond_counts");
+    group.sample_size(10);
+    for scheme in [F3rScheme::Fp64, F3rScheme::Fp16] {
+        let mut solver = problem.f3r(scheme, false);
+        group.bench_function(BenchmarkId::new("per_precond_apply", solver.name()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let start = std::time::Instant::now();
+                    let r = problem.solve_checked(&mut solver);
+                    total += start.elapsed().div_f64(r.precond_applications.max(1) as f64);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Every bench target regenerates (a scaled-down version of) one table or
+//! figure of the paper; the fixtures here provide the problems and solver
+//! builders so the individual bench files stay small.  Benchmark problem
+//! sizes are deliberately modest so a full `cargo bench` run finishes in
+//! minutes; pass `F3R_BENCH_GRID=<n>` to enlarge them.
+
+use std::sync::Arc;
+
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+use f3r_precond::PrecondKind;
+use f3r_sparse::gen::{hpcg_matrix, hpgmp_matrix, random_rhs};
+use f3r_sparse::scaling::jacobi_scale;
+use f3r_sparse::CsrMatrix;
+
+/// Grid edge length used by the benchmark problems (override with
+/// `F3R_BENCH_GRID`).
+#[must_use]
+pub fn bench_grid() -> usize {
+    std::env::var("F3R_BENCH_GRID")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
+/// A benchmark problem: scaled matrix, shared multi-precision handle, rhs.
+pub struct BenchProblem {
+    /// Problem label.
+    pub name: String,
+    /// Whether the matrix is symmetric.
+    pub symmetric: bool,
+    /// The diagonally scaled matrix.
+    pub matrix_csr: CsrMatrix<f64>,
+    /// Multi-precision handle (CSR backend).
+    pub matrix: Arc<ProblemMatrix>,
+    /// Right-hand side.
+    pub rhs: Vec<f64>,
+}
+
+impl BenchProblem {
+    fn new(name: &str, symmetric: bool, a: CsrMatrix<f64>, backend: SpmvBackend) -> Self {
+        let scaled = jacobi_scale(&a);
+        let rhs = random_rhs(scaled.n_rows(), 42);
+        let matrix = Arc::new(ProblemMatrix::new(scaled.clone(), backend));
+        Self {
+            name: name.to_string(),
+            symmetric,
+            matrix_csr: scaled,
+            matrix,
+            rhs,
+        }
+    }
+
+    /// The HPCG (symmetric) benchmark problem with the CSR backend.
+    #[must_use]
+    pub fn hpcg() -> Self {
+        let g = bench_grid();
+        Self::new(&format!("hpcg_{g}^3"), true, hpcg_matrix(g, g, g), SpmvBackend::Csr)
+    }
+
+    /// The HPGMP (nonsymmetric) benchmark problem with the CSR backend.
+    #[must_use]
+    pub fn hpgmp() -> Self {
+        let g = bench_grid();
+        Self::new(
+            &format!("hpgmp_{g}^3"),
+            false,
+            hpgmp_matrix(g, g, g, 0.5),
+            SpmvBackend::Csr,
+        )
+    }
+
+    /// The HPCG problem with the GPU-node (sliced ELLPACK) backend.
+    #[must_use]
+    pub fn hpcg_sell() -> Self {
+        let g = bench_grid();
+        Self::new(
+            &format!("hpcg_{g}^3_sell"),
+            true,
+            hpcg_matrix(g, g, g),
+            SpmvBackend::Sell { chunk: 32 },
+        )
+    }
+
+    /// The primary preconditioner of the paper's CPU node for this problem.
+    #[must_use]
+    pub fn cpu_precond(&self) -> PrecondKind {
+        if self.symmetric {
+            PrecondKind::BlockJacobiIc0 { blocks: 8, alpha: 1.0 }
+        } else {
+            PrecondKind::BlockJacobiIlu0 { blocks: 8, alpha: 1.0 }
+        }
+    }
+
+    /// The primary preconditioner of the paper's GPU node.
+    #[must_use]
+    pub fn gpu_precond(&self) -> PrecondKind {
+        PrecondKind::SdAinv { alpha: 1.0, order: 2 }
+    }
+
+    /// Solver settings for this problem on the given node.
+    #[must_use]
+    pub fn settings(&self, gpu_node: bool) -> SolverSettings {
+        SolverSettings {
+            precond: if gpu_node { self.gpu_precond() } else { self.cpu_precond() },
+            tol: 1e-8,
+            max_outer_cycles: 3,
+        }
+    }
+
+    /// Build an F3R solver of the given scheme on this problem.
+    #[must_use]
+    pub fn f3r(&self, scheme: F3rScheme, gpu_node: bool) -> NestedSolver {
+        NestedSolver::new(
+            Arc::clone(&self.matrix),
+            f3r_spec(F3rParams::default(), scheme, &self.settings(gpu_node)),
+        )
+    }
+
+    /// Build an F3R solver with explicit parameters.
+    #[must_use]
+    pub fn f3r_with(&self, params: F3rParams, scheme: F3rScheme) -> NestedSolver {
+        NestedSolver::new(
+            Arc::clone(&self.matrix),
+            f3r_spec(params, scheme, &self.settings(false)),
+        )
+    }
+
+    /// Build the matching fp64 Krylov baseline (CG for symmetric problems,
+    /// BiCGStab otherwise) with a preconditioner stored in `prec`.
+    #[must_use]
+    pub fn krylov_baseline(&self, prec: Precision) -> Box<dyn SparseSolver> {
+        let cfg = BaselineConfig {
+            precond: self.cpu_precond(),
+            precond_prec: prec,
+            tol: 1e-8,
+            max_iterations: 10_000,
+        };
+        if self.symmetric {
+            Box::new(CgSolver::new(Arc::clone(&self.matrix), cfg))
+        } else {
+            Box::new(BiCgStabSolver::new(Arc::clone(&self.matrix), cfg))
+        }
+    }
+
+    /// Build the restarted FGMRES(64) baseline.
+    #[must_use]
+    pub fn fgmres64(&self, prec: Precision) -> RestartedFgmresSolver {
+        RestartedFgmresSolver::new(
+            Arc::clone(&self.matrix),
+            64,
+            BaselineConfig {
+                precond: self.cpu_precond(),
+                precond_prec: prec,
+                tol: 1e-8,
+                max_iterations: 10_000,
+            },
+        )
+    }
+
+    /// Solve with the given solver and assert convergence (benchmarks should
+    /// never silently time a diverging run).
+    pub fn solve_checked(&self, solver: &mut dyn SparseSolver) -> SolveResult {
+        let mut x = vec![0.0; self.matrix.dim()];
+        let result = solver.solve(&self.rhs, &mut x);
+        assert!(
+            result.converged,
+            "benchmark solver {} failed to converge (residual {})",
+            solver.name(),
+            result.final_relative_residual
+        );
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_solve() {
+        let p = BenchProblem::hpcg();
+        let mut solver = p.f3r(F3rScheme::Fp16, false);
+        let r = p.solve_checked(&mut solver);
+        assert!(r.converged);
+        let q = BenchProblem::hpgmp();
+        assert!(!q.symmetric);
+        assert!(matches!(q.cpu_precond(), PrecondKind::BlockJacobiIlu0 { .. }));
+    }
+}

@@ -1,0 +1,50 @@
+//! Conventional preconditioned Krylov baselines used in Section 5 of the
+//! paper: CG, BiCGStab and restarted FGMRES(64).
+//!
+//! All three are fp64 solvers whose primary preconditioner `M` is stored in a
+//! configurable precision (fp64/fp32/fp16), exactly matching the paper's
+//! `fp64-CG` / `fp32-CG` / `fp16-CG` (etc.) nomenclature.
+
+pub mod bicgstab;
+pub mod cg;
+pub mod restarted_fgmres;
+
+use f3r_precision::Precision;
+use f3r_precond::PrecondKind;
+
+pub use bicgstab::BiCgStabSolver;
+pub use cg::CgSolver;
+pub use restarted_fgmres::RestartedFgmresSolver;
+
+/// Configuration shared by the baseline solvers.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Primary preconditioner kind.
+    pub precond: PrecondKind,
+    /// Storage precision of the preconditioner (the fp64/fp32/fp16 prefix of
+    /// the solver name in the paper).
+    pub precond_prec: Precision,
+    /// Convergence tolerance on ‖b − A x‖₂ / ‖b‖₂ (paper: 1e-8).
+    pub tol: f64,
+    /// Maximum iterations (paper: 19 200; scale down for laptop-size runs).
+    pub max_iterations: usize,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            precond: PrecondKind::Ilu0 { alpha: 1.0 },
+            precond_prec: Precision::Fp64,
+            tol: 1e-8,
+            max_iterations: 19_200,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Name prefix derived from the preconditioner storage precision.
+    #[must_use]
+    pub fn prefix(&self) -> &'static str {
+        self.precond_prec.name()
+    }
+}

@@ -1,0 +1,107 @@
+//! Solve results, convergence histories and the common solver interface.
+
+use f3r_precision::CounterSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Why a solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The true relative residual dropped below the tolerance.
+    Converged,
+    /// The iteration/restart budget was exhausted before convergence.
+    MaxIterations,
+    /// The iteration broke down (division by a vanishing quantity) or
+    /// produced non-finite values.
+    Breakdown,
+}
+
+/// Outcome of one linear solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// Whether the convergence criterion ‖b − A x‖₂/‖b‖₂ < tol was met.
+    pub converged: bool,
+    /// Why the solver stopped.
+    pub stop_reason: StopReason,
+    /// Outermost iterations executed (for nested solvers: iterations of the
+    /// outermost FGMRES across all restarts; for CG/BiCGStab: iterations).
+    pub outer_iterations: usize,
+    /// Invocations of the primary preconditioner `M` — the Table 3 metric.
+    pub precond_applications: u64,
+    /// Final true relative residual ‖b − A x‖₂ / ‖b‖₂ (fp64 evaluation).
+    pub final_relative_residual: f64,
+    /// Wall-clock seconds spent in `solve`.
+    pub seconds: f64,
+    /// Residual history: the true relative residual after each outermost
+    /// iteration (nested solvers) or each iteration (baselines); sampled at
+    /// the same granularity the solver checks convergence.
+    pub residual_history: Vec<f64>,
+    /// Kernel counter snapshot accumulated during the solve.
+    pub counters: CounterSnapshot,
+    /// Name of the solver configuration that produced this result.
+    pub solver_name: String,
+}
+
+impl SolveResult {
+    /// Modeled memory traffic of the solve in bytes (all precisions).
+    #[must_use]
+    pub fn modeled_bytes(&self) -> u64 {
+        self.counters.total_bytes()
+    }
+
+    /// Convergence rate estimate: mean log10 residual reduction per
+    /// preconditioner application (`None` if not enough history).
+    #[must_use]
+    pub fn log_reduction_per_precond(&self) -> Option<f64> {
+        if self.precond_applications == 0 || self.residual_history.len() < 2 {
+            return None;
+        }
+        let first = self.residual_history.first().copied()?;
+        let last = self.final_relative_residual;
+        if first <= 0.0 || last <= 0.0 {
+            return None;
+        }
+        Some((first.log10() - last.log10()) / self.precond_applications as f64)
+    }
+}
+
+/// Common interface implemented by every solver in the workspace (F3R and its
+/// variants, CG, BiCGStab, restarted FGMRES), used by the experiment harness.
+pub trait SparseSolver {
+    /// Solve `A x = b`, starting from the zero initial guess, overwriting `x`.
+    fn solve(&mut self, b: &[f64], x: &mut [f64]) -> SolveResult;
+
+    /// Descriptive configuration name (e.g. `"fp16-F3R"`, `"fp64-CG"`).
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(history: Vec<f64>, final_res: f64, preconds: u64) -> SolveResult {
+        SolveResult {
+            converged: true,
+            stop_reason: StopReason::Converged,
+            outer_iterations: history.len(),
+            precond_applications: preconds,
+            final_relative_residual: final_res,
+            seconds: 0.1,
+            residual_history: history,
+            counters: CounterSnapshot::default(),
+            solver_name: "dummy".into(),
+        }
+    }
+
+    #[test]
+    fn log_reduction_per_precond() {
+        let r = dummy(vec![1.0, 1e-4, 1e-8], 1e-8, 80);
+        let rate = r.log_reduction_per_precond().unwrap();
+        assert!((rate - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_reduction_requires_history() {
+        assert!(dummy(vec![], 1e-8, 10).log_reduction_per_precond().is_none());
+        assert!(dummy(vec![1.0, 0.1], 1e-8, 0).log_reduction_per_precond().is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Solver-level memory-access cost model (Section 4.1 of the paper).
+//!
+//! The per-kernel model lives in [`f3r_precision::traffic`]; this module
+//! lifts it to whole solver configurations: given a [`NestedSpec`] and the
+//! per-row costs of `A` and `M`, estimate the traffic of one outermost
+//! iteration, so the experiment harness can reproduce the Eq. 1–3 worked
+//! example and compare nesting strategies analytically.
+
+use f3r_precision::traffic::{
+    best_two_level_split, fgmres_traffic, nested_fgmres_fgmres_traffic,
+    nested_fgmres_richardson_traffic, richardson_traffic, words_per_row, BestSplit,
+};
+use f3r_precision::Precision;
+
+use crate::nested::{LevelSpec, NestedSpec};
+
+/// Per-row storage costs (in double-precision-equivalent words) of the
+/// coefficient matrix and the primary preconditioner, the `cA` and `cM`
+/// constants of the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowCosts {
+    /// `cA`: words per row of the coefficient matrix.
+    pub c_a: f64,
+    /// `cM`: words per row of the primary preconditioner.
+    pub c_m: f64,
+}
+
+impl RowCosts {
+    /// The paper's worked example: 30 nonzeros/row stored in fp64 with 32-bit
+    /// indices gives `cA = 45`; the preconditioner is assumed equally dense.
+    #[must_use]
+    pub fn paper_example() -> Self {
+        Self { c_a: 45.0, c_m: 45.0 }
+    }
+
+    /// Derive the costs from a matrix density and storage precisions.
+    #[must_use]
+    pub fn from_density(nnz_per_row: f64, a_prec: Precision, m_prec: Precision) -> Self {
+        Self {
+            c_a: words_per_row(nnz_per_row, a_prec),
+            c_m: words_per_row(nnz_per_row, m_prec),
+        }
+    }
+}
+
+/// Estimated traffic (words per row of the problem) of one invocation of the
+/// *inner* part of a nested solver — i.e. everything below the outermost
+/// level, which is what Eq. 2/3 compare.
+///
+/// The estimate recursively applies Eq. 1: an FGMRES level of `m` iterations
+/// preconditioned by an inner part with traffic `t_inner` costs
+/// `cA·m + t_inner·m + (5/2)m²`; a Richardson level costs Eq. 1b.  Precision
+/// is accounted for by scaling `cA` with the level's matrix-storage precision.
+#[must_use]
+pub fn spec_inner_traffic(spec: &NestedSpec, nnz_per_row: f64, m_nnz_per_row: f64) -> f64 {
+    fn level_traffic(levels: &[LevelSpec], nnz_per_row: f64, c_m: f64) -> f64 {
+        let level = levels[0];
+        let c_a = words_per_row(nnz_per_row, level.matrix_precision());
+        let m = level.iterations() as f64;
+        match level {
+            LevelSpec::Richardson { .. } => richardson_traffic(c_a, c_m, m),
+            LevelSpec::Fgmres { .. } => {
+                let inner = if levels.len() == 1 {
+                    c_m // terminal FGMRES applies M directly, cost cM per call
+                } else {
+                    level_traffic(&levels[1..], nnz_per_row, c_m)
+                };
+                c_a * m + inner * m + 2.5 * m * m
+            }
+        }
+    }
+    let c_m = words_per_row(m_nnz_per_row, spec.precond_prec);
+    if spec.levels.len() <= 1 {
+        c_m
+    } else {
+        level_traffic(&spec.levels[1..], nnz_per_row, c_m)
+    }
+}
+
+/// Total modeled traffic per outermost iteration of a nested solver: the
+/// outermost FGMRES term plus one invocation of the inner part.
+#[must_use]
+pub fn spec_traffic_per_outer_iteration(
+    spec: &NestedSpec,
+    nnz_per_row: f64,
+    m_nnz_per_row: f64,
+) -> f64 {
+    let outer = &spec.levels[0];
+    let c_a = words_per_row(nnz_per_row, outer.matrix_precision());
+    let m1 = outer.iterations() as f64;
+    // One outermost iteration: one SpMV (cA), one inner invocation, and the
+    // amortised Arnoldi term 2.5·m1 (from (5/2)m1² spread over m1 iterations).
+    c_a + spec_inner_traffic(spec, nnz_per_row, m_nnz_per_row) + 2.5 * m1
+}
+
+/// Re-export of the Eq. 2 split optimisation for convenience of the
+/// experiment harness.
+#[must_use]
+pub fn best_split(costs: RowCosts, m: usize) -> BestSplit {
+    best_two_level_split(costs.c_a, costs.c_m, m)
+}
+
+/// The four traffic quantities the paper compares in Section 4.1, evaluated
+/// for a given reference iteration count `m` and split `(m̄, m̿)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eq123Comparison {
+    /// `O(F^m, M)` — single-level FGMRES of `m` iterations.
+    pub reference_fgmres: f64,
+    /// `O(R^m, M)` — Richardson of `m` sweeps.
+    pub reference_richardson: f64,
+    /// `O(F^m̄, F^m̿, M)` — two-level nested FGMRES.
+    pub nested_fgmres: f64,
+    /// `O(F^m̄, R^m̿, M)` — FGMRES preconditioned by Richardson.
+    pub nested_richardson: f64,
+}
+
+/// Evaluate the Eq. 1–3 quantities for the split `m = m_outer · m_inner`.
+#[must_use]
+pub fn eq123(costs: RowCosts, m_outer: usize, m_inner: usize) -> Eq123Comparison {
+    let m = (m_outer * m_inner) as f64;
+    Eq123Comparison {
+        reference_fgmres: fgmres_traffic(costs.c_a, costs.c_m, m),
+        reference_richardson: richardson_traffic(costs.c_a, costs.c_m, m),
+        nested_fgmres: nested_fgmres_fgmres_traffic(
+            costs.c_a,
+            costs.c_m,
+            m_outer as f64,
+            m_inner as f64,
+        ),
+        nested_richardson: nested_fgmres_richardson_traffic(
+            costs.c_a,
+            costs.c_m,
+            m_outer as f64,
+            m_inner as f64,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::f3r::{f3r_spec, F3rParams, F3rScheme, SolverSettings};
+
+    #[test]
+    fn paper_example_best_split() {
+        let best = best_split(RowCosts::paper_example(), 64);
+        assert_eq!(best.m_outer, 10);
+    }
+
+    #[test]
+    fn fp16_f3r_moves_less_than_fp64_f3r_per_outer_iteration() {
+        let settings = SolverSettings::default();
+        let s16 = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings);
+        let s64 = f3r_spec(F3rParams::default(), F3rScheme::Fp64, &settings);
+        let t16 = spec_traffic_per_outer_iteration(&s16, 27.0, 27.0);
+        let t64 = spec_traffic_per_outer_iteration(&s64, 27.0, 27.0);
+        assert!(
+            t16 < 0.75 * t64,
+            "fp16-F3R should clearly reduce the modeled traffic: {t16} vs {t64}"
+        );
+    }
+
+    #[test]
+    fn f3r_inner_part_moves_less_than_fgmres64_inner_part() {
+        // The development argument of Section 4.2: F3R's nested inner part
+        // replaces a 64-iteration FGMRES cycle at lower traffic.
+        let settings = SolverSettings::default();
+        let f3r = f3r_spec(F3rParams::default(), F3rScheme::Fp64, &settings);
+        let inner = spec_inner_traffic(&f3r, 30.0, 30.0);
+        let reference = fgmres_traffic(45.0, 45.0, 64.0);
+        assert!(inner < reference, "{inner} vs {reference}");
+    }
+
+    #[test]
+    fn eq123_relationships() {
+        let c = RowCosts::paper_example();
+        let cmp = eq123(c, 4, 2);
+        // Small m: nesting FGMRES in FGMRES costs more than plain FGMRES(8)...
+        assert!(cmp.nested_fgmres > cmp.reference_fgmres);
+        // ...but Richardson-in-FGMRES costs less (the Eq. 3 argument).
+        assert!(cmp.nested_richardson < cmp.reference_fgmres);
+        // Richardson alone is the cheapest of all.
+        assert!(cmp.reference_richardson < cmp.nested_richardson);
+    }
+
+    #[test]
+    fn row_costs_from_density() {
+        let c = RowCosts::from_density(30.0, Precision::Fp64, Precision::Fp16);
+        assert_eq!(c.c_a, 45.0);
+        assert_eq!(c.c_m, 22.5);
+    }
+}

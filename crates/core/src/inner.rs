@@ -1,0 +1,192 @@
+//! The [`InnerSolver`] abstraction and the precision bridge between levels.
+//!
+//! In the tuple notation of Section 3, a nested solver
+//! `(S⁽¹⁾, S⁽²⁾, …, S⁽ᴰ⁾, M)` treats each inner solver `S⁽ᵈ⁾` as the
+//! preconditioning operator of its parent `S⁽ᵈ⁻¹⁾`: the parent hands it a
+//! vector `v` and receives an approximate solution of `A z = v`.
+//! [`InnerSolver`] is exactly that interface.  Because adjacent levels run in
+//! different precisions (fp64 → fp32 → fp16), the [`PrecisionBridge`] adapter
+//! converts vectors at the boundary, and [`PrecondInner`] adapts the primary
+//! preconditioner `M` itself so it can terminate a nesting chain (as in the
+//! two- and three-level reference solvers of Table 4).
+
+use std::sync::Arc;
+
+use f3r_precision::{KernelCounters, Scalar};
+
+use crate::precond_any::AnyPrecond;
+
+/// An operator that, given `v`, produces an approximate solution `z` of
+/// `A z = v`.  Stateful: Richardson's adaptive weight persists across calls
+/// (Algorithm 1), and FGMRES levels reuse workspace.
+pub trait InnerSolver<T: Scalar>: Send {
+    /// Approximately solve `A z = v`, overwriting `z` (the initial guess is
+    /// always the zero vector, as assumed by the paper's traffic model).
+    fn apply(&mut self, v: &[T], z: &mut [T]);
+
+    /// Descriptive name, e.g. `"F8(fp32)"` or `"R2(fp16, adaptive)"`.
+    fn name(&self) -> String;
+
+    /// Nesting depth of this solver (1 = outermost).
+    fn depth(&self) -> usize;
+}
+
+/// Adapter exposing the primary preconditioner `M` as an [`InnerSolver`], for
+/// nesting chains that end directly in `M` (e.g. `(F¹⁰⁰, F⁶⁴, M)`).
+pub struct PrecondInner<T> {
+    precond: Arc<AnyPrecond>,
+    counters: Arc<KernelCounters>,
+    depth: usize,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Scalar> PrecondInner<T> {
+    /// Wrap the primary preconditioner at nesting depth `depth`.
+    #[must_use]
+    pub fn new(precond: Arc<AnyPrecond>, counters: Arc<KernelCounters>, depth: usize) -> Self {
+        Self {
+            precond,
+            counters,
+            depth,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar> InnerSolver<T> for PrecondInner<T> {
+    fn apply(&mut self, v: &[T], z: &mut [T]) {
+        self.precond.apply_to(v, z, &self.counters);
+    }
+
+    fn name(&self) -> String {
+        format!("M[{}]", self.precond.name())
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Converts vectors between a parent level running in precision `TP` and a
+/// child level running in precision `TC`.
+///
+/// The conversion applies the same infinity-norm scaling safeguard as the
+/// preconditioner boundary (see [`crate::precond_any`]): parent-side vectors
+/// whose entries fall below the fp16 normal range are scaled into range before
+/// rounding and the child's correction is scaled back, so nothing silently
+/// flushes to zero.
+pub struct PrecisionBridge<TP, TC> {
+    child: Box<dyn InnerSolver<TC>>,
+    v_lo: Vec<TC>,
+    z_lo: Vec<TC>,
+    _marker: std::marker::PhantomData<fn(TP)>,
+}
+
+impl<TP: Scalar, TC: Scalar> PrecisionBridge<TP, TC> {
+    /// Wrap `child` (working in `TC`) for use by a parent working in `TP`.
+    #[must_use]
+    pub fn new(child: Box<dyn InnerSolver<TC>>, n: usize) -> Self {
+        Self {
+            child,
+            v_lo: vec![TC::zero(); n],
+            z_lo: vec![TC::zero(); n],
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<TP: Scalar, TC: Scalar> InnerSolver<TP> for PrecisionBridge<TP, TC> {
+    fn apply(&mut self, v: &[TP], z: &mut [TP]) {
+        let scale = v.iter().map(|x| x.to_f64().abs()).fold(0.0f64, f64::max);
+        if scale == 0.0 {
+            for zi in z.iter_mut() {
+                *zi = TP::zero();
+            }
+            return;
+        }
+        let inv = 1.0 / scale;
+        for (lo, hi) in self.v_lo.iter_mut().zip(v.iter()) {
+            *lo = TC::from_f64(hi.to_f64() * inv);
+        }
+        self.child.apply(&self.v_lo, &mut self.z_lo);
+        for (hi, lo) in z.iter_mut().zip(self.z_lo.iter()) {
+            *hi = TP::from_f64(lo.to_f64() * scale);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{}→{} {}", TP::name(), TC::name(), self.child.name())
+    }
+
+    fn depth(&self) -> usize {
+        self.child.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_precision::{f16, Precision};
+    use f3r_precond::PrecondKind;
+    use f3r_sparse::gen::laplacian::poisson2d_5pt;
+    use f3r_sparse::scaling::jacobi_scale;
+
+    /// A trivial inner solver that doubles its input (in the child precision).
+    struct Doubler {
+        depth: usize,
+    }
+    impl<T: Scalar> InnerSolver<T> for Doubler {
+        fn apply(&mut self, v: &[T], z: &mut [T]) {
+            for (zi, &vi) in z.iter_mut().zip(v.iter()) {
+                *zi = vi + vi;
+            }
+        }
+        fn name(&self) -> String {
+            "doubler".into()
+        }
+        fn depth(&self) -> usize {
+            self.depth
+        }
+    }
+
+    #[test]
+    fn precond_inner_applies_m() {
+        let a = jacobi_scale(&poisson2d_5pt(6, 6));
+        let n = a.n_rows();
+        let counters = KernelCounters::new_shared();
+        let m = Arc::new(AnyPrecond::build(&a, &PrecondKind::Jacobi, Precision::Fp32));
+        let mut inner = PrecondInner::<f64>::new(m, Arc::clone(&counters), 3);
+        let v = vec![2.0f64; n];
+        let mut z = vec![0.0f64; n];
+        inner.apply(&v, &mut z);
+        // Jacobi on a unit-diagonal matrix is the identity.
+        for &zi in &z {
+            assert!((zi - 2.0).abs() < 1e-3);
+        }
+        assert_eq!(counters.snapshot().precond_applies, 1);
+        assert_eq!(InnerSolver::<f64>::depth(&inner), 3);
+    }
+
+    #[test]
+    fn bridge_converts_and_scales() {
+        let mut bridge = PrecisionBridge::<f64, f16>::new(Box::new(Doubler { depth: 2 }), 4);
+        // Entries below the fp16 subnormal range still survive thanks to the
+        // norm scaling.
+        let v = vec![1e-9, 2e-9, -3e-9, 4e-9];
+        let mut z = vec![0.0f64; 4];
+        bridge.apply(&v, &mut z);
+        for i in 0..4 {
+            assert!((z[i] - 2.0 * v[i]).abs() < 1e-12 + 2e-3 * v[i].abs());
+        }
+        assert!(bridge.name().contains("fp64→fp16"));
+    }
+
+    #[test]
+    fn bridge_zero_input_gives_zero_output() {
+        let mut bridge = PrecisionBridge::<f32, f16>::new(Box::new(Doubler { depth: 2 }), 3);
+        let v = vec![0.0f32; 3];
+        let mut z = vec![5.0f32; 3];
+        bridge.apply(&v, &mut z);
+        assert_eq!(z, vec![0.0f32; 3]);
+    }
+}

@@ -1,0 +1,77 @@
+//! # f3r-core — the nested mixed-precision Krylov solver of the paper
+//! *"A Nested Krylov Method Using Half-Precision Arithmetic"*
+//! (Suzuki & Iwashita, 2025).
+//!
+//! The crate provides:
+//!
+//! * the nested-solver framework ([`nested`]): declarative [`NestedSpec`]s
+//!   built from FGMRES and Richardson levels with per-level matrix/vector
+//!   precisions, compiled into a running [`NestedSolver`],
+//! * the paper's solver presets ([`f3r`]): fp64-/fp32-/fp16-F3R (Table 1) and
+//!   the nesting-depth references F2, fp16-F2, F3, fp16-F3, F4 (Table 4),
+//! * the innermost Richardson solver with adaptive weight updating
+//!   ([`richardson`], Algorithm 1),
+//! * the baselines of Section 5 ([`baseline`]): preconditioned CG, BiCGStab
+//!   and restarted FGMRES(64) with fp64/fp32/fp16 preconditioner storage,
+//! * the memory-access cost model of Section 4.1 ([`cost_model`]),
+//! * instrumentation (preconditioner counts for Table 3, modeled traffic).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use f3r_core::prelude::*;
+//! use f3r_precond::PrecondKind;
+//! use f3r_sparse::gen::hpcg::hpcg_matrix;
+//! use f3r_sparse::gen::rhs::random_rhs;
+//! use f3r_sparse::scaling::jacobi_scale;
+//!
+//! // HPCG-like SPD problem, diagonally scaled as in the paper.
+//! let a = jacobi_scale(&hpcg_matrix(8, 8, 8));
+//! let n = a.n_rows();
+//! let matrix = Arc::new(ProblemMatrix::from_csr(a));
+//!
+//! // fp16-F3R with the default (100, 8, 4, 2) parameters and IC(0).
+//! let settings = SolverSettings {
+//!     precond: PrecondKind::Ic0 { alpha: 1.0 },
+//!     ..SolverSettings::default()
+//! };
+//! let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings);
+//! let mut solver = NestedSolver::new(matrix, spec);
+//!
+//! let b = random_rhs(n, 1);
+//! let mut x = vec![0.0; n];
+//! let result = solver.solve(&b, &mut x);
+//! assert!(result.converged);
+//! assert!(result.final_relative_residual < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod convergence;
+pub mod cost_model;
+pub mod f3r;
+pub mod fgmres;
+pub mod inner;
+pub mod nested;
+pub mod operator;
+pub mod precond_any;
+pub mod richardson;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::baseline::{BaselineConfig, BiCgStabSolver, CgSolver, RestartedFgmresSolver};
+    pub use crate::convergence::{SolveResult, SparseSolver, StopReason};
+    pub use crate::f3r::{
+        f2_spec, f3_spec, f3r_spec, f3r_spec_fixed_weight, f4_spec, fp16_f2_spec, fp16_f3_spec,
+        F3rParams, F3rScheme, SolverSettings,
+    };
+    pub use crate::nested::{LevelSpec, NestedSolver, NestedSpec};
+    pub use crate::operator::{ProblemMatrix, SpmvBackend};
+    pub use crate::richardson::WeightStrategy;
+}
+
+pub use convergence::{SolveResult, SparseSolver, StopReason};
+pub use nested::{LevelSpec, NestedSolver, NestedSpec};
+pub use operator::{ProblemMatrix, SpmvBackend};

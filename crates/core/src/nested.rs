@@ -1,0 +1,533 @@
+//! Declarative description and construction of nested Krylov solvers.
+//!
+//! A nested solver `(S⁽¹⁾, …, S⁽ᴰ⁾, M)` is described by a [`NestedSpec`]: an
+//! ordered list of [`LevelSpec`]s (outermost first), the primary
+//! preconditioner kind and its storage precision, the convergence tolerance
+//! and the restart budget.  [`NestedSolver::new`] turns a spec into a running
+//! solver: the outermost FGMRES level is driven directly (it is the only
+//! place convergence is checked, Section 4.2), the remaining levels are built
+//! recursively as a chain of [`InnerSolver`]s with [`PrecisionBridge`]s
+//! inserted wherever the vector precision changes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use f3r_precision::{f16, KernelCounters, Precision, Scalar};
+use f3r_sparse::blas1;
+use f3r_precond::PrecondKind;
+
+use crate::convergence::{SolveResult, SparseSolver, StopReason};
+use crate::fgmres::{fgmres_cycle, CycleParams, FgmresLevel, FgmresWorkspace};
+use crate::inner::{InnerSolver, PrecisionBridge, PrecondInner};
+use crate::operator::ProblemMatrix;
+use crate::precond_any::AnyPrecond;
+use crate::richardson::{RichardsonLevel, WeightStrategy};
+
+/// One level of a nested solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LevelSpec {
+    /// An FGMRES level `F^m`.
+    Fgmres {
+        /// Iterations per invocation.
+        m: usize,
+        /// Precision of the matrix copy used by this level's SpMV.
+        matrix_prec: Precision,
+        /// Working (vector) precision of this level.
+        vector_prec: Precision,
+    },
+    /// A Richardson level `R^m` (always the innermost iterative level).
+    Richardson {
+        /// Sweeps per invocation.
+        m: usize,
+        /// Precision of the matrix copy used by this level's SpMV.
+        matrix_prec: Precision,
+        /// Working (vector) precision of this level.
+        vector_prec: Precision,
+        /// Weight strategy (adaptive Algorithm 1 or fixed).
+        weight: WeightStrategy,
+    },
+}
+
+impl LevelSpec {
+    /// The working (vector) precision of the level.
+    #[must_use]
+    pub fn vector_precision(&self) -> Precision {
+        match *self {
+            LevelSpec::Fgmres { vector_prec, .. } | LevelSpec::Richardson { vector_prec, .. } => {
+                vector_prec
+            }
+        }
+    }
+
+    /// The matrix-storage precision of the level.
+    #[must_use]
+    pub fn matrix_precision(&self) -> Precision {
+        match *self {
+            LevelSpec::Fgmres { matrix_prec, .. } | LevelSpec::Richardson { matrix_prec, .. } => {
+                matrix_prec
+            }
+        }
+    }
+
+    /// Iterations per invocation.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        match *self {
+            LevelSpec::Fgmres { m, .. } | LevelSpec::Richardson { m, .. } => m,
+        }
+    }
+
+    /// Compact label such as `F8` or `R2`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            LevelSpec::Fgmres { m, .. } => format!("F{m}"),
+            LevelSpec::Richardson { m, .. } => format!("R{m}"),
+        }
+    }
+}
+
+/// Complete description of a nested Krylov solver.
+#[derive(Debug, Clone)]
+pub struct NestedSpec {
+    /// Solver levels, outermost first.  The first level must be FGMRES with
+    /// fp64 vectors (it drives the solve and checks convergence).
+    pub levels: Vec<LevelSpec>,
+    /// Primary preconditioner kind.
+    pub precond: PrecondKind,
+    /// Storage precision of the primary preconditioner.
+    pub precond_prec: Precision,
+    /// Convergence tolerance on ‖b − A x‖₂ / ‖b‖₂ (the paper uses 1e-8).
+    pub tol: f64,
+    /// Maximum number of outermost cycles (the paper terminates F3R after 300
+    /// outermost iterations = 3 cycles of `m1 = 100`).
+    pub max_outer_cycles: usize,
+    /// Human-readable configuration name, e.g. `"fp16-F3R"`.
+    pub name: String,
+}
+
+impl NestedSpec {
+    /// Validate structural invariants, panicking with a descriptive message
+    /// if the spec cannot be built.
+    pub fn validate(&self) {
+        assert!(!self.levels.is_empty(), "nested spec needs at least one level");
+        match self.levels[0] {
+            LevelSpec::Fgmres { vector_prec, .. } => {
+                assert_eq!(
+                    vector_prec,
+                    Precision::Fp64,
+                    "the outermost level must work in fp64 (it checks convergence)"
+                );
+            }
+            LevelSpec::Richardson { .. } => {
+                panic!("the outermost level must be FGMRES");
+            }
+        }
+        for (d, level) in self.levels.iter().enumerate() {
+            if let LevelSpec::Richardson { .. } = level {
+                assert_eq!(
+                    d,
+                    self.levels.len() - 1,
+                    "Richardson may only appear as the innermost level"
+                );
+            }
+            assert!(level.iterations() >= 1, "every level needs at least one iteration");
+        }
+        assert!(self.tol > 0.0, "tolerance must be positive");
+        assert!(self.max_outer_cycles >= 1, "need at least one outer cycle");
+    }
+
+    /// Depth `D` of the nesting (number of iterative levels).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Tuple notation string, e.g. `(F100, F8, F4, R2, M)`.
+    #[must_use]
+    pub fn tuple_notation(&self) -> String {
+        let mut parts: Vec<String> = self.levels.iter().map(LevelSpec::label).collect();
+        parts.push("M".to_string());
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// Build the inner-solver chain for `levels` (outermost of the *chain* first,
+/// i.e. the level at nesting depth `depth`), working in vector precision `T`.
+///
+/// The caller guarantees `T` matches `levels[0].vector_precision()`.
+fn build_chain<T: Scalar>(
+    levels: &[LevelSpec],
+    depth: usize,
+    matrix: &Arc<ProblemMatrix>,
+    precond: &Arc<AnyPrecond>,
+    counters: &Arc<KernelCounters>,
+) -> Box<dyn InnerSolver<T>> {
+    let level = levels[0];
+    debug_assert_eq!(level.vector_precision(), T::PRECISION);
+    match level {
+        LevelSpec::Richardson {
+            m,
+            matrix_prec,
+            weight,
+            ..
+        } => Box::new(RichardsonLevel::<T>::new(
+            Arc::clone(matrix),
+            matrix_prec,
+            m,
+            Arc::clone(precond),
+            weight,
+            depth,
+            Arc::clone(counters),
+        )),
+        LevelSpec::Fgmres { m, matrix_prec, .. } => {
+            let inner: Box<dyn InnerSolver<T>> = if levels.len() == 1 {
+                // This FGMRES level is the innermost iterative level: its
+                // flexible preconditioner is the primary preconditioner M.
+                Box::new(PrecondInner::<T>::new(
+                    Arc::clone(precond),
+                    Arc::clone(counters),
+                    depth + 1,
+                ))
+            } else {
+                build_child::<T>(&levels[1..], depth + 1, matrix, precond, counters)
+            };
+            Box::new(FgmresLevel::<T>::new(
+                Arc::clone(matrix),
+                matrix_prec,
+                m,
+                inner,
+                depth,
+                Arc::clone(counters),
+            ))
+        }
+    }
+}
+
+/// Build the child chain starting at `levels[0]`, bridging from the parent's
+/// vector precision `TP` to the child's vector precision if they differ.
+fn build_child<TP: Scalar>(
+    levels: &[LevelSpec],
+    depth: usize,
+    matrix: &Arc<ProblemMatrix>,
+    precond: &Arc<AnyPrecond>,
+    counters: &Arc<KernelCounters>,
+) -> Box<dyn InnerSolver<TP>> {
+    let child_prec = levels[0].vector_precision();
+    let n = matrix.dim();
+    if child_prec == TP::PRECISION {
+        return build_chain::<TP>(levels, depth, matrix, precond, counters);
+    }
+    match child_prec {
+        Precision::Fp64 => Box::new(PrecisionBridge::<TP, f64>::new(
+            build_chain::<f64>(levels, depth, matrix, precond, counters),
+            n,
+        )),
+        Precision::Fp32 => Box::new(PrecisionBridge::<TP, f32>::new(
+            build_chain::<f32>(levels, depth, matrix, precond, counters),
+            n,
+        )),
+        Precision::Fp16 => Box::new(PrecisionBridge::<TP, f16>::new(
+            build_chain::<f16>(levels, depth, matrix, precond, counters),
+            n,
+        )),
+    }
+}
+
+/// A fully constructed nested Krylov solver (the paper's F3R and all of its
+/// F2/F3/F4 relatives), driven by an outermost fp64 FGMRES with restarting.
+pub struct NestedSolver {
+    matrix: Arc<ProblemMatrix>,
+    #[allow(dead_code)]
+    precond: Arc<AnyPrecond>,
+    counters: Arc<KernelCounters>,
+    spec: NestedSpec,
+    inner: Box<dyn InnerSolver<f64>>,
+    ws: FgmresWorkspace<f64>,
+}
+
+impl NestedSolver {
+    /// Build the solver described by `spec` for the matrix `matrix`.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`NestedSpec::validate`].
+    #[must_use]
+    pub fn new(matrix: Arc<ProblemMatrix>, spec: NestedSpec) -> Self {
+        spec.validate();
+        let counters = KernelCounters::new_shared();
+        let precond = Arc::new(AnyPrecond::build(
+            matrix.csr_f64(),
+            &spec.precond,
+            spec.precond_prec,
+        ));
+        let m1 = spec.levels[0].iterations();
+        let inner: Box<dyn InnerSolver<f64>> = if spec.levels.len() == 1 {
+            Box::new(PrecondInner::<f64>::new(
+                Arc::clone(&precond),
+                Arc::clone(&counters),
+                2,
+            ))
+        } else {
+            build_child::<f64>(&spec.levels[1..], 2, &matrix, &precond, &counters)
+        };
+        let n = matrix.dim();
+        Self {
+            matrix,
+            precond,
+            counters,
+            spec,
+            inner,
+            ws: FgmresWorkspace::new(n, m1),
+        }
+    }
+
+    /// The spec this solver was built from.
+    #[must_use]
+    pub fn spec(&self) -> &NestedSpec {
+        &self.spec
+    }
+
+    /// Shared kernel counters (reset at the start of every `solve`).
+    #[must_use]
+    pub fn counters(&self) -> &Arc<KernelCounters> {
+        &self.counters
+    }
+}
+
+impl SparseSolver for NestedSolver {
+    fn solve(&mut self, b: &[f64], x: &mut [f64]) -> SolveResult {
+        let n = self.matrix.dim();
+        assert_eq!(b.len(), n, "solve: b length mismatch");
+        assert_eq!(x.len(), n, "solve: x length mismatch");
+        let start = Instant::now();
+        self.counters.reset();
+        for xi in x.iter_mut() {
+            *xi = 0.0;
+        }
+        let bnorm = blas1::norm2(b);
+        let mut history = Vec::new();
+        let mut outer_iterations = 0usize;
+        let mut stop_reason = StopReason::MaxIterations;
+        let mut converged = false;
+
+        if bnorm == 0.0 {
+            // x = 0 is the exact solution.
+            converged = true;
+            stop_reason = StopReason::Converged;
+        } else {
+            let abs_tol = self.spec.tol * bnorm;
+            'outer: for cycle in 0..self.spec.max_outer_cycles {
+                let outcome = fgmres_cycle(
+                    CycleParams {
+                        matrix: &self.matrix,
+                        mat_prec: self.spec.levels[0].matrix_precision(),
+                        inner: self.inner.as_mut(),
+                        abs_tol: Some(abs_tol),
+                        x_nonzero: cycle > 0,
+                        depth: 1,
+                        counters: &self.counters,
+                    },
+                    x,
+                    b,
+                    &mut self.ws,
+                );
+                outer_iterations += outcome.iterations;
+                let true_rel = self.matrix.true_relative_residual(x, b);
+                history.push(true_rel);
+                if !true_rel.is_finite() {
+                    stop_reason = StopReason::Breakdown;
+                    break 'outer;
+                }
+                if true_rel < self.spec.tol {
+                    converged = true;
+                    stop_reason = StopReason::Converged;
+                    break 'outer;
+                }
+                if outcome.breakdown && outcome.iterations == 0 {
+                    stop_reason = StopReason::Breakdown;
+                    break 'outer;
+                }
+            }
+        }
+
+        let final_rel = self.matrix.true_relative_residual(x, b);
+        SolveResult {
+            converged,
+            stop_reason,
+            outer_iterations,
+            precond_applications: self.counters.snapshot().precond_applies,
+            final_relative_residual: final_rel,
+            seconds: start.elapsed().as_secs_f64(),
+            residual_history: history,
+            counters: self.counters.snapshot(),
+            solver_name: self.spec.name.clone(),
+        }
+    }
+
+    fn name(&self) -> String {
+        self.spec.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_sparse::gen::hpcg::hpcg_matrix;
+    use f3r_sparse::gen::laplacian::poisson2d_5pt;
+    use f3r_sparse::gen::rhs::random_rhs;
+    use f3r_sparse::scaling::jacobi_scale;
+
+    fn simple_spec(name: &str, levels: Vec<LevelSpec>) -> NestedSpec {
+        NestedSpec {
+            levels,
+            precond: PrecondKind::Ilu0 { alpha: 1.0 },
+            precond_prec: Precision::Fp64,
+            tol: 1e-8,
+            max_outer_cycles: 3,
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn two_level_fp64_solver_converges() {
+        let a = jacobi_scale(&poisson2d_5pt(16, 16));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = simple_spec(
+            "F(30)-F(5)",
+            vec![
+                LevelSpec::Fgmres {
+                    m: 30,
+                    matrix_prec: Precision::Fp64,
+                    vector_prec: Precision::Fp64,
+                },
+                LevelSpec::Fgmres {
+                    m: 5,
+                    matrix_prec: Precision::Fp64,
+                    vector_prec: Precision::Fp64,
+                },
+            ],
+        );
+        let mut solver = NestedSolver::new(pm, spec);
+        let n = 256;
+        let b = random_rhs(n, 42);
+        let mut x = vec![0.0; n];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged, "residual {}", res.final_relative_residual);
+        assert!(res.final_relative_residual < 1e-8);
+        assert!(res.precond_applications > 0);
+        assert!(!res.residual_history.is_empty());
+    }
+
+    #[test]
+    fn four_level_mixed_precision_solver_converges() {
+        // A miniature fp16-F3R: (F40, F8, F4, R2, M) with Table 1 precisions.
+        let a = jacobi_scale(&hpcg_matrix(8, 8, 4));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = NestedSpec {
+            levels: vec![
+                LevelSpec::Fgmres {
+                    m: 40,
+                    matrix_prec: Precision::Fp64,
+                    vector_prec: Precision::Fp64,
+                },
+                LevelSpec::Fgmres {
+                    m: 8,
+                    matrix_prec: Precision::Fp32,
+                    vector_prec: Precision::Fp32,
+                },
+                LevelSpec::Fgmres {
+                    m: 4,
+                    matrix_prec: Precision::Fp16,
+                    vector_prec: Precision::Fp32,
+                },
+                LevelSpec::Richardson {
+                    m: 2,
+                    matrix_prec: Precision::Fp16,
+                    vector_prec: Precision::Fp16,
+                    weight: WeightStrategy::Adaptive { cycle: 64 },
+                },
+            ],
+            precond: PrecondKind::Ic0 { alpha: 1.0 },
+            precond_prec: Precision::Fp16,
+            tol: 1e-8,
+            max_outer_cycles: 3,
+            name: "mini-fp16-F3R".into(),
+        };
+        assert_eq!(spec.tuple_notation(), "(F40, F8, F4, R2, M)");
+        let n = 8 * 8 * 4;
+        let mut solver = NestedSolver::new(pm, spec);
+        let b = random_rhs(n, 5);
+        let mut x = vec![0.0; n];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged, "residual {}", res.final_relative_residual);
+        // fp16 work must actually have happened
+        assert!(res.counters.bytes_in(Precision::Fp16) > 0);
+        assert!(res.counters.spmv_in(Precision::Fp16) > 0);
+    }
+
+    #[test]
+    fn zero_rhs_is_trivially_converged() {
+        let a = jacobi_scale(&poisson2d_5pt(8, 8));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = simple_spec(
+            "trivial",
+            vec![LevelSpec::Fgmres {
+                m: 10,
+                matrix_prec: Precision::Fp64,
+                vector_prec: Precision::Fp64,
+            }],
+        );
+        let mut solver = NestedSolver::new(pm, spec);
+        let b = vec![0.0; 64];
+        let mut x = vec![1.0; 64];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged);
+        assert_eq!(res.outer_iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outermost level must work in fp64")]
+    fn outermost_must_be_fp64() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = simple_spec(
+            "bad",
+            vec![LevelSpec::Fgmres {
+                m: 10,
+                matrix_prec: Precision::Fp32,
+                vector_prec: Precision::Fp32,
+            }],
+        );
+        let _ = NestedSolver::new(pm, spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "Richardson may only appear as the innermost level")]
+    fn richardson_must_be_innermost() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = simple_spec(
+            "bad",
+            vec![
+                LevelSpec::Fgmres {
+                    m: 10,
+                    matrix_prec: Precision::Fp64,
+                    vector_prec: Precision::Fp64,
+                },
+                LevelSpec::Richardson {
+                    m: 2,
+                    matrix_prec: Precision::Fp64,
+                    vector_prec: Precision::Fp64,
+                    weight: WeightStrategy::Fixed(1.0),
+                },
+                LevelSpec::Fgmres {
+                    m: 4,
+                    matrix_prec: Precision::Fp64,
+                    vector_prec: Precision::Fp64,
+                },
+            ],
+        );
+        let _ = NestedSolver::new(pm, spec);
+    }
+}

@@ -1,0 +1,258 @@
+//! The multi-precision coefficient-matrix handle shared by all solver levels.
+//!
+//! F3R stores the coefficient matrix `A` in up to three precisions at once
+//! (Table 1: fp64 for the outermost FGMRES, fp32 for `F^m2`, fp16 for `F^m3`
+//! and the Richardson part).  [`ProblemMatrix`] owns those copies, knows which
+//! SpMV backend to use (CSR for the CPU-node configuration, sliced ELLPACK
+//! for the GPU-node configuration of Section 5.2) and records every product
+//! in the shared [`KernelCounters`].
+
+use std::sync::Arc;
+
+use f3r_precision::{f16, KernelCounters, Precision, Scalar};
+use f3r_precision::traffic::TrafficModel;
+use f3r_sparse::blas1;
+use f3r_sparse::spmv::{spmv, spmv_sell};
+use f3r_sparse::{CsrMatrix, SellMatrix};
+
+/// Which sparse matrix–vector kernel the solvers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpmvBackend {
+    /// Compressed sparse row (the paper's CPU-node configuration).
+    Csr,
+    /// Sliced ELLPACK with the given chunk size (the paper's GPU-node
+    /// configuration uses a chunk of 32).
+    Sell {
+        /// Rows per slice.
+        chunk: usize,
+    },
+}
+
+impl Default for SpmvBackend {
+    fn default() -> Self {
+        SpmvBackend::Csr
+    }
+}
+
+/// Multi-precision copies of the coefficient matrix plus the SpMV backend.
+pub struct ProblemMatrix {
+    csr64: Arc<CsrMatrix<f64>>,
+    csr32: Arc<CsrMatrix<f32>>,
+    csr16: Arc<CsrMatrix<f16>>,
+    sell64: Option<Arc<SellMatrix<f64>>>,
+    sell32: Option<Arc<SellMatrix<f32>>>,
+    sell16: Option<Arc<SellMatrix<f16>>>,
+    backend: SpmvBackend,
+    n: usize,
+    nnz: usize,
+}
+
+impl ProblemMatrix {
+    /// Build all precision copies of `a` for the given backend.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    #[must_use]
+    pub fn new(a: CsrMatrix<f64>, backend: SpmvBackend) -> Self {
+        assert!(a.is_square(), "solvers require a square matrix");
+        let n = a.n_rows();
+        let nnz = a.nnz();
+        let csr32 = Arc::new(a.to_precision::<f32>());
+        let csr16 = Arc::new(a.to_precision::<f16>());
+        let csr64 = Arc::new(a);
+        let (sell64, sell32, sell16) = match backend {
+            SpmvBackend::Csr => (None, None, None),
+            SpmvBackend::Sell { chunk } => (
+                Some(Arc::new(SellMatrix::from_csr(&csr64, chunk))),
+                Some(Arc::new(SellMatrix::from_csr(&csr32, chunk))),
+                Some(Arc::new(SellMatrix::from_csr(&csr16, chunk))),
+            ),
+        };
+        Self {
+            csr64,
+            csr32,
+            csr16,
+            sell64,
+            sell32,
+            sell16,
+            backend,
+            n,
+            nnz,
+        }
+    }
+
+    /// Convenience constructor for the CSR backend.
+    #[must_use]
+    pub fn from_csr(a: CsrMatrix<f64>) -> Self {
+        Self::new(a, SpmvBackend::Csr)
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The configured SpMV backend.
+    #[must_use]
+    pub fn backend(&self) -> SpmvBackend {
+        self.backend
+    }
+
+    /// The fp64 CSR copy (used by result verification and the baselines).
+    #[must_use]
+    pub fn csr_f64(&self) -> &Arc<CsrMatrix<f64>> {
+        &self.csr64
+    }
+
+    /// Total bytes of matrix storage across all precision copies.
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        self.csr64.storage_bytes() + self.csr32.storage_bytes() + self.csr16.storage_bytes()
+    }
+
+    /// Compute `y = A x` using the copy of `A` stored in `mat_prec`, with
+    /// vectors in precision `TV`, recording the product in `counters`.
+    pub fn apply<TV: Scalar>(
+        &self,
+        mat_prec: Precision,
+        x: &[TV],
+        y: &mut [TV],
+        counters: &KernelCounters,
+    ) {
+        counters.record_spmv(
+            mat_prec,
+            TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
+        );
+        match (self.backend, mat_prec) {
+            (SpmvBackend::Csr, Precision::Fp64) => spmv(&self.csr64, x, y),
+            (SpmvBackend::Csr, Precision::Fp32) => spmv(&self.csr32, x, y),
+            (SpmvBackend::Csr, Precision::Fp16) => spmv(&self.csr16, x, y),
+            (SpmvBackend::Sell { .. }, Precision::Fp64) => {
+                spmv_sell(self.sell64.as_ref().expect("sell64 built"), x, y);
+            }
+            (SpmvBackend::Sell { .. }, Precision::Fp32) => {
+                spmv_sell(self.sell32.as_ref().expect("sell32 built"), x, y);
+            }
+            (SpmvBackend::Sell { .. }, Precision::Fp16) => {
+                spmv_sell(self.sell16.as_ref().expect("sell16 built"), x, y);
+            }
+        }
+    }
+
+    /// Compute the residual `r = b - A x` with the matrix copy in `mat_prec`
+    /// and vectors in `TV`.
+    pub fn residual<TV: Scalar>(
+        &self,
+        mat_prec: Precision,
+        x: &[TV],
+        b: &[TV],
+        r: &mut [TV],
+        counters: &KernelCounters,
+    ) {
+        self.apply(mat_prec, x, r, counters);
+        counters.record_blas1(
+            TV::PRECISION,
+            TrafficModel::blas1_bytes(self.n, 2, 1, TV::PRECISION),
+        );
+        for i in 0..self.n {
+            r[i] = b[i] - r[i];
+        }
+    }
+
+    /// True relative residual `‖b − A x‖₂ / ‖b‖₂`, always evaluated in fp64
+    /// with the fp64 matrix copy (the paper's convergence criterion,
+    /// Section 5).
+    #[must_use]
+    pub fn true_relative_residual(&self, x: &[f64], b: &[f64]) -> f64 {
+        let mut r = vec![0.0f64; self.n];
+        spmv(&self.csr64, x, &mut r);
+        for i in 0..self.n {
+            r[i] = b[i] - r[i];
+        }
+        let bnorm = blas1::norm2(b);
+        if bnorm == 0.0 {
+            blas1::norm2(&r)
+        } else {
+            blas1::norm2(&r) / bnorm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_sparse::gen::hpcg::hpcg_matrix;
+
+    #[test]
+    fn all_precision_copies_agree_on_easy_vectors() {
+        let a = hpcg_matrix(4, 4, 4);
+        let pm = ProblemMatrix::from_csr(a);
+        let counters = KernelCounters::new_shared();
+        let n = pm.dim();
+        let x = vec![1.0f64; n];
+        let mut y64 = vec![0.0f64; n];
+        pm.apply(Precision::Fp64, &x, &mut y64, &counters);
+        let x32 = vec![1.0f32; n];
+        let mut y32 = vec![0.0f32; n];
+        pm.apply(Precision::Fp32, &x32, &mut y32, &counters);
+        let x16 = vec![f16::from_f32(1.0); n];
+        let mut y16 = vec![f16::from_f32(0.0); n];
+        pm.apply(Precision::Fp16, &x16, &mut y16, &counters);
+        for i in 0..n {
+            // integer-valued results are exact in every precision
+            assert_eq!(y64[i], f64::from(y32[i]));
+            assert_eq!(y64[i], y16[i].to_f64());
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.total_spmv(), 3);
+        assert!(snap.bytes_in(Precision::Fp16) < snap.bytes_in(Precision::Fp64));
+    }
+
+    #[test]
+    fn sell_backend_matches_csr_backend() {
+        let a = hpcg_matrix(4, 4, 4);
+        let counters = KernelCounters::new_shared();
+        let pm_csr = ProblemMatrix::from_csr(a.clone());
+        let pm_sell = ProblemMatrix::new(a, SpmvBackend::Sell { chunk: 32 });
+        let n = pm_csr.dim();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        pm_csr.apply(Precision::Fp64, &x, &mut y1, &counters);
+        pm_sell.apply(Precision::Fp64, &x, &mut y2, &counters);
+        for i in 0..n {
+            assert!((y1[i] - y2[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn residual_and_true_residual() {
+        let a = hpcg_matrix(3, 3, 3);
+        let pm = ProblemMatrix::from_csr(a);
+        let counters = KernelCounters::new_shared();
+        let n = pm.dim();
+        let x = vec![0.0f64; n];
+        let b = vec![2.0f64; n];
+        let mut r = vec![0.0f64; n];
+        pm.residual(Precision::Fp64, &x, &b, &mut r, &counters);
+        assert_eq!(r, b);
+        assert!((pm.true_relative_residual(&x, &b) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn storage_includes_three_copies() {
+        let a = hpcg_matrix(3, 3, 3);
+        let nnz = a.nnz();
+        let n = a.n_rows();
+        let pm = ProblemMatrix::from_csr(a);
+        let expected = (nnz as u64) * (12 + 8 + 6) + 3 * 4 * (n as u64 + 1);
+        assert_eq!(pm.storage_bytes(), expected);
+    }
+}

@@ -1,0 +1,200 @@
+//! Precision-erased handle to the primary preconditioner `M`.
+//!
+//! The primary preconditioner is constructed in fp64 and *stored* in a
+//! configurable precision (Section 5: fp64/fp32/fp16 variants of every
+//! baseline solver differ only in this storage precision; in F3R the storage
+//! precision follows the innermost level, Table 1).  Solver levels, however,
+//! run in their own vector precisions, so [`AnyPrecond`] erases the storage
+//! precision behind an enum and converts vectors at the boundary, following
+//! the paper's rule of using the higher precision when operand precisions
+//! differ.
+//!
+//! To keep fp16 storage usable late in the convergence history (when residual
+//! entries can drop below the fp16 normal range ≈ 6·10⁻⁵), the input vector is
+//! normalised by its infinity norm before conversion and the result is scaled
+//! back afterwards — the standard scaling safeguard of mixed-precision
+//! iterative refinement.
+
+use f3r_precision::{f16, KernelCounters, Precision, Scalar};
+use f3r_precision::traffic::TrafficModel;
+use f3r_sparse::blas1;
+use f3r_sparse::CsrMatrix;
+use f3r_precond::{build_preconditioner, PrecondKind, Preconditioner};
+
+/// A primary preconditioner stored in one of the three supported precisions.
+pub enum AnyPrecond {
+    /// Coefficients stored in fp64.
+    F64(Box<dyn Preconditioner<f64>>),
+    /// Coefficients stored in fp32.
+    F32(Box<dyn Preconditioner<f32>>),
+    /// Coefficients stored in fp16.
+    F16(Box<dyn Preconditioner<f16>>),
+}
+
+impl AnyPrecond {
+    /// Build the preconditioner `kind` for `a`, storing its coefficients in
+    /// `storage` precision (construction always happens in fp64).
+    #[must_use]
+    pub fn build(a: &CsrMatrix<f64>, kind: &PrecondKind, storage: Precision) -> Self {
+        match storage {
+            Precision::Fp64 => AnyPrecond::F64(build_preconditioner::<f64>(a, kind)),
+            Precision::Fp32 => AnyPrecond::F32(build_preconditioner::<f32>(a, kind)),
+            Precision::Fp16 => AnyPrecond::F16(build_preconditioner::<f16>(a, kind)),
+        }
+    }
+
+    /// Storage precision of the coefficients.
+    #[must_use]
+    pub fn storage_precision(&self) -> Precision {
+        match self {
+            AnyPrecond::F64(_) => Precision::Fp64,
+            AnyPrecond::F32(_) => Precision::Fp32,
+            AnyPrecond::F16(_) => Precision::Fp16,
+        }
+    }
+
+    /// Dimension of the operator.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            AnyPrecond::F64(p) => p.dim(),
+            AnyPrecond::F32(p) => p.dim(),
+            AnyPrecond::F16(p) => p.dim(),
+        }
+    }
+
+    /// Stored nonzeros (for the traffic model).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        match self {
+            AnyPrecond::F64(p) => p.nnz(),
+            AnyPrecond::F32(p) => p.nnz(),
+            AnyPrecond::F16(p) => p.nnz(),
+        }
+    }
+
+    /// Human-readable name of the underlying preconditioner.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            AnyPrecond::F64(p) => p.name(),
+            AnyPrecond::F32(p) => p.name(),
+            AnyPrecond::F16(p) => p.name(),
+        }
+    }
+
+    /// Apply `z = M r` with vectors in precision `TV`, recording the
+    /// application in `counters` (this is the Table 3 metric).
+    ///
+    /// When `TV` differs from the storage precision the vectors are converted
+    /// at the boundary with an infinity-norm scaling safeguard.
+    pub fn apply_to<TV: Scalar>(&self, r: &[TV], z: &mut [TV], counters: &KernelCounters) {
+        counters.record_precond_apply();
+        counters.record_spmv(
+            self.storage_precision(),
+            TrafficModel::sparse_precond_bytes(self.nnz(), r.len(), self.storage_precision(), TV::PRECISION),
+        );
+        match self {
+            AnyPrecond::F64(p) => apply_converted(p.as_ref(), r, z),
+            AnyPrecond::F32(p) => apply_converted(p.as_ref(), r, z),
+            AnyPrecond::F16(p) => apply_converted(p.as_ref(), r, z),
+        }
+    }
+}
+
+/// Apply a preconditioner stored in precision `TS` to vectors in precision
+/// `TV`, converting (with norm scaling) at the boundary.
+fn apply_converted<TS: Scalar, TV: Scalar>(p: &dyn Preconditioner<TS>, r: &[TV], z: &mut [TV]) {
+    if TS::PRECISION == TV::PRECISION {
+        // Same precision: converting through f64 is lossless; this branch only
+        // pays a copy instead of the scaling safeguard.
+        let r_s: Vec<TS> = r.iter().map(|v| TS::from_f64(v.to_f64())).collect();
+        let mut z_s = vec![TS::zero(); z.len()];
+        p.apply(&r_s, &mut z_s);
+        for (zo, zi) in z.iter_mut().zip(z_s.iter()) {
+            *zo = TV::from_f64(zi.to_f64());
+        }
+        return;
+    }
+    let scale = blas1::norm_inf(r);
+    if scale == 0.0 {
+        for zo in z.iter_mut() {
+            *zo = TV::zero();
+        }
+        return;
+    }
+    let inv = 1.0 / scale;
+    let r_s: Vec<TS> = r.iter().map(|v| TS::from_f64(v.to_f64() * inv)).collect();
+    let mut z_s = vec![TS::zero(); z.len()];
+    p.apply(&r_s, &mut z_s);
+    for (zo, zi) in z.iter_mut().zip(z_s.iter()) {
+        *zo = TV::from_f64(zi.to_f64() * scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_sparse::gen::laplacian::poisson2d_5pt;
+    use f3r_sparse::scaling::jacobi_scale;
+
+    fn setup(storage: Precision) -> (CsrMatrix<f64>, AnyPrecond) {
+        let a = jacobi_scale(&poisson2d_5pt(8, 8));
+        let p = AnyPrecond::build(&a, &PrecondKind::Ilu0 { alpha: 1.0 }, storage);
+        (a, p)
+    }
+
+    #[test]
+    fn storage_precision_is_respected() {
+        for prec in Precision::all() {
+            let (_, p) = setup(prec);
+            assert_eq!(p.storage_precision(), prec);
+            assert_eq!(p.dim(), 64);
+            assert!(p.nnz() > 0);
+            assert!(p.name().contains("ILU"));
+        }
+    }
+
+    #[test]
+    fn fp16_storage_applied_to_f64_vectors_tracks_fp64_result() {
+        let counters = KernelCounters::new_shared();
+        let (_, p64) = setup(Precision::Fp64);
+        let (_, p16) = setup(Precision::Fp16);
+        let n = p64.dim();
+        let r: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 / 7.0).collect();
+        let mut z64 = vec![0.0f64; n];
+        let mut z16 = vec![0.0f64; n];
+        p64.apply_to(&r, &mut z64, &counters);
+        p16.apply_to(&r, &mut z16, &counters);
+        for i in 0..n {
+            assert!((z64[i] - z16[i]).abs() < 2e-2 * z64[i].abs().max(1.0));
+        }
+        assert_eq!(counters.snapshot().precond_applies, 2);
+    }
+
+    #[test]
+    fn tiny_residuals_do_not_underflow_in_fp16_storage() {
+        // Residual entries far below the fp16 normal range must still produce
+        // a usefully scaled correction thanks to the norm safeguard.
+        let counters = KernelCounters::new_shared();
+        let (_, p16) = setup(Precision::Fp16);
+        let n = p16.dim();
+        let r: Vec<f64> = (0..n).map(|i| 1e-9 * (1.0 + (i % 5) as f64)).collect();
+        let mut z = vec![0.0f64; n];
+        p16.apply_to(&r, &mut z, &counters);
+        let znorm = blas1::norm2(&z);
+        assert!(znorm > 1e-10, "correction collapsed to {znorm}");
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let counters = KernelCounters::new_shared();
+        let (_, p16) = setup(Precision::Fp16);
+        let n = p16.dim();
+        let r = vec![0.0f64; n];
+        let mut z = vec![1.0f64; n];
+        p16.apply_to(&r, &mut z, &counters);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+}

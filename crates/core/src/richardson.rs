@@ -1,0 +1,378 @@
+//! The innermost Richardson solver with adaptive weight updating
+//! (Algorithm 1 of the paper).
+//!
+//! The Richardson level receives a vector `v` from its parent FGMRES level and
+//! performs `m4` sweeps of
+//!
+//! ```text
+//! z_k = z_{k-1} + ω_k · M (v − A z_{k-1})
+//! ```
+//!
+//! starting from `z_0 = 0`, where `M` is the primary preconditioner.  The
+//! weight ω_k is adapted across invocations: every `c` calls the locally
+//! optimal weight `ω'_k = (r, AMr)/(AMr, AMr)` is computed (in fp32) and folded
+//! into the running average of Eq. 5; other calls reuse the averaged weight.
+//! The weights are global state that persists across invocations because the
+//! optimal weight depends on the preconditioned operator, not on the
+//! right-hand side (Section 4.3).
+
+use std::sync::Arc;
+
+use f3r_precision::traffic::TrafficModel;
+use f3r_precision::{KernelCounters, Precision, Scalar};
+use f3r_sparse::blas1;
+
+use crate::inner::InnerSolver;
+use crate::operator::ProblemMatrix;
+use crate::precond_any::AnyPrecond;
+
+/// How the Richardson weight is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightStrategy {
+    /// Adaptive updating (Algorithm 1) with update cycle `c` (the paper's
+    /// default is `c = 64`).
+    Adaptive {
+        /// Number of Richardson invocations between ω′ recomputations.
+        cycle: usize,
+    },
+    /// A fixed, manually chosen weight (the static comparison of Figure 6).
+    Fixed(f64),
+}
+
+impl Default for WeightStrategy {
+    fn default() -> Self {
+        WeightStrategy::Adaptive { cycle: 64 }
+    }
+}
+
+/// The Richardson inner solver (`R^{m4}` in the tuple notation), working in
+/// precision `T` with the matrix copy stored in `mat_prec`.
+pub struct RichardsonLevel<T: Scalar> {
+    matrix: Arc<ProblemMatrix>,
+    mat_prec: Precision,
+    m: usize,
+    precond: Arc<AnyPrecond>,
+    strategy: WeightStrategy,
+    /// Per-iteration weights ω_1 … ω_m (Algorithm 1 keeps one per k).
+    weights: Vec<f64>,
+    /// Invocation counter (`cntr` in Algorithm 1).
+    call_count: u64,
+    depth: usize,
+    counters: Arc<KernelCounters>,
+    // workspace
+    r: Vec<T>,
+    mr: Vec<T>,
+    amr: Vec<T>,
+}
+
+impl<T: Scalar> RichardsonLevel<T> {
+    /// Create a Richardson level of `m` sweeps per invocation.
+    #[must_use]
+    pub fn new(
+        matrix: Arc<ProblemMatrix>,
+        mat_prec: Precision,
+        m: usize,
+        precond: Arc<AnyPrecond>,
+        strategy: WeightStrategy,
+        depth: usize,
+        counters: Arc<KernelCounters>,
+    ) -> Self {
+        let n = matrix.dim();
+        assert!(m >= 1, "Richardson needs at least one sweep");
+        Self {
+            matrix,
+            mat_prec,
+            m,
+            precond,
+            strategy,
+            weights: vec![1.0; m],
+            call_count: 0,
+            depth,
+            counters,
+            r: vec![T::zero(); n],
+            mr: vec![T::zero(); n],
+            amr: vec![T::zero(); n],
+        }
+    }
+
+    /// The weights currently in use (exposed for tests and diagnostics).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of times this level has been invoked.
+    #[must_use]
+    pub fn call_count(&self) -> u64 {
+        self.call_count
+    }
+
+    /// Whether this invocation recomputes ω′ (line 7 of Algorithm 1).
+    fn is_update_call(&self) -> bool {
+        match self.strategy {
+            WeightStrategy::Adaptive { cycle } => {
+                let c = cycle.max(1) as u64;
+                self.call_count % c == 0
+            }
+            WeightStrategy::Fixed(_) => false,
+        }
+    }
+}
+
+impl<T: Scalar> InnerSolver<T> for RichardsonLevel<T> {
+    fn apply(&mut self, v: &[T], z: &mut [T]) {
+        let n = self.matrix.dim();
+        assert_eq!(v.len(), n, "richardson: v length mismatch");
+        assert_eq!(z.len(), n, "richardson: z length mismatch");
+        let update_call = self.is_update_call();
+        // l in Algorithm 1: the number of completed update cycles.
+        let update_count = match self.strategy {
+            WeightStrategy::Adaptive { cycle } => self.call_count / cycle.max(1) as u64,
+            WeightStrategy::Fixed(_) => 0,
+        };
+
+        for zi in z.iter_mut() {
+            *zi = T::zero();
+        }
+        for k in 0..self.m {
+            // r_{k-1} = v - A z_{k-1}; for k = 0 this is just v (z = 0).
+            if k == 0 {
+                self.r.copy_from_slice(v);
+            } else {
+                let mut r = std::mem::take(&mut self.r);
+                self.matrix.residual(self.mat_prec, z, v, &mut r, &self.counters);
+                self.r = r;
+            }
+            // M r_{k-1}
+            let mut mr = std::mem::take(&mut self.mr);
+            self.precond.apply_to(&self.r, &mut mr, &self.counters);
+            self.mr = mr;
+
+            let omega = if update_call {
+                // ω'_k = (r, AMr) / (AMr, AMr), computed in fp32 precision or
+                // better (the dots below accumulate in T::Accum ≥ fp32).
+                let mut amr = std::mem::take(&mut self.amr);
+                self.matrix.apply(self.mat_prec, &self.mr, &mut amr, &self.counters);
+                self.amr = amr;
+                let num = blas1::dot(&self.r, &self.amr);
+                let den = blas1::dot(&self.amr, &self.amr);
+                self.counters.record_blas1(
+                    T::PRECISION,
+                    TrafficModel::blas1_bytes(n, 4, 0, T::PRECISION),
+                );
+                self.counters.record_weight_update();
+                let omega_opt = if den > 0.0 { num / den } else { 1.0 };
+                // Fold into the running average (Eq. 5); the step itself uses
+                // ω′ because it minimises the residual at this step.
+                let l = update_count as f64;
+                if let WeightStrategy::Adaptive { .. } = self.strategy {
+                    self.weights[k] = (l * self.weights[k] + omega_opt) / (l + 1.0);
+                }
+                omega_opt
+            } else {
+                match self.strategy {
+                    WeightStrategy::Adaptive { .. } => self.weights[k],
+                    WeightStrategy::Fixed(w) => w,
+                }
+            };
+
+            // z_k = z_{k-1} + ω · M r_{k-1}
+            blas1::axpy(omega, &self.mr, z);
+            self.counters.record_blas1(
+                T::PRECISION,
+                TrafficModel::blas1_bytes(n, 2, 1, T::PRECISION),
+            );
+        }
+        self.counters.record_level_iterations(self.depth, self.m as u64);
+        self.call_count += 1;
+    }
+
+    fn name(&self) -> String {
+        let strat = match self.strategy {
+            WeightStrategy::Adaptive { cycle } => format!("adaptive c={cycle}"),
+            WeightStrategy::Fixed(w) => format!("fixed ω={w}"),
+        };
+        format!("R{}(A:{}, v:{}, {})", self.m, self.mat_prec, T::name(), strat)
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_precision::f16;
+    use f3r_precond::PrecondKind;
+    use f3r_sparse::gen::laplacian::poisson2d_5pt;
+    use f3r_sparse::scaling::jacobi_scale;
+
+    fn setup(
+        storage: Precision,
+    ) -> (Arc<ProblemMatrix>, Arc<AnyPrecond>, Arc<KernelCounters>) {
+        let a = jacobi_scale(&poisson2d_5pt(10, 10));
+        let counters = KernelCounters::new_shared();
+        let m = Arc::new(AnyPrecond::build(&a, &PrecondKind::Ilu0 { alpha: 1.0 }, storage));
+        (Arc::new(ProblemMatrix::from_csr(a)), m, counters)
+    }
+
+    fn residual_after<T: Scalar>(level: &mut RichardsonLevel<T>, pm: &ProblemMatrix, v: &[f64]) -> f64 {
+        let n = pm.dim();
+        let vt: Vec<T> = v.iter().map(|&x| T::from_f64(x)).collect();
+        let mut z = vec![T::zero(); n];
+        level.apply(&vt, &mut z);
+        let z64: Vec<f64> = z.iter().map(|x| x.to_f64()).collect();
+        pm.true_relative_residual(&z64, v)
+    }
+
+    #[test]
+    fn two_sweeps_reduce_the_residual() {
+        let (pm, m, counters) = setup(Precision::Fp64);
+        let n = pm.dim();
+        let mut level = RichardsonLevel::<f64>::new(
+            Arc::clone(&pm),
+            Precision::Fp64,
+            2,
+            m,
+            WeightStrategy::Adaptive { cycle: 64 },
+            4,
+            counters,
+        );
+        let v: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) / 7.0).collect();
+        let res = residual_after(&mut level, &pm, &v);
+        assert!(res < 0.6, "Richardson(2) should clearly reduce the residual, got {res}");
+    }
+
+    #[test]
+    fn first_call_computes_optimal_weight_and_updates_average() {
+        let (pm, m, counters) = setup(Precision::Fp64);
+        let n = pm.dim();
+        let mut level = RichardsonLevel::<f64>::new(
+            Arc::clone(&pm),
+            Precision::Fp64,
+            2,
+            m,
+            WeightStrategy::Adaptive { cycle: 4 },
+            4,
+            Arc::clone(&counters),
+        );
+        assert_eq!(level.weights(), &[1.0, 1.0]);
+        let v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut z = vec![0.0f64; n];
+        level.apply(&v, &mut z);
+        // call 0 is an update call: weights move away from the initial 1.0
+        assert!(level.weights().iter().any(|&w| (w - 1.0).abs() > 1e-6));
+        assert_eq!(level.call_count(), 1);
+        assert_eq!(counters.snapshot().weight_updates, 2); // one per sweep
+        // calls 1..3 are not update calls
+        let before = level.weights().to_vec();
+        level.apply(&v, &mut z);
+        assert_eq!(level.weights(), &before[..]);
+        assert_eq!(counters.snapshot().weight_updates, 2);
+        // call 4 updates again
+        level.apply(&v, &mut z);
+        level.apply(&v, &mut z);
+        level.apply(&v, &mut z);
+        assert_eq!(counters.snapshot().weight_updates, 4);
+    }
+
+    #[test]
+    fn fixed_weight_never_updates() {
+        let (pm, m, counters) = setup(Precision::Fp64);
+        let n = pm.dim();
+        let mut level = RichardsonLevel::<f64>::new(
+            Arc::clone(&pm),
+            Precision::Fp64,
+            2,
+            m,
+            WeightStrategy::Fixed(0.9),
+            4,
+            Arc::clone(&counters),
+        );
+        let v = vec![1.0f64; n];
+        let mut z = vec![0.0f64; n];
+        for _ in 0..5 {
+            level.apply(&v, &mut z);
+        }
+        assert_eq!(counters.snapshot().weight_updates, 0);
+        assert_eq!(level.weights(), &[1.0, 1.0]); // untouched
+    }
+
+    #[test]
+    fn adaptive_beats_badly_chosen_fixed_weight() {
+        let (pm, m, counters) = setup(Precision::Fp64);
+        let n = pm.dim();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 13 % 23) as f64) / 23.0).collect();
+        let mut adaptive = RichardsonLevel::<f64>::new(
+            Arc::clone(&pm),
+            Precision::Fp64,
+            2,
+            Arc::clone(&m),
+            WeightStrategy::Adaptive { cycle: 1 },
+            4,
+            Arc::clone(&counters),
+        );
+        let mut bad_fixed = RichardsonLevel::<f64>::new(
+            Arc::clone(&pm),
+            Precision::Fp64,
+            2,
+            m,
+            WeightStrategy::Fixed(1.9),
+            4,
+            counters,
+        );
+        let res_adaptive = residual_after(&mut adaptive, &pm, &v);
+        let res_fixed = residual_after(&mut bad_fixed, &pm, &v);
+        assert!(res_adaptive < res_fixed, "{res_adaptive} !< {res_fixed}");
+    }
+
+    #[test]
+    fn fp16_richardson_with_fp16_preconditioner_is_effective() {
+        // The innermost configuration of fp16-F3R (Table 1, R^{m4} row).
+        let (pm, _m64, counters) = setup(Precision::Fp64);
+        let a16_precond = {
+            let a = jacobi_scale(&poisson2d_5pt(10, 10));
+            Arc::new(AnyPrecond::build(&a, &PrecondKind::Ilu0 { alpha: 1.0 }, Precision::Fp16))
+        };
+        let n = pm.dim();
+        let mut level = RichardsonLevel::<f16>::new(
+            Arc::clone(&pm),
+            Precision::Fp16,
+            2,
+            a16_precond,
+            WeightStrategy::Adaptive { cycle: 64 },
+            4,
+            counters,
+        );
+        let v: Vec<f64> = (0..n).map(|i| ((i % 9) as f64 - 4.0) / 9.0).collect();
+        let res = residual_after(&mut level, &pm, &v);
+        assert!(res.is_finite());
+        assert!(res < 0.7, "fp16 Richardson(2) residual {res}");
+    }
+
+    #[test]
+    fn single_sweep_equals_weighted_preconditioner() {
+        // m4 = 1 with weight 1.0 must coincide with a single M application
+        // (the degenerate case discussed in Section 6.1).
+        let (pm, m, counters) = setup(Precision::Fp64);
+        let n = pm.dim();
+        let mut level = RichardsonLevel::<f64>::new(
+            Arc::clone(&pm),
+            Precision::Fp64,
+            1,
+            Arc::clone(&m),
+            WeightStrategy::Fixed(1.0),
+            4,
+            Arc::clone(&counters),
+        );
+        let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let mut z = vec![0.0f64; n];
+        level.apply(&v, &mut z);
+        let mut z_direct = vec![0.0f64; n];
+        m.apply_to(&v, &mut z_direct, &counters);
+        for i in 0..n {
+            assert!((z[i] - z_direct[i]).abs() < 1e-14);
+        }
+    }
+}

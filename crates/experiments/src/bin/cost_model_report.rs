@@ -1,0 +1,17 @@
+//! Regenerate the Section 4.1 memory-access model study (Eqs. 1-3).
+
+use f3r_experiments::cost_model_exp;
+use f3r_experiments::output_dir;
+
+fn main() {
+    let summary = cost_model_exp::summary_table();
+    let split = cost_model_exp::split_table(64);
+    let solvers = cost_model_exp::solver_traffic_table(27.0);
+    println!("{}", summary.to_text());
+    println!("{}", solvers.to_text());
+    println!("{}", split.to_text());
+    summary.write_to(&output_dir(), "cost_model_summary").expect("write report");
+    solvers.write_to(&output_dir(), "cost_model_solver_traffic").expect("write report");
+    let path = split.write_to(&output_dir(), "cost_model_split").expect("write report");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 1: relative performance on the CPU-node configuration.
+
+use f3r_experiments::{fig1, output_dir, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let (sym, nonsym) = fig1::run(scale, None);
+    let (ta, tb) = fig1::tables(&sym, &nonsym);
+    println!("{}", ta.to_text());
+    println!("{}", tb.to_text());
+    ta.write_to(&output_dir(), "fig1a_cpu_symmetric").expect("write report");
+    let path = tb.write_to(&output_dir(), "fig1b_cpu_nonsymmetric").expect("write report");
+    eprintln!("wrote reports next to {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 2: relative performance on the GPU-node configuration
+//! (SD-AINV + sliced ELLPACK).
+
+use f3r_experiments::{fig2, output_dir, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let (sym, nonsym) = fig2::run(scale, None);
+    let (ta, tb) = fig2::tables(&sym, &nonsym);
+    println!("{}", ta.to_text());
+    println!("{}", tb.to_text());
+    ta.write_to(&output_dir(), "fig2a_gpu_symmetric").expect("write report");
+    let path = tb.write_to(&output_dir(), "fig2b_gpu_nonsymmetric").expect("write report");
+    eprintln!("wrote reports next to {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 3: the effect of the inner iteration counts m2, m3, m4.
+
+use f3r_experiments::{fig3, output_dir, NodeConfig, RunBudget, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let points = fig3::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let raw = fig3::points_table(&points);
+    let summary = fig3::summary_table(&points);
+    println!("{}", summary.to_text());
+    println!("{}", raw.to_text());
+    raw.write_to(&output_dir(), "fig3_inner_iterations_points").expect("write report");
+    let path = summary.write_to(&output_dir(), "fig3_inner_iterations_summary").expect("write report");
+    eprintln!("wrote {}", path.display());
+}

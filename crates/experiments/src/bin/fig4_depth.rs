@@ -1,0 +1,12 @@
+//! Regenerate Figure 4: the nesting-depth study (F2, fp16-F2, F3, fp16-F3, F4).
+
+use f3r_experiments::{fig4, output_dir, NodeConfig, RunBudget, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let points = fig4::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let table = fig4::to_table(&points);
+    println!("{}", table.to_text());
+    let path = table.write_to(&output_dir(), "fig4_nesting_depth").expect("write report");
+    eprintln!("wrote {}", path.display());
+}

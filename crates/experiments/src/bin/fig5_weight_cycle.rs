@@ -1,0 +1,12 @@
+//! Regenerate Figure 5: the adaptive weight-update cycle sweep.
+
+use f3r_experiments::{fig5, output_dir, NodeConfig, RunBudget, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let points = fig5::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let table = fig5::to_table(&points);
+    println!("{}", table.to_text());
+    let path = table.write_to(&output_dir(), "fig5_weight_cycle").expect("write report");
+    eprintln!("wrote {}", path.display());
+}

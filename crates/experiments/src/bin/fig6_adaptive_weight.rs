@@ -1,0 +1,12 @@
+//! Regenerate Figure 6: adaptive weight updating vs fixed weights.
+
+use f3r_experiments::{fig6, output_dir, NodeConfig, RunBudget, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let points = fig6::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let table = fig6::to_table(&points);
+    println!("{}", table.to_text());
+    let path = table.write_to(&output_dir(), "fig6_adaptive_weight").expect("write report");
+    eprintln!("wrote {}", path.display());
+}

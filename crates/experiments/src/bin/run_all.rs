@@ -1,0 +1,63 @@
+//! Run every experiment of the reproduction in sequence (Table 2, Figures
+//! 1-6, Table 3, and the Section 4.1 cost-model study), writing all reports
+//! under `target/experiments/`.
+
+use f3r_experiments::*;
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let dir = output_dir();
+    eprintln!("running all experiments at {scale:?} scale; reports -> {}", dir.display());
+
+    let t2 = table2::run(scale);
+    println!("{}", t2.to_text());
+    t2.write_to(&dir, "table2_suite").expect("write");
+
+    let cm = cost_model_exp::summary_table();
+    println!("{}", cm.to_text());
+    cm.write_to(&dir, "cost_model_summary").expect("write");
+    cost_model_exp::split_table(64).write_to(&dir, "cost_model_split").expect("write");
+    cost_model_exp::solver_traffic_table(27.0).write_to(&dir, "cost_model_solver_traffic").expect("write");
+
+    let (sym, nonsym) = fig1::run(scale, None);
+    let (f1a, f1b) = fig1::tables(&sym, &nonsym);
+    println!("{}", f1a.to_text());
+    println!("{}", f1b.to_text());
+    f1a.write_to(&dir, "fig1a_cpu_symmetric").expect("write");
+    f1b.write_to(&dir, "fig1b_cpu_nonsymmetric").expect("write");
+
+    let (gsym, gnonsym) = fig2::run(scale, None);
+    let (f2a, f2b) = fig2::tables(&gsym, &gnonsym);
+    println!("{}", f2a.to_text());
+    println!("{}", f2b.to_text());
+    f2a.write_to(&dir, "fig2a_gpu_symmetric").expect("write");
+    f2b.write_to(&dir, "fig2b_gpu_nonsymmetric").expect("write");
+
+    let rows = table3::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let t3 = table3::to_table(&rows);
+    println!("{}", t3.to_text());
+    t3.write_to(&dir, "table3_precond_counts").expect("write");
+
+    let p3 = fig3::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    fig3::points_table(&p3).write_to(&dir, "fig3_inner_iterations_points").expect("write");
+    let s3 = fig3::summary_table(&p3);
+    println!("{}", s3.to_text());
+    s3.write_to(&dir, "fig3_inner_iterations_summary").expect("write");
+
+    let p4 = fig4::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let t4 = fig4::to_table(&p4);
+    println!("{}", t4.to_text());
+    t4.write_to(&dir, "fig4_nesting_depth").expect("write");
+
+    let p5 = fig5::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let t5 = fig5::to_table(&p5);
+    println!("{}", t5.to_text());
+    t5.write_to(&dir, "fig5_weight_cycle").expect("write");
+
+    let p6 = fig6::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let t6 = fig6::to_table(&p6);
+    println!("{}", t6.to_text());
+    t6.write_to(&dir, "fig6_adaptive_weight").expect("write");
+
+    eprintln!("all experiment reports written to {}", dir.display());
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table 2: the test-matrix suite and its statistics.
+
+use f3r_experiments::{output_dir, table2, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let table = table2::run(scale);
+    println!("{}", table.to_text());
+    let path = table.write_to(&output_dir(), "table2_suite").expect("write report");
+    eprintln!("wrote {}", path.display());
+}

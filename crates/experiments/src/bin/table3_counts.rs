@@ -1,0 +1,12 @@
+//! Regenerate Table 3: preconditioner-invocation counts until convergence.
+
+use f3r_experiments::{output_dir, table3, NodeConfig, RunBudget, SuiteScale};
+
+fn main() {
+    let scale = SuiteScale::from_env();
+    let rows = table3::run(scale, NodeConfig::cpu_default(), &RunBudget::default());
+    let table = table3::to_table(&rows);
+    println!("{}", table.to_text());
+    let path = table.write_to(&output_dir(), "table3_precond_counts").expect("write report");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,140 @@
+//! Reproduction of the Section 4.1 memory-access model study (Eqs. 1–3 and
+//! the worked example that motivates F3R's structure).
+
+use f3r_core::cost_model::{best_split, eq123, spec_traffic_per_outer_iteration, RowCosts};
+use f3r_core::prelude::*;
+
+use crate::report::Table;
+
+/// The Eq. 2 split study: modeled traffic of `(F^m̄, F^{m/m̄}, M)` for every
+/// integer `m̄`, with the paper's `cA = cM = 45`, `m = 64` example.
+#[must_use]
+pub fn split_table(m: usize) -> Table {
+    let costs = RowCosts::paper_example();
+    let reference = eq123(costs, m, 1).reference_fgmres;
+    let mut t = Table::new(
+        &format!("Section 4.1 — two-level split of FGMRES({m}) with cA = cM = 45 (words/row)"),
+        &["m_outer", "m_inner", "nested traffic", "reference traffic", "ratio"],
+    );
+    for m_outer in 1..=m {
+        let m_inner = m as f64 / m_outer as f64;
+        let nested = f3r_precision::traffic::nested_fgmres_fgmres_traffic(
+            costs.c_a, costs.c_m, m_outer as f64, m_inner,
+        );
+        t.push_row(vec![
+            m_outer.to_string(),
+            format!("{m_inner:.2}"),
+            format!("{nested:.1}"),
+            format!("{reference:.1}"),
+            format!("{:.3}", nested / reference),
+        ]);
+    }
+    t
+}
+
+/// The headline numbers of the worked example plus the Eq. 3 comparison at
+/// the F3R operating point `(m̄, m̿) = (4, 2)`.
+#[must_use]
+pub fn summary_table() -> Table {
+    let costs = RowCosts::paper_example();
+    let best = best_split(costs, 64);
+    let small = eq123(costs, 4, 2);
+    let mut t = Table::new(
+        "Section 4.1 — model summary (cA = cM = 45)",
+        &["quantity", "value (words/row)"],
+    );
+    t.push_row(vec![
+        "O(F^64, M) reference".into(),
+        format!("{:.1}", best.reference_traffic),
+    ]);
+    t.push_row(vec![
+        format!("best two-level split m_outer = {}", best.m_outer),
+        format!("{:.1}", best.nested_traffic),
+    ]);
+    t.push_row(vec!["O(F^8, M)".into(), format!("{:.1}", small.reference_fgmres)]);
+    t.push_row(vec![
+        "O(F^4, F^2, M) (Eq. 2, small m: worse)".into(),
+        format!("{:.1}", small.nested_fgmres),
+    ]);
+    t.push_row(vec![
+        "O(F^4, R^2, M) (Eq. 3: better)".into(),
+        format!("{:.1}", small.nested_richardson),
+    ]);
+    t
+}
+
+/// Modeled per-outer-iteration traffic of the three F3R schemes and the
+/// Table 4 variants, for a matrix with the given density.
+#[must_use]
+pub fn solver_traffic_table(nnz_per_row: f64) -> Table {
+    let settings = SolverSettings::default();
+    let specs = vec![
+        f3r_spec(F3rParams::default(), F3rScheme::Fp64, &settings),
+        f3r_spec(F3rParams::default(), F3rScheme::Fp32, &settings),
+        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
+        f2_spec(&settings),
+        fp16_f2_spec(&settings),
+        f3_spec(&settings),
+        fp16_f3_spec(&settings),
+        f4_spec(&settings),
+    ];
+    let mut t = Table::new(
+        &format!("Modeled traffic per outermost iteration (nnz/row = {nnz_per_row})"),
+        &["solver", "tuple", "words/row per outer iteration", "vs fp64-F3R"],
+    );
+    let base = spec_traffic_per_outer_iteration(&specs[0], nnz_per_row, nnz_per_row);
+    for spec in &specs {
+        let traffic = spec_traffic_per_outer_iteration(spec, nnz_per_row, nnz_per_row);
+        t.push_row(vec![
+            spec.name.clone(),
+            spec.tuple_notation(),
+            format!("{traffic:.1}"),
+            format!("{:.2}x", base / traffic),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_table_minimum_is_at_10() {
+        let t = split_table(64);
+        assert_eq!(t.n_rows(), 64);
+        let csv = t.to_csv();
+        // the m_outer = 10 row must have the smallest ratio column
+        let mut best_row = String::new();
+        let mut best_ratio = f64::INFINITY;
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let ratio: f64 = cells[4].parse().unwrap();
+            if ratio < best_ratio {
+                best_ratio = ratio;
+                best_row = cells[0].to_string();
+            }
+        }
+        assert_eq!(best_row, "10");
+        assert!(best_ratio < 1.0);
+    }
+
+    #[test]
+    fn summary_and_solver_tables_render() {
+        let s = summary_table();
+        assert_eq!(s.n_rows(), 5);
+        let t = solver_traffic_table(27.0);
+        assert_eq!(t.n_rows(), 8);
+        // fp16-F3R must show a > 1x traffic advantage over fp64-F3R.
+        let csv = t.to_csv();
+        let fp16_row = csv.lines().find(|l| l.starts_with("fp16-F3R,")).unwrap();
+        let factor: f64 = fp16_row
+            .rsplit(',')
+            .next()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(factor > 1.2, "fp16-F3R modeled advantage {factor}");
+    }
+}

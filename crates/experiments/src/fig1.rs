@@ -1,0 +1,62 @@
+//! Figure 1 reproduction: relative performance on the CPU-node configuration
+//! (block-Jacobi ILU(0)/IC(0), CSR SpMV).
+
+use crate::relative::{run_problem, to_table, ProblemResults, RelativeOptions};
+use crate::report::Table;
+use crate::runner::NodeConfig;
+use crate::suite::{nonsymmetric_suite, symmetric_suite, SuiteScale};
+
+/// Run the Figure 1 experiment (both panels) at the given scale.
+#[must_use]
+pub fn run(scale: SuiteScale, opts: Option<RelativeOptions>) -> (Vec<ProblemResults>, Vec<ProblemResults>) {
+    let opts = opts.unwrap_or_else(|| RelativeOptions::for_node(NodeConfig::cpu_default()));
+    let sym: Vec<ProblemResults> = symmetric_suite(scale)
+        .iter()
+        .map(|p| run_problem(p, &opts))
+        .collect();
+    let nonsym: Vec<ProblemResults> = nonsymmetric_suite(scale)
+        .iter()
+        .map(|p| run_problem(p, &opts))
+        .collect();
+    (sym, nonsym)
+}
+
+/// Render the two panels of Figure 1 as tables.
+#[must_use]
+pub fn tables(sym: &[ProblemResults], nonsym: &[ProblemResults]) -> (Table, Table) {
+    (
+        to_table(
+            "Figure 1a — CPU node, symmetric matrices: speedup over fp64-F3R",
+            sym,
+        ),
+        to_table(
+            "Figure 1b — CPU node, nonsymmetric matrices: speedup over fp64-F3R",
+            nonsym,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunBudget;
+
+    #[test]
+    fn single_problem_smoke() {
+        // Full Figure 1 is exercised by the experiment binary; here just one
+        // symmetric problem without the best-parameter search.
+        let opts = RelativeOptions {
+            node: NodeConfig::Cpu { blocks: 4 },
+            budget: RunBudget {
+                max_baseline_iterations: 3000,
+                ..RunBudget::default()
+            },
+            repeats: 1,
+            include_best: false,
+        };
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let pr = run_problem(&probs[2], &opts);
+        let (t, _) = tables(std::slice::from_ref(&pr), &[]);
+        assert!(t.to_text().contains("fp16-F3R"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 2 reproduction: relative performance on the GPU-node configuration
+//! (SD-AINV preconditioner, sliced-ELLPACK SpMV with chunk 32).
+
+use crate::relative::{run_problem, to_table, ProblemResults, RelativeOptions};
+use crate::report::Table;
+use crate::runner::NodeConfig;
+use crate::suite::{nonsymmetric_suite, symmetric_suite, SuiteScale};
+
+/// Run the Figure 2 experiment (both panels) at the given scale.
+#[must_use]
+pub fn run(scale: SuiteScale, opts: Option<RelativeOptions>) -> (Vec<ProblemResults>, Vec<ProblemResults>) {
+    let opts = opts.unwrap_or_else(|| RelativeOptions::for_node(NodeConfig::gpu_default()));
+    let sym: Vec<ProblemResults> = symmetric_suite(scale)
+        .iter()
+        .map(|p| run_problem(p, &opts))
+        .collect();
+    let nonsym: Vec<ProblemResults> = nonsymmetric_suite(scale)
+        .iter()
+        .map(|p| run_problem(p, &opts))
+        .collect();
+    (sym, nonsym)
+}
+
+/// Render the two panels of Figure 2 as tables.
+#[must_use]
+pub fn tables(sym: &[ProblemResults], nonsym: &[ProblemResults]) -> (Table, Table) {
+    (
+        to_table(
+            "Figure 2a — GPU-node configuration (SD-AINV + SELL), symmetric matrices: speedup over fp64-F3R",
+            sym,
+        ),
+        to_table(
+            "Figure 2b — GPU-node configuration (SD-AINV + SELL), nonsymmetric matrices: speedup over fp64-F3R",
+            nonsym,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunBudget;
+
+    #[test]
+    fn gpu_configuration_runs_on_one_problem() {
+        let opts = RelativeOptions {
+            node: NodeConfig::gpu_default(),
+            budget: RunBudget::default(),
+            repeats: 1,
+            include_best: false,
+        };
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let pr = run_problem(&probs[0], &opts);
+        assert!(pr.baseline.result.converged);
+        let (t, _) = tables(std::slice::from_ref(&pr), &[]);
+        assert!(t.to_text().contains("GPU-node"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Figure 3 reproduction: effect of the inner iteration counts `m2`, `m3`,
+//! `m4` on fp16-F3R, relative to the default `(8, 4, 2)`.
+
+use f3r_core::prelude::*;
+
+use crate::report::{fmt_ratio, Table};
+use crate::runner::{build_matrix, run_solver, NodeConfig, RunBudget, SolverKind};
+use crate::suite::{SuiteScale, TestProblem};
+use crate::sweep::{relative_point, summarize, sweep_problems, RelativePoint};
+
+/// The parameter values swept in Figure 3 (each varied one at a time around
+/// the default `(m2, m3, m4) = (8, 4, 2)`).
+#[must_use]
+pub fn swept_configs() -> Vec<(String, F3rParams)> {
+    let mut configs = Vec::new();
+    for m4 in [1usize, 3, 4] {
+        configs.push((format!("m4={m4}"), F3rParams::with_inner(8, 4, m4)));
+    }
+    for m3 in [2usize, 3, 5, 6] {
+        configs.push((format!("m3={m3}"), F3rParams::with_inner(8, m3, 2)));
+    }
+    for m2 in [6usize, 7, 9, 10] {
+        configs.push((format!("m2={m2}"), F3rParams::with_inner(m2, 4, 2)));
+    }
+    configs
+}
+
+/// Run the sweep on one problem, producing one point per swept configuration.
+#[must_use]
+pub fn run_problem(problem: &TestProblem, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    let matrix = build_matrix(problem, node);
+    let default = run_solver(
+        &matrix,
+        problem,
+        node,
+        budget,
+        &SolverKind::F3r {
+            scheme: F3rScheme::Fp16,
+            params: F3rParams::default(),
+        },
+        1,
+    );
+    swept_configs()
+        .iter()
+        .map(|(label, params)| {
+            let variant = run_solver(
+                &matrix,
+                problem,
+                node,
+                budget,
+                &SolverKind::F3r {
+                    scheme: F3rScheme::Fp16,
+                    params: *params,
+                },
+                1,
+            );
+            relative_point(label, &default, &variant)
+        })
+        .collect()
+}
+
+/// Run the sweep on the representative problem subset.
+#[must_use]
+pub fn run(scale: SuiteScale, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    sweep_problems(scale)
+        .iter()
+        .flat_map(|p| run_problem(p, node, budget))
+        .collect()
+}
+
+/// Per-point table (the raw scatter data of Figure 3).
+#[must_use]
+pub fn points_table(points: &[RelativePoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 3 — fp16-F3R with varied (m2, m3, m4), relative to the default (8, 4, 2)",
+        &["problem", "config", "rel convergence", "rel performance"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.problem.clone(),
+            p.config.clone(),
+            fmt_ratio(p.rel_convergence),
+            fmt_ratio(p.rel_performance),
+        ]);
+    }
+    t
+}
+
+/// Per-configuration five-number summary (the boxplots of Figure 3).
+#[must_use]
+pub fn summary_table(points: &[RelativePoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 3 — per-configuration summary (median [q1, q3]) of the relative axes",
+        &["config", "median rel conv", "median rel perf", "q1 perf", "q3 perf", "samples"],
+    );
+    let mut configs: Vec<String> = points.iter().map(|p| p.config.clone()).collect();
+    configs.dedup();
+    let mut seen = std::collections::BTreeSet::new();
+    for config in configs {
+        if !seen.insert(config.clone()) {
+            continue;
+        }
+        let conv: Vec<f64> = points
+            .iter()
+            .filter(|p| p.config == config)
+            .filter_map(|p| p.rel_convergence)
+            .collect();
+        let perf: Vec<f64> = points
+            .iter()
+            .filter(|p| p.config == config)
+            .filter_map(|p| p.rel_performance)
+            .collect();
+        let sc = summarize(&conv);
+        let sp = summarize(&perf);
+        t.push_row(vec![
+            config,
+            fmt_ratio(sc.map(|s| s.median)),
+            fmt_ratio(sp.map(|s| s.median)),
+            fmt_ratio(sp.map(|s| s.q1)),
+            fmt_ratio(sp.map(|s| s.q3)),
+            sp.map_or(0, |s| s.count).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::symmetric_suite;
+
+    #[test]
+    fn config_list_matches_paper_sweep() {
+        let configs = swept_configs();
+        assert_eq!(configs.len(), 11);
+        assert!(configs.iter().any(|(l, _)| l == "m4=1"));
+        assert!(configs.iter().any(|(l, _)| l == "m3=6"));
+        assert!(configs.iter().any(|(l, _)| l == "m2=10"));
+    }
+
+    #[test]
+    fn sweep_runs_on_one_problem() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let budget = RunBudget::default();
+        let points = run_problem(&probs[0], NodeConfig::Cpu { blocks: 4 }, &budget);
+        assert_eq!(points.len(), 11);
+        // the default configuration converges, so most variants should too
+        let converged = points.iter().filter(|p| p.rel_performance.is_some()).count();
+        assert!(converged >= 8, "only {converged}/11 variants produced a ratio");
+        let t = points_table(&points);
+        assert_eq!(t.n_rows(), 11);
+        let s = summary_table(&points);
+        assert!(s.n_rows() >= 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 4 / Table 4 reproduction: nesting depth study — F2, fp16-F2, F3,
+//! fp16-F3 and F4 relative to fp16-F3R with the default setting.
+
+use f3r_core::prelude::*;
+
+use crate::report::{fmt_ratio, Table};
+use crate::runner::{build_matrix, run_solver, NodeConfig, RunBudget, SolverKind, VariantKind};
+use crate::suite::{SuiteScale, TestProblem};
+use crate::sweep::{relative_point, sweep_problems, RelativePoint};
+
+/// The Table 4 reference solvers, in presentation order.
+#[must_use]
+pub fn variants() -> Vec<(String, VariantKind)> {
+    vec![
+        ("F2".into(), VariantKind::F2),
+        ("fp16-F2".into(), VariantKind::Fp16F2),
+        ("F3".into(), VariantKind::F3),
+        ("fp16-F3".into(), VariantKind::Fp16F3),
+        ("F4".into(), VariantKind::F4),
+    ]
+}
+
+/// Run the depth study on one problem.
+#[must_use]
+pub fn run_problem(problem: &TestProblem, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    let matrix = build_matrix(problem, node);
+    let default = run_solver(
+        &matrix,
+        problem,
+        node,
+        budget,
+        &SolverKind::F3r {
+            scheme: F3rScheme::Fp16,
+            params: F3rParams::default(),
+        },
+        1,
+    );
+    variants()
+        .iter()
+        .map(|(label, kind)| {
+            let variant = run_solver(&matrix, problem, node, budget, &SolverKind::Variant(*kind), 1);
+            relative_point(label, &default, &variant)
+        })
+        .collect()
+}
+
+/// Run the depth study on the representative problem subset.
+#[must_use]
+pub fn run(scale: SuiteScale, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    sweep_problems(scale)
+        .iter()
+        .flat_map(|p| run_problem(p, node, budget))
+        .collect()
+}
+
+/// Render the Figure 4 scatter data as a table.
+#[must_use]
+pub fn to_table(points: &[RelativePoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 4 — nesting depth: F2/fp16-F2/F3/fp16-F3/F4 relative to fp16-F3R",
+        &["problem", "solver", "rel convergence", "rel performance"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.problem.clone(),
+            p.config.clone(),
+            fmt_ratio(p.rel_convergence),
+            fmt_ratio(p.rel_performance),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::symmetric_suite;
+
+    #[test]
+    fn depth_study_runs_on_one_problem() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let budget = RunBudget::default();
+        let points = run_problem(&probs[0], NodeConfig::Cpu { blocks: 4 }, &budget);
+        assert_eq!(points.len(), 5);
+        // F4 replaces Richardson with FGMRES(2); its convergence should be
+        // close to fp16-F3R (Assumption (ii) of the paper).
+        let f4 = points.iter().find(|p| p.config == "F4").unwrap();
+        if let Some(rc) = f4.rel_convergence {
+            assert!(rc > 0.5 && rc < 2.0, "F4 relative convergence {rc}");
+        }
+        let t = to_table(&points);
+        assert_eq!(t.n_rows(), 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 5 reproduction: the weight-update cycle `c` of the adaptive
+//! Richardson weight, relative to the default `c = 64`.
+
+use f3r_core::prelude::*;
+
+use crate::report::{fmt_ratio, Table};
+use crate::runner::{build_matrix, run_solver, NodeConfig, RunBudget, SolverKind};
+use crate::suite::{SuiteScale, TestProblem};
+use crate::sweep::{relative_point, sweep_problems, RelativePoint};
+
+/// The update-cycle values swept in Figure 5.
+pub const CYCLES: &[usize] = &[1, 4, 16, 32, 128, 256];
+
+/// Run the cycle sweep on one problem.
+#[must_use]
+pub fn run_problem(problem: &TestProblem, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    let matrix = build_matrix(problem, node);
+    let default = run_solver(
+        &matrix,
+        problem,
+        node,
+        budget,
+        &SolverKind::F3r {
+            scheme: F3rScheme::Fp16,
+            params: F3rParams::default(), // c = 64
+        },
+        1,
+    );
+    CYCLES
+        .iter()
+        .map(|&c| {
+            let params = F3rParams {
+                weight_cycle: c,
+                ..F3rParams::default()
+            };
+            let variant = run_solver(
+                &matrix,
+                problem,
+                node,
+                budget,
+                &SolverKind::F3r {
+                    scheme: F3rScheme::Fp16,
+                    params,
+                },
+                1,
+            );
+            relative_point(&format!("c={c}"), &default, &variant)
+        })
+        .collect()
+}
+
+/// Run the cycle sweep on the representative problem subset.
+#[must_use]
+pub fn run(scale: SuiteScale, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    sweep_problems(scale)
+        .iter()
+        .flat_map(|p| run_problem(p, node, budget))
+        .collect()
+}
+
+/// Render the Figure 5 scatter data as a table.
+#[must_use]
+pub fn to_table(points: &[RelativePoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 5 — adaptive weight-update cycle c, relative to fp16-F3R with c = 64",
+        &["problem", "config", "rel convergence", "rel performance"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.problem.clone(),
+            p.config.clone(),
+            fmt_ratio(p.rel_convergence),
+            fmt_ratio(p.rel_performance),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::symmetric_suite;
+
+    #[test]
+    fn cycle_sweep_runs_on_one_problem() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let budget = RunBudget::default();
+        let points = run_problem(&probs[2], NodeConfig::Cpu { blocks: 4 }, &budget);
+        assert_eq!(points.len(), CYCLES.len());
+        // No clear trend is expected (the paper's conclusion), but all cycle
+        // settings should converge on an easy problem.
+        assert!(points.iter().all(|p| p.rel_convergence.is_some()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 6 reproduction: adaptive weight updating versus a fixed, manually
+//! chosen weight ω in the innermost Richardson part.
+//!
+//! The paper plots, per problem, the performance and convergence speed of the
+//! static-ω variants *relative to the adaptive strategy*; values below 1 mean
+//! the adaptive strategy is better.
+
+use f3r_core::prelude::*;
+
+use crate::report::{fmt_ratio, Table};
+use crate::runner::{build_matrix, run_solver, NodeConfig, RunBudget, SolverKind};
+use crate::suite::{SuiteScale, TestProblem};
+use crate::sweep::{sweep_problems, RelativePoint};
+
+/// The fixed weights compared in Figure 6.
+pub const OMEGAS: &[f64] = &[0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3];
+
+/// Run the comparison on one problem.  The returned points use the Figure 6
+/// convention: the ratio is `static / adaptive`, so values < 1 favour the
+/// adaptive strategy.
+#[must_use]
+pub fn run_problem(problem: &TestProblem, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    let matrix = build_matrix(problem, node);
+    let adaptive = run_solver(
+        &matrix,
+        problem,
+        node,
+        budget,
+        &SolverKind::F3r {
+            scheme: F3rScheme::Fp16,
+            params: F3rParams::default(),
+        },
+        1,
+    );
+    OMEGAS
+        .iter()
+        .map(|&omega| {
+            let fixed = run_solver(
+                &matrix,
+                problem,
+                node,
+                budget,
+                &SolverKind::F3rFixedWeight {
+                    scheme: F3rScheme::Fp16,
+                    params: F3rParams::default(),
+                    omega,
+                },
+                1,
+            );
+            let ok = adaptive.result.converged && fixed.result.converged;
+            // Figure 6 convention: plot the static variant's convergence
+            // speed and performance relative to the adaptive variant, so a
+            // value < 1 means the adaptive strategy is better.
+            RelativePoint {
+                problem: problem.name.clone(),
+                config: format!("ω={omega}"),
+                rel_convergence: if ok && fixed.result.precond_applications > 0 {
+                    // convergence speed ∝ 1 / preconditioning steps
+                    Some(
+                        adaptive.result.precond_applications as f64
+                            / fixed.result.precond_applications as f64,
+                    )
+                } else {
+                    None
+                },
+                rel_performance: if ok && fixed.result.seconds > 0.0 {
+                    // performance ∝ 1 / time
+                    Some(adaptive.result.seconds / fixed.result.seconds)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect()
+}
+
+/// Run the comparison on the representative problem subset.
+#[must_use]
+pub fn run(scale: SuiteScale, node: NodeConfig, budget: &RunBudget) -> Vec<RelativePoint> {
+    sweep_problems(scale)
+        .iter()
+        .flat_map(|p| run_problem(p, node, budget))
+        .collect()
+}
+
+/// Render the Figure 6 data as a table (`-` marks a failed static solve, as
+/// the missing bars in the paper do).
+#[must_use]
+pub fn to_table(points: &[RelativePoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 6 — fixed weight ω vs adaptive updating (values < 1: adaptive is better)",
+        &["problem", "config", "rel convergence (static/adaptive)", "rel performance (static/adaptive)"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.problem.clone(),
+            p.config.clone(),
+            fmt_ratio(p.rel_convergence),
+            fmt_ratio(p.rel_performance),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::symmetric_suite;
+
+    #[test]
+    fn adaptive_vs_fixed_runs_on_one_problem() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let budget = RunBudget::default();
+        let points = run_problem(&probs[0], NodeConfig::Cpu { blocks: 4 }, &budget);
+        assert_eq!(points.len(), OMEGAS.len());
+        // ω = 1.0 should be competitive on a diagonally scaled SPD problem,
+        // i.e. within a factor ~2 of the adaptive approach either way.
+        let unit = points.iter().find(|p| p.config == "ω=1").unwrap();
+        if let Some(rc) = unit.rel_convergence {
+            assert!(rc > 0.4 && rc < 2.5, "ω=1.0 relative convergence {rc}");
+        }
+        let t = to_table(&points);
+        assert_eq!(t.n_rows(), OMEGAS.len());
+    }
+}

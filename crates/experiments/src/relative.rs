@@ -1,0 +1,295 @@
+//! Shared machinery for the Figure 1 / Figure 2 relative-performance
+//! experiments.
+//!
+//! For every test problem the paper plots the speedup of each solver over
+//! fp64-F3R (wall-clock).  Because software-emulated fp16 shifts part of the
+//! advantage that native AVX512-FP16/tensor-core hardware provides, the
+//! reproduction reports two speedup columns per solver: wall-clock and
+//! modeled memory traffic (bytes moved, the paper's own Section 4.1 currency).
+
+use std::sync::Arc;
+
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+
+use crate::report::{fmt_ratio, fmt_secs, Table};
+use crate::runner::{build_matrix, run_solver, NodeConfig, RunBudget, SolverKind, SolverOutcome};
+use crate::suite::TestProblem;
+
+/// The `(m2, m3, m4)` candidates searched for the `fp16-F3R-best` rows of
+/// Figures 1 and 2 (drawn from the best-parameter rows the paper reports).
+pub const BEST_CANDIDATES: &[(usize, usize, usize)] = &[
+    (8, 4, 2),
+    (8, 4, 1),
+    (6, 4, 2),
+    (8, 6, 2),
+    (9, 4, 2),
+    (8, 3, 2),
+    (8, 5, 2),
+];
+
+/// Options of a relative-performance experiment.
+#[derive(Debug, Clone)]
+pub struct RelativeOptions {
+    /// Node configuration (CPU node for Figure 1, GPU node for Figure 2).
+    pub node: NodeConfig,
+    /// Iteration/restart budget.
+    pub budget: RunBudget,
+    /// Wall-clock repeats to average (the paper averages three runs).
+    pub repeats: usize,
+    /// Whether to search the [`BEST_CANDIDATES`] grid for fp16-F3R-best.
+    pub include_best: bool,
+}
+
+impl RelativeOptions {
+    /// Defaults for a given node configuration.
+    #[must_use]
+    pub fn for_node(node: NodeConfig) -> Self {
+        Self {
+            node,
+            budget: RunBudget::default(),
+            repeats: 1,
+            include_best: true,
+        }
+    }
+}
+
+/// All solver outcomes for one problem.
+#[derive(Debug)]
+pub struct ProblemResults {
+    /// Problem name.
+    pub problem: String,
+    /// Whether the problem is symmetric (CG family) or not (BiCGStab family).
+    pub symmetric: bool,
+    /// Outcome of the fp64-F3R baseline.
+    pub baseline: SolverOutcome,
+    /// Outcomes of every other solver, in presentation order.
+    pub others: Vec<SolverOutcome>,
+    /// The best `(m2, m3, m4)` found for fp16-F3R-best, if searched.
+    pub best_params: Option<(usize, usize, usize)>,
+}
+
+impl ProblemResults {
+    /// Speedup of `outcome` over the fp64-F3R baseline in wall-clock time
+    /// (`None` if the solver did not converge).
+    #[must_use]
+    pub fn speedup_time(&self, outcome: &SolverOutcome) -> Option<f64> {
+        if !outcome.result.converged || !self.baseline.result.converged {
+            return None;
+        }
+        Some(self.baseline.result.seconds / outcome.result.seconds.max(1e-12))
+    }
+
+    /// Speedup of `outcome` over the fp64-F3R baseline in modeled memory
+    /// traffic.
+    #[must_use]
+    pub fn speedup_traffic(&self, outcome: &SolverOutcome) -> Option<f64> {
+        if !outcome.result.converged || !self.baseline.result.converged {
+            return None;
+        }
+        let base = self.baseline.result.modeled_bytes() as f64;
+        let own = outcome.result.modeled_bytes() as f64;
+        if own <= 0.0 {
+            None
+        } else {
+            Some(base / own)
+        }
+    }
+}
+
+/// The solver list of Figures 1 and 2 for a problem of the given symmetry:
+/// fp32-F3R, fp16-F3R, fp64/fp32/fp16-{CG or BiCGStab}, fp64/fp32/fp16-FGMRES(64).
+#[must_use]
+pub fn figure_solver_set(symmetric: bool) -> Vec<SolverKind> {
+    let mut kinds = vec![
+        SolverKind::F3r {
+            scheme: F3rScheme::Fp32,
+            params: F3rParams::default(),
+        },
+        SolverKind::F3r {
+            scheme: F3rScheme::Fp16,
+            params: F3rParams::default(),
+        },
+    ];
+    for prec in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+        if symmetric {
+            kinds.push(SolverKind::Cg { precond_prec: prec });
+        } else {
+            kinds.push(SolverKind::BiCgStab { precond_prec: prec });
+        }
+    }
+    for prec in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+        kinds.push(SolverKind::Fgmres {
+            restart: 64,
+            precond_prec: prec,
+        });
+    }
+    kinds
+}
+
+/// Run the full Figure 1 / Figure 2 solver set on one problem.
+#[must_use]
+pub fn run_problem(problem: &TestProblem, opts: &RelativeOptions) -> ProblemResults {
+    let matrix = build_matrix(problem, opts.node);
+    let baseline = run_solver(
+        &matrix,
+        problem,
+        opts.node,
+        &opts.budget,
+        &SolverKind::F3r {
+            scheme: F3rScheme::Fp64,
+            params: F3rParams::default(),
+        },
+        opts.repeats,
+    );
+    let mut others = Vec::new();
+    for kind in figure_solver_set(problem.symmetric) {
+        others.push(run_solver(&matrix, problem, opts.node, &opts.budget, &kind, opts.repeats));
+    }
+    let best_params = if opts.include_best {
+        let (best, params) = best_fp16_f3r(&matrix, problem, opts);
+        others.push(best);
+        Some(params)
+    } else {
+        None
+    };
+    ProblemResults {
+        problem: problem.name.clone(),
+        symmetric: problem.symmetric,
+        baseline,
+        others,
+        best_params,
+    }
+}
+
+/// Search the [`BEST_CANDIDATES`] grid and return the fastest converging
+/// fp16-F3R configuration (renamed `fp16-F3R-best`).
+fn best_fp16_f3r(
+    matrix: &Arc<ProblemMatrix>,
+    problem: &TestProblem,
+    opts: &RelativeOptions,
+) -> (SolverOutcome, (usize, usize, usize)) {
+    let mut best: Option<(SolverOutcome, (usize, usize, usize))> = None;
+    for &(m2, m3, m4) in BEST_CANDIDATES {
+        let outcome = run_solver(
+            matrix,
+            problem,
+            opts.node,
+            &opts.budget,
+            &SolverKind::F3r {
+                scheme: F3rScheme::Fp16,
+                params: F3rParams::with_inner(m2, m3, m4),
+            },
+            1,
+        );
+        let better = match &best {
+            None => true,
+            Some((current, _)) => {
+                (outcome.result.converged && !current.result.converged)
+                    || (outcome.result.converged == current.result.converged
+                        && outcome.result.seconds < current.result.seconds)
+            }
+        };
+        if better {
+            best = Some((outcome, (m2, m3, m4)));
+        }
+    }
+    let (mut outcome, params) = best.expect("candidate list is non-empty");
+    outcome.solver = "fp16-F3R-best".to_string();
+    (outcome, params)
+}
+
+/// Render a set of per-problem results as the Figure 1 / Figure 2 table:
+/// one row per (problem, solver) with speedups over fp64-F3R.
+#[must_use]
+pub fn to_table(title: &str, results: &[ProblemResults]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "problem",
+            "solver",
+            "converged",
+            "time[s]",
+            "speedup(time)",
+            "speedup(traffic)",
+            "precond applies",
+            "best m2-m3-m4",
+        ],
+    );
+    for pr in results {
+        let base = &pr.baseline;
+        table.push_row(vec![
+            pr.problem.clone(),
+            base.solver.clone(),
+            "yes".to_string(),
+            fmt_secs(base.result.seconds),
+            "1.00".to_string(),
+            "1.00".to_string(),
+            base.result.precond_applications.to_string(),
+            String::new(),
+        ]);
+        for o in &pr.others {
+            let best_label = if o.solver == "fp16-F3R-best" {
+                pr.best_params
+                    .map(|(a, b, c)| format!("{a}-{b}-{c}"))
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            table.push_row(vec![
+                pr.problem.clone(),
+                o.solver.clone(),
+                if o.result.converged { "yes" } else { "no" }.to_string(),
+                fmt_secs(o.result.seconds),
+                fmt_ratio(pr.speedup_time(o)),
+                fmt_ratio(pr.speedup_traffic(o)),
+                o.result.precond_applications.to_string(),
+                best_label,
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{symmetric_suite, SuiteScale};
+
+    #[test]
+    fn solver_set_matches_figure_legend() {
+        let sym = figure_solver_set(true);
+        assert_eq!(sym.len(), 8);
+        assert!(sym.iter().any(|k| matches!(k, SolverKind::Cg { .. })));
+        let nonsym = figure_solver_set(false);
+        assert!(nonsym.iter().any(|k| matches!(k, SolverKind::BiCgStab { .. })));
+        assert!(nonsym.iter().all(|k| !matches!(k, SolverKind::Cg { .. })));
+    }
+
+    #[test]
+    fn run_problem_produces_comparable_outcomes() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let opts = RelativeOptions {
+            node: NodeConfig::Cpu { blocks: 4 },
+            budget: RunBudget {
+                max_baseline_iterations: 3000,
+                ..RunBudget::default()
+            },
+            repeats: 1,
+            include_best: false,
+        };
+        let pr = run_problem(&probs[0], &opts);
+        assert!(pr.baseline.result.converged);
+        assert_eq!(pr.others.len(), 8);
+        // fp16-F3R must converge and move fewer modeled bytes than fp64-F3R.
+        let fp16 = pr.others.iter().find(|o| o.solver == "fp16-F3R").unwrap();
+        assert!(fp16.result.converged);
+        let speedup_traffic = pr.speedup_traffic(fp16).unwrap();
+        assert!(
+            speedup_traffic > 1.0,
+            "fp16-F3R should reduce modeled traffic, got {speedup_traffic}"
+        );
+        let table = to_table("test", std::slice::from_ref(&pr));
+        assert_eq!(table.n_rows(), 9);
+    }
+}

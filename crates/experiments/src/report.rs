@@ -1,0 +1,165 @@
+//! Text-table and CSV reporting helpers shared by all experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned text table with a title.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have the same number of cells as the header).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write both the text and CSV renderings under `dir/<stem>.{txt,csv}`,
+    /// returning the CSV path.
+    pub fn write_to(&self, dir: &Path, stem: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{stem}.txt")), self.to_text())?;
+        let csv_path = dir.join(format!("{stem}.csv"));
+        fs::write(&csv_path, self.to_csv())?;
+        Ok(csv_path)
+    }
+}
+
+/// Default output directory for experiment artefacts.
+#[must_use]
+pub fn output_dir() -> PathBuf {
+    std::env::var("F3R_OUTPUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"))
+}
+
+/// Format a speedup/ratio for display (two decimals, `"-"` for non-finite or
+/// non-positive values — the paper leaves a blank bar when a solver fails).
+#[must_use]
+pub fn fmt_ratio(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() && x > 0.0 => format!("{x:.2}"),
+        _ => "-".to_string(),
+    }
+}
+
+/// Format seconds with three decimals.
+#[must_use]
+pub fn fmt_secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_text_and_csv() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1.00".into()]);
+        t.push_row(vec!["b,c".into(), "2.50".into()]);
+        let text = t.to_text();
+        assert!(text.contains("# demo"));
+        assert!(text.contains("a"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value"));
+        assert!(csv.contains("\"b,c\""));
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn ratio_formatting_handles_failures() {
+        assert_eq!(fmt_ratio(Some(1.234)), "1.23");
+        assert_eq!(fmt_ratio(Some(f64::NAN)), "-");
+        assert_eq!(fmt_ratio(None), "-");
+        assert_eq!(fmt_secs(0.5), "0.500");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_row_width_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn write_to_creates_files() {
+        let dir = std::env::temp_dir().join("f3r_report_test");
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let csv = t.write_to(&dir, "demo").unwrap();
+        assert!(csv.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

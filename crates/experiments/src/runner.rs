@@ -1,0 +1,363 @@
+//! Experiment runner: builds solvers from declarative descriptions and runs
+//! them on suite problems.
+
+use std::sync::Arc;
+
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+use f3r_precond::PrecondKind;
+use f3r_sparse::gen::rhs::random_rhs;
+
+use crate::suite::TestProblem;
+
+/// Which "node" of the paper an experiment reproduces.
+///
+/// The CPU node (Section 5.1) uses block-Jacobi ILU(0)/IC(0) and CSR SpMV;
+/// the GPU node (Section 5.2) uses the SD-AINV approximate inverse and
+/// sliced-ELLPACK SpMV.  On this machine both run on the host CPU — the node
+/// selects the preconditioner and kernel configuration, not the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeConfig {
+    /// Block-Jacobi ILU(0)/IC(0) + CSR (the paper's CPU node).
+    Cpu {
+        /// Number of block-Jacobi blocks (the paper uses one per thread).
+        blocks: usize,
+    },
+    /// SD-AINV + sliced ELLPACK (the paper's GPU node).
+    Gpu {
+        /// Sliced-ELLPACK chunk size (the paper uses 32).
+        chunk: usize,
+    },
+}
+
+impl NodeConfig {
+    /// Default CPU-node configuration: one block per rayon thread.
+    #[must_use]
+    pub fn cpu_default() -> Self {
+        NodeConfig::Cpu {
+            blocks: rayon::current_num_threads().max(2),
+        }
+    }
+
+    /// Default GPU-node configuration (chunk 32, as in the paper).
+    #[must_use]
+    pub fn gpu_default() -> Self {
+        NodeConfig::Gpu { chunk: 32 }
+    }
+
+    /// The SpMV backend this node uses.
+    #[must_use]
+    pub fn backend(self) -> SpmvBackend {
+        match self {
+            NodeConfig::Cpu { .. } => SpmvBackend::Csr,
+            NodeConfig::Gpu { chunk } => SpmvBackend::Sell { chunk },
+        }
+    }
+
+    /// The primary preconditioner this node uses for a given problem.
+    #[must_use]
+    pub fn precond_for(self, problem: &TestProblem) -> PrecondKind {
+        match self {
+            NodeConfig::Cpu { blocks } => {
+                if problem.symmetric {
+                    PrecondKind::BlockJacobiIc0 {
+                        blocks,
+                        alpha: problem.alpha,
+                    }
+                } else {
+                    PrecondKind::BlockJacobiIlu0 {
+                        blocks,
+                        alpha: problem.alpha,
+                    }
+                }
+            }
+            NodeConfig::Gpu { .. } => PrecondKind::SdAinv {
+                alpha: problem.alpha,
+                order: 2,
+            },
+        }
+    }
+
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeConfig::Cpu { .. } => "cpu-node",
+            NodeConfig::Gpu { .. } => "gpu-node",
+        }
+    }
+}
+
+/// Iteration/restart budget of an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunBudget {
+    /// Convergence tolerance (the paper uses 1e-8).
+    pub tol: f64,
+    /// Maximum outermost cycles of nested solvers (the paper allows 3).
+    pub max_outer_cycles: usize,
+    /// Maximum iterations of the CG/BiCGStab/FGMRES(64) baselines
+    /// (the paper allows 19 200; scale down for laptop-size problems).
+    pub max_baseline_iterations: usize,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        Self {
+            tol: 1e-8,
+            max_outer_cycles: 3,
+            max_baseline_iterations: 6_000,
+        }
+    }
+}
+
+/// Declarative description of one solver configuration to run.
+#[derive(Debug, Clone)]
+pub enum SolverKind {
+    /// F3R with a precision scheme and iteration parameters.
+    F3r {
+        /// Precision scheme (fp64-/fp32-/fp16-F3R).
+        scheme: F3rScheme,
+        /// Iteration counts `(m1, m2, m3, m4)` and weight cycle `c`.
+        params: F3rParams,
+    },
+    /// F3R with a fixed Richardson weight (Figure 6).
+    F3rFixedWeight {
+        /// Precision scheme.
+        scheme: F3rScheme,
+        /// Iteration parameters.
+        params: F3rParams,
+        /// The fixed weight ω.
+        omega: f64,
+    },
+    /// One of the Table 4 nesting-depth reference solvers.
+    Variant(VariantKind),
+    /// Preconditioned CG with the given preconditioner storage precision.
+    Cg {
+        /// Preconditioner storage precision.
+        precond_prec: Precision,
+    },
+    /// Preconditioned BiCGStab with the given preconditioner storage precision.
+    BiCgStab {
+        /// Preconditioner storage precision.
+        precond_prec: Precision,
+    },
+    /// Restarted FGMRES with the given restart length and preconditioner
+    /// storage precision.
+    Fgmres {
+        /// Restart cycle length (the paper uses 64).
+        restart: usize,
+        /// Preconditioner storage precision.
+        precond_prec: Precision,
+    },
+}
+
+/// The Table 4 reference solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantKind {
+    /// `(F100, F64, M)` with an fp32 inner level.
+    F2,
+    /// `(F100, F64, M)` with an fp16 inner level.
+    Fp16F2,
+    /// `(F100, F8, F8, M)` with fp32 vectors in the inner `F8`.
+    F3,
+    /// `(F100, F8, F8, M)` with fp16 vectors in the inner `F8`.
+    Fp16F3,
+    /// `(F100, F8, F4, F2, M)` — fp16-F3R with FGMRES(2) innermost.
+    F4,
+}
+
+/// Result of one (problem, solver) run.
+#[derive(Debug, Clone)]
+pub struct SolverOutcome {
+    /// Problem name.
+    pub problem: String,
+    /// Solver configuration name.
+    pub solver: String,
+    /// The solve result.
+    pub result: SolveResult,
+}
+
+/// Build the multi-precision matrix handle of a problem for a node
+/// configuration.  Do this once per problem and share the `Arc` across
+/// solver runs.
+#[must_use]
+pub fn build_matrix(problem: &TestProblem, node: NodeConfig) -> Arc<ProblemMatrix> {
+    Arc::new(ProblemMatrix::new(problem.matrix.clone(), node.backend()))
+}
+
+/// Construct a boxed solver for the given problem/matrix/configuration.
+#[must_use]
+pub fn build_solver(
+    matrix: &Arc<ProblemMatrix>,
+    problem: &TestProblem,
+    node: NodeConfig,
+    budget: &RunBudget,
+    kind: &SolverKind,
+) -> Box<dyn SparseSolver> {
+    let precond = node.precond_for(problem);
+    let settings = SolverSettings {
+        precond,
+        tol: budget.tol,
+        max_outer_cycles: budget.max_outer_cycles,
+    };
+    match kind {
+        SolverKind::F3r { scheme, params } => Box::new(NestedSolver::new(
+            Arc::clone(matrix),
+            f3r_spec(*params, *scheme, &settings),
+        )),
+        SolverKind::F3rFixedWeight {
+            scheme,
+            params,
+            omega,
+        } => Box::new(NestedSolver::new(
+            Arc::clone(matrix),
+            f3r_spec_fixed_weight(*params, *scheme, &settings, *omega),
+        )),
+        SolverKind::Variant(v) => {
+            let spec = match v {
+                VariantKind::F2 => f2_spec(&settings),
+                VariantKind::Fp16F2 => fp16_f2_spec(&settings),
+                VariantKind::F3 => f3_spec(&settings),
+                VariantKind::Fp16F3 => fp16_f3_spec(&settings),
+                VariantKind::F4 => f4_spec(&settings),
+            };
+            Box::new(NestedSolver::new(Arc::clone(matrix), spec))
+        }
+        SolverKind::Cg { precond_prec } => Box::new(CgSolver::new(
+            Arc::clone(matrix),
+            BaselineConfig {
+                precond,
+                precond_prec: *precond_prec,
+                tol: budget.tol,
+                max_iterations: budget.max_baseline_iterations,
+            },
+        )),
+        SolverKind::BiCgStab { precond_prec } => Box::new(BiCgStabSolver::new(
+            Arc::clone(matrix),
+            BaselineConfig {
+                precond,
+                precond_prec: *precond_prec,
+                tol: budget.tol,
+                max_iterations: budget.max_baseline_iterations,
+            },
+        )),
+        SolverKind::Fgmres {
+            restart,
+            precond_prec,
+        } => Box::new(RestartedFgmresSolver::new(
+            Arc::clone(matrix),
+            *restart,
+            BaselineConfig {
+                precond,
+                precond_prec: *precond_prec,
+                tol: budget.tol,
+                max_iterations: budget.max_baseline_iterations,
+            },
+        )),
+    }
+}
+
+/// Run one solver configuration on one problem (averaging `repeats` runs of
+/// the wall-clock time, as the paper averages three runs).
+#[must_use]
+pub fn run_solver(
+    matrix: &Arc<ProblemMatrix>,
+    problem: &TestProblem,
+    node: NodeConfig,
+    budget: &RunBudget,
+    kind: &SolverKind,
+    repeats: usize,
+) -> SolverOutcome {
+    let mut solver = build_solver(matrix, problem, node, budget, kind);
+    let b = random_rhs(matrix.dim(), problem.rhs_seed);
+    let mut x = vec![0.0; matrix.dim()];
+    let mut result = solver.solve(&b, &mut x);
+    if repeats > 1 {
+        let mut total = result.seconds;
+        for _ in 1..repeats {
+            let r = solver.solve(&b, &mut x);
+            total += r.seconds;
+        }
+        result.seconds = total / repeats as f64;
+    }
+    SolverOutcome {
+        problem: problem.name.clone(),
+        solver: solver.name(),
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{symmetric_suite, SuiteScale};
+
+    #[test]
+    fn cpu_and_gpu_nodes_pick_different_preconditioners() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let p = &probs[0];
+        let cpu = NodeConfig::Cpu { blocks: 4 }.precond_for(p);
+        let gpu = NodeConfig::gpu_default().precond_for(p);
+        assert!(matches!(cpu, PrecondKind::BlockJacobiIc0 { .. }));
+        assert!(matches!(gpu, PrecondKind::SdAinv { .. }));
+        assert_eq!(NodeConfig::cpu_default().label(), "cpu-node");
+    }
+
+    #[test]
+    fn run_f3r_and_cg_on_tiny_problem() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let p = &probs[0]; // hpcg tiny
+        let node = NodeConfig::Cpu { blocks: 4 };
+        let budget = RunBudget {
+            max_baseline_iterations: 2000,
+            ..RunBudget::default()
+        };
+        let matrix = build_matrix(p, node);
+        let f3r = run_solver(
+            &matrix,
+            p,
+            node,
+            &budget,
+            &SolverKind::F3r {
+                scheme: F3rScheme::Fp16,
+                params: F3rParams::default(),
+            },
+            1,
+        );
+        assert!(f3r.result.converged, "{}: {}", p.name, f3r.result.final_relative_residual);
+        assert_eq!(f3r.solver, "fp16-F3R");
+        let cg = run_solver(
+            &matrix,
+            p,
+            node,
+            &budget,
+            &SolverKind::Cg {
+                precond_prec: Precision::Fp64,
+            },
+            1,
+        );
+        assert!(cg.result.converged);
+        assert_eq!(cg.solver, "fp64-CG");
+    }
+
+    #[test]
+    fn gpu_node_configuration_also_converges() {
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let p = &probs[2]; // G3_circuit-like (well conditioned)
+        let node = NodeConfig::gpu_default();
+        let budget = RunBudget::default();
+        let matrix = build_matrix(p, node);
+        let out = run_solver(
+            &matrix,
+            p,
+            node,
+            &budget,
+            &SolverKind::F3r {
+                scheme: F3rScheme::Fp16,
+                params: F3rParams::default(),
+            },
+            1,
+        );
+        assert!(out.result.converged, "residual {}", out.result.final_relative_residual);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared machinery for the parameter-sweep experiments of Section 6
+//! (Figures 3–6): everything is measured *relative to fp16-F3R with the
+//! default setting*, on both axes used by the paper's scatter/box plots:
+//!
+//! * **relative convergence speed** — default preconditioner-invocation count
+//!   divided by the variant's count (> 1 means the variant converges in fewer
+//!   preconditioning steps),
+//! * **relative performance** — default wall-clock time divided by the
+//!   variant's time (> 1 means the variant is faster).
+
+use crate::runner::SolverOutcome;
+use crate::suite::{nonsymmetric_suite, symmetric_suite, SuiteScale, TestProblem};
+
+/// One point of a Figure 3/4/5/6 style scatter plot.
+#[derive(Debug, Clone)]
+pub struct RelativePoint {
+    /// Problem name.
+    pub problem: String,
+    /// Variant label (e.g. `m4=3`, `F3`, `c=16`, `ω=1.1`).
+    pub config: String,
+    /// Relative convergence speed (`None` if either solve failed).
+    pub rel_convergence: Option<f64>,
+    /// Relative execution performance (`None` if either solve failed).
+    pub rel_performance: Option<f64>,
+}
+
+/// Compute the two relative axes for a variant against the default run.
+#[must_use]
+pub fn relative_point(
+    config: &str,
+    default: &SolverOutcome,
+    variant: &SolverOutcome,
+) -> RelativePoint {
+    let ok = default.result.converged && variant.result.converged;
+    let rel_convergence = if ok && variant.result.precond_applications > 0 {
+        Some(default.result.precond_applications as f64 / variant.result.precond_applications as f64)
+    } else {
+        None
+    };
+    let rel_performance = if ok && variant.result.seconds > 0.0 {
+        Some(default.result.seconds / variant.result.seconds)
+    } else {
+        None
+    };
+    RelativePoint {
+        problem: default.problem.clone(),
+        config: config.to_string(),
+        rel_convergence,
+        rel_performance,
+    }
+}
+
+/// Five-number summary used to report the boxplot panels of Figures 3–5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Number of (finite) samples.
+    pub count: usize,
+}
+
+/// Compute a five-number summary of the finite values in `values`.
+#[must_use]
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| -> f64 {
+        let idx = p * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    };
+    Some(Summary {
+        min: v[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: v[v.len() - 1],
+        count: v.len(),
+    })
+}
+
+/// The representative problem subset used by the Section 6 sweeps (a mix of
+/// symmetric and nonsymmetric problems; the paper sweeps the full suite, the
+/// default reproduction uses a subset to keep wall-clock reasonable).
+#[must_use]
+pub fn sweep_problems(scale: SuiteScale) -> Vec<TestProblem> {
+    let sym = symmetric_suite(scale);
+    let nonsym = nonsymmetric_suite(scale);
+    let mut out = Vec::new();
+    for (i, p) in sym.into_iter().enumerate() {
+        if matches!(i, 0 | 2 | 5) {
+            out.push(p);
+        }
+    }
+    for (i, p) in nonsym.into_iter().enumerate() {
+        if matches!(i, 0 | 2 | 4) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_precision::CounterSnapshot;
+    use f3r_core::convergence::{SolveResult, StopReason};
+
+    fn outcome(name: &str, converged: bool, seconds: f64, preconds: u64) -> SolverOutcome {
+        SolverOutcome {
+            problem: "p".into(),
+            solver: name.into(),
+            result: SolveResult {
+                converged,
+                stop_reason: if converged { StopReason::Converged } else { StopReason::MaxIterations },
+                outer_iterations: 10,
+                precond_applications: preconds,
+                final_relative_residual: 1e-9,
+                seconds,
+                residual_history: vec![1.0, 1e-9],
+                counters: CounterSnapshot::default(),
+                solver_name: name.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn relative_point_axes() {
+        let default = outcome("default", true, 2.0, 1000);
+        let variant = outcome("variant", true, 1.0, 500);
+        let p = relative_point("m4=1", &default, &variant);
+        assert_eq!(p.rel_convergence, Some(2.0));
+        assert_eq!(p.rel_performance, Some(2.0));
+
+        let failed = outcome("variant", false, 1.0, 500);
+        let p = relative_point("m4=4", &default, &failed);
+        assert!(p.rel_convergence.is_none());
+        assert!(p.rel_performance.is_none());
+    }
+
+    #[test]
+    fn summary_quartiles() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.count, 5);
+        assert!(summarize(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn sweep_subset_mixes_symmetries() {
+        let probs = sweep_problems(SuiteScale::Tiny);
+        assert_eq!(probs.len(), 6);
+        assert!(probs.iter().any(|p| p.symmetric));
+        assert!(probs.iter().any(|p| !p.symmetric));
+    }
+}

@@ -1,0 +1,138 @@
+//! Table 3 reproduction: number of invocations of the primary preconditioner
+//! `M` until convergence.
+//!
+//! Columns: CG (symmetric) or BiCGStab (nonsymmetric), fp64-FGMRES(64), and
+//! the three F3R implementations.  Hyphens mark failed solves, as in the
+//! paper.
+
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+
+use crate::report::Table;
+use crate::runner::{build_matrix, run_solver, NodeConfig, RunBudget, SolverKind};
+use crate::suite::{full_suite, SuiteScale, TestProblem};
+
+/// Preconditioner-invocation counts for one problem.
+#[derive(Debug, Clone)]
+pub struct CountsRow {
+    /// Problem name.
+    pub problem: String,
+    /// CG or BiCGStab count (depending on symmetry), `None` if it failed.
+    pub krylov_baseline: Option<u64>,
+    /// fp64-FGMRES(64) count, `None` if it failed.
+    pub fgmres64: Option<u64>,
+    /// fp64-F3R, fp32-F3R, fp16-F3R counts.
+    pub f3r: [Option<u64>; 3],
+}
+
+fn count(outcome: &crate::runner::SolverOutcome) -> Option<u64> {
+    if outcome.result.converged {
+        Some(outcome.result.precond_applications)
+    } else {
+        None
+    }
+}
+
+/// Run the Table 3 experiment for one problem.
+#[must_use]
+pub fn run_problem(problem: &TestProblem, node: NodeConfig, budget: &RunBudget) -> CountsRow {
+    let matrix = build_matrix(problem, node);
+    let baseline_kind = if problem.symmetric {
+        SolverKind::Cg {
+            precond_prec: Precision::Fp64,
+        }
+    } else {
+        SolverKind::BiCgStab {
+            precond_prec: Precision::Fp64,
+        }
+    };
+    let krylov = run_solver(&matrix, problem, node, budget, &baseline_kind, 1);
+    let fgmres = run_solver(
+        &matrix,
+        problem,
+        node,
+        budget,
+        &SolverKind::Fgmres {
+            restart: 64,
+            precond_prec: Precision::Fp64,
+        },
+        1,
+    );
+    let mut f3r = [None, None, None];
+    for (i, scheme) in [F3rScheme::Fp64, F3rScheme::Fp32, F3rScheme::Fp16].iter().enumerate() {
+        let out = run_solver(
+            &matrix,
+            problem,
+            node,
+            budget,
+            &SolverKind::F3r {
+                scheme: *scheme,
+                params: F3rParams::default(),
+            },
+            1,
+        );
+        f3r[i] = count(&out);
+    }
+    CountsRow {
+        problem: problem.name.clone(),
+        krylov_baseline: count(&krylov),
+        fgmres64: count(&fgmres),
+        f3r,
+    }
+}
+
+/// Run Table 3 for the full suite.
+#[must_use]
+pub fn run(scale: SuiteScale, node: NodeConfig, budget: &RunBudget) -> Vec<CountsRow> {
+    full_suite(scale)
+        .iter()
+        .map(|p| run_problem(p, node, budget))
+        .collect()
+}
+
+/// Render the counts as the Table 3 layout.
+#[must_use]
+pub fn to_table(rows: &[CountsRow]) -> Table {
+    let fmt = |v: Option<u64>| v.map_or("-".to_string(), |c| c.to_string());
+    let mut table = Table::new(
+        "Table 3 — invocations of the primary preconditioner M until convergence",
+        &["matrix", "CG/BiCGStab", "fp64-FGMRES(64)", "fp64-F3R", "fp32-F3R", "fp16-F3R"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.problem.clone(),
+            fmt(r.krylov_baseline),
+            fmt(r.fgmres64),
+            fmt(r.f3r[0]),
+            fmt(r.f3r[1]),
+            fmt(r.f3r[2]),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::symmetric_suite;
+
+    #[test]
+    fn counts_are_consistent_across_f3r_precisions() {
+        // The paper's key observation: the three F3R implementations converge
+        // in (nearly) the same number of preconditioning steps.
+        let probs = symmetric_suite(SuiteScale::Tiny);
+        let budget = RunBudget {
+            max_baseline_iterations: 3000,
+            ..RunBudget::default()
+        };
+        let row = run_problem(&probs[0], NodeConfig::Cpu { blocks: 4 }, &budget);
+        let c64 = row.f3r[0].expect("fp64-F3R converged") as f64;
+        let c16 = row.f3r[2].expect("fp16-F3R converged") as f64;
+        assert!(
+            (c16 - c64).abs() / c64 < 0.35,
+            "fp16-F3R count {c16} deviates too much from fp64-F3R count {c64}"
+        );
+        let table = to_table(std::slice::from_ref(&row));
+        assert_eq!(table.n_rows(), 1);
+    }
+}

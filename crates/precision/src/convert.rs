@@ -1,0 +1,115 @@
+//! Slice conversion helpers used by the precision bridges between nesting
+//! levels of the F3R solver.
+//!
+//! Every crossing of a precision boundary in the nested solver (fp64 ↔ fp32
+//! between the outermost and middle FGMRES, fp32 ↔ fp16 around the innermost
+//! Richardson) is a plain element-wise rounding/widening of a vector; these
+//! helpers centralise that operation so the solvers never touch raw
+//! `as`-casts.
+
+use crate::scalar::Scalar;
+
+/// Convert `src` into `dst` element-wise, rounding (or widening) each value
+/// through `f64`.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn convert_slice<S: Scalar, D: Scalar>(src: &[S], dst: &mut [D]) {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "convert_slice: length mismatch ({} vs {})",
+        src.len(),
+        dst.len()
+    );
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = D::from_f64(s.to_f64());
+    }
+}
+
+/// Convert a slice into a freshly allocated vector of another precision.
+#[must_use]
+pub fn convert_vec<S: Scalar, D: Scalar>(src: &[S]) -> Vec<D> {
+    src.iter().map(|s| D::from_f64(s.to_f64())).collect()
+}
+
+/// Copy `src` into `dst` without precision change.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn copy_into<T: Scalar>(src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), dst.len(), "copy_into: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Maximum absolute element-wise error introduced by rounding `src` to
+/// precision `D` and widening it back to `f64`.
+///
+/// Used by tests and by the experiment reports to quantify the storage error
+/// of fp16/fp32 copies of the coefficient matrix.
+#[must_use]
+pub fn round_trip_error<D: Scalar>(src: &[f64]) -> f64 {
+    src.iter()
+        .map(|&v| (D::from_f64(v).to_f64() - v).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use half::f16;
+
+    #[test]
+    fn convert_f64_to_f32_and_back() {
+        let src = vec![1.0_f64, -2.5, 3.25, 1e-3];
+        let mut mid = vec![0.0_f32; 4];
+        convert_slice(&src, &mut mid);
+        let mut back = vec![0.0_f64; 4];
+        convert_slice(&mid, &mut back);
+        for (a, b) in src.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn convert_to_f16_rounds() {
+        let src = vec![1.0_f64, 1.0 + 2.0_f64.powi(-12)];
+        let out: Vec<f16> = convert_vec(&src);
+        assert_eq!(out[0].to_f64(), 1.0);
+        // below half-precision resolution: rounds to 1.0
+        assert_eq!(out[1].to_f64(), 1.0);
+    }
+
+    #[test]
+    fn round_trip_error_is_zero_for_exact_values() {
+        let src = vec![0.0, 1.0, -2.0, 0.5, 1024.0];
+        assert_eq!(round_trip_error::<f16>(&src), 0.0);
+        assert_eq!(round_trip_error::<f32>(&src), 0.0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_eps() {
+        let src: Vec<f64> = (0..100).map(|i| 1.0 + i as f64 * 1e-3).collect();
+        let err16 = round_trip_error::<f16>(&src);
+        let err32 = round_trip_error::<f32>(&src);
+        assert!(err16 <= 2.0_f64.powi(-10));
+        assert!(err32 <= 2.0_f64.powi(-23));
+        assert!(err16 > err32);
+    }
+
+    #[test]
+    fn copy_into_copies() {
+        let src = vec![1.0_f32, 2.0, 3.0];
+        let mut dst = vec![0.0_f32; 3];
+        copy_into(&src, &mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn convert_slice_length_mismatch_panics() {
+        let src = vec![1.0_f64; 3];
+        let mut dst = vec![0.0_f32; 4];
+        convert_slice(&src, &mut dst);
+    }
+}

@@ -1,0 +1,306 @@
+//! Lock-free instrumentation counters shared by all solver levels.
+//!
+//! The paper's evaluation reports two kinds of work measures besides wall
+//! clock: the number of invocations of the primary preconditioner `M`
+//! (Table 3) and, implicitly through its Section 4.1 model, the amount of
+//! memory traffic per solve.  [`KernelCounters`] collects both, plus a
+//! breakdown of SpMV/BLAS-1 calls per precision, using relaxed atomics so the
+//! counters can be bumped from rayon-parallel kernels without contention
+//! concerns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::scalar::Precision;
+
+/// Shared, thread-safe set of kernel counters.
+///
+/// Cloning the handle (via `Arc`) shares the same underlying counters; use
+/// [`KernelCounters::snapshot`] to read a consistent-enough copy and
+/// [`KernelCounters::reset`] between solves.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    /// Invocations of the primary preconditioner `M` (the Table 3 metric).
+    precond_applies: AtomicU64,
+    /// SpMV invocations, indexed by matrix-value precision (fp16, fp32, fp64).
+    spmv_calls: [AtomicU64; 3],
+    /// BLAS-1 (axpy/dot/norm/scale) invocations, indexed by precision.
+    blas1_calls: [AtomicU64; 3],
+    /// Modeled bytes moved, indexed by precision of the data that dominated
+    /// the kernel (matrix values for SpMV, vector precision for BLAS-1).
+    bytes_moved: [AtomicU64; 3],
+    /// Total inner-solver iterations executed, by nesting depth (1-based,
+    /// capped at depth 8).
+    level_iterations: [AtomicU64; 8],
+    /// Number of Richardson adaptive-weight updates (ω′ computations).
+    weight_updates: AtomicU64,
+}
+
+const fn precision_index(p: Precision) -> usize {
+    match p {
+        Precision::Fp16 => 0,
+        Precision::Fp32 => 1,
+        Precision::Fp64 => 2,
+    }
+}
+
+impl KernelCounters {
+    /// Create a fresh, zeroed set of counters wrapped in an [`Arc`].
+    #[must_use]
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one invocation of the primary preconditioner `M`.
+    pub fn record_precond_apply(&self) {
+        self.precond_applies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `count` invocations of the primary preconditioner `M`.
+    pub fn record_precond_applies(&self, count: u64) {
+        self.precond_applies.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Record one SpMV with matrix values stored in precision `p`, moving an
+    /// estimated `bytes` of memory.
+    pub fn record_spmv(&self, p: Precision, bytes: u64) {
+        self.spmv_calls[precision_index(p)].fetch_add(1, Ordering::Relaxed);
+        self.bytes_moved[precision_index(p)].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one BLAS-1 kernel on vectors of precision `p`, moving an
+    /// estimated `bytes` of memory.
+    pub fn record_blas1(&self, p: Precision, bytes: u64) {
+        self.blas1_calls[precision_index(p)].fetch_add(1, Ordering::Relaxed);
+        self.bytes_moved[precision_index(p)].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `iters` iterations executed by the solver at nesting `depth`
+    /// (1 = outermost).
+    pub fn record_level_iterations(&self, depth: usize, iters: u64) {
+        let idx = depth.saturating_sub(1).min(self.level_iterations.len() - 1);
+        self.level_iterations[idx].fetch_add(iters, Ordering::Relaxed);
+    }
+
+    /// Record one adaptive-weight update (computation of ω′ in Algorithm 1).
+    pub fn record_weight_update(&self) {
+        self.weight_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.precond_applies.store(0, Ordering::Relaxed);
+        self.weight_updates.store(0, Ordering::Relaxed);
+        for c in &self.spmv_calls {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.blas1_calls {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.bytes_moved {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.level_iterations {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Take a plain-data snapshot of the current counter values.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let load3 = |a: &[AtomicU64; 3]| {
+            [
+                a[0].load(Ordering::Relaxed),
+                a[1].load(Ordering::Relaxed),
+                a[2].load(Ordering::Relaxed),
+            ]
+        };
+        CounterSnapshot {
+            precond_applies: self.precond_applies.load(Ordering::Relaxed),
+            spmv_calls: load3(&self.spmv_calls),
+            blas1_calls: load3(&self.blas1_calls),
+            bytes_moved: load3(&self.bytes_moved),
+            level_iterations: {
+                let mut out = [0u64; 8];
+                for (o, c) in out.iter_mut().zip(self.level_iterations.iter()) {
+                    *o = c.load(Ordering::Relaxed);
+                }
+                out
+            },
+            weight_updates: self.weight_updates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`KernelCounters`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Invocations of the primary preconditioner `M`.
+    pub precond_applies: u64,
+    /// SpMV calls per matrix-value precision, ordered `[fp16, fp32, fp64]`.
+    pub spmv_calls: [u64; 3],
+    /// BLAS-1 calls per vector precision, ordered `[fp16, fp32, fp64]`.
+    pub blas1_calls: [u64; 3],
+    /// Modeled bytes moved per precision, ordered `[fp16, fp32, fp64]`.
+    pub bytes_moved: [u64; 3],
+    /// Iterations executed per nesting depth (index 0 = outermost).
+    pub level_iterations: [u64; 8],
+    /// Number of adaptive Richardson weight updates performed.
+    pub weight_updates: u64,
+}
+
+impl CounterSnapshot {
+    /// Total modeled bytes moved across all precisions.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_moved.iter().sum()
+    }
+
+    /// Total SpMV calls across all precisions.
+    #[must_use]
+    pub fn total_spmv(&self) -> u64 {
+        self.spmv_calls.iter().sum()
+    }
+
+    /// Fraction of the modeled traffic carried in a given precision
+    /// (`0.0` if no traffic was recorded at all).
+    #[must_use]
+    pub fn traffic_fraction(&self, p: Precision) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes_moved[precision_index(p)] as f64 / total as f64
+    }
+
+    /// Counter value for SpMV calls in a given precision.
+    #[must_use]
+    pub fn spmv_in(&self, p: Precision) -> u64 {
+        self.spmv_calls[precision_index(p)]
+    }
+
+    /// Modeled bytes moved in a given precision.
+    #[must_use]
+    pub fn bytes_in(&self, p: Precision) -> u64 {
+        self.bytes_moved[precision_index(p)]
+    }
+
+    /// Element-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Useful for measuring the cost of a single phase between two snapshots.
+    #[must_use]
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let sub3 = |a: [u64; 3], b: [u64; 3]| {
+            [
+                a[0].saturating_sub(b[0]),
+                a[1].saturating_sub(b[1]),
+                a[2].saturating_sub(b[2]),
+            ]
+        };
+        let mut level_iterations = [0u64; 8];
+        for i in 0..8 {
+            level_iterations[i] = self.level_iterations[i].saturating_sub(earlier.level_iterations[i]);
+        }
+        CounterSnapshot {
+            precond_applies: self.precond_applies.saturating_sub(earlier.precond_applies),
+            spmv_calls: sub3(self.spmv_calls, earlier.spmv_calls),
+            blas1_calls: sub3(self.blas1_calls, earlier.blas1_calls),
+            bytes_moved: sub3(self.bytes_moved, earlier.bytes_moved),
+            level_iterations,
+            weight_updates: self.weight_updates.saturating_sub(earlier.weight_updates),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = KernelCounters::new_shared();
+        c.record_precond_apply();
+        c.record_precond_applies(4);
+        c.record_spmv(Precision::Fp16, 100);
+        c.record_spmv(Precision::Fp64, 300);
+        c.record_blas1(Precision::Fp32, 50);
+        c.record_level_iterations(1, 10);
+        c.record_level_iterations(4, 7);
+        c.record_weight_update();
+
+        let s = c.snapshot();
+        assert_eq!(s.precond_applies, 5);
+        assert_eq!(s.spmv_in(Precision::Fp16), 1);
+        assert_eq!(s.spmv_in(Precision::Fp64), 1);
+        assert_eq!(s.total_spmv(), 2);
+        assert_eq!(s.total_bytes(), 450);
+        assert_eq!(s.level_iterations[0], 10);
+        assert_eq!(s.level_iterations[3], 7);
+        assert_eq!(s.weight_updates, 1);
+
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn traffic_fraction_sums_to_one() {
+        let c = KernelCounters::new_shared();
+        c.record_spmv(Precision::Fp16, 250);
+        c.record_spmv(Precision::Fp32, 250);
+        c.record_spmv(Precision::Fp64, 500);
+        let s = c.snapshot();
+        let sum: f64 = Precision::all().iter().map(|&p| s.traffic_fraction(p)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((s.traffic_fraction(Precision::Fp64) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_fraction_zero_when_empty() {
+        let c = KernelCounters::new_shared();
+        assert_eq!(c.snapshot().traffic_fraction(Precision::Fp64), 0.0);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let c = KernelCounters::new_shared();
+        c.record_precond_applies(3);
+        c.record_spmv(Precision::Fp32, 10);
+        let first = c.snapshot();
+        c.record_precond_applies(2);
+        c.record_spmv(Precision::Fp32, 10);
+        let second = c.snapshot();
+        let diff = second.since(&first);
+        assert_eq!(diff.precond_applies, 2);
+        assert_eq!(diff.spmv_in(Precision::Fp32), 1);
+        assert_eq!(diff.bytes_in(Precision::Fp32), 10);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = KernelCounters::new_shared();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_precond_apply();
+                        c.record_blas1(Precision::Fp16, 8);
+                    }
+                });
+            }
+        });
+        let s = c.snapshot();
+        assert_eq!(s.precond_applies, 4000);
+        assert_eq!(s.blas1_calls[0], 4000);
+        assert_eq!(s.bytes_in(Precision::Fp16), 32_000);
+    }
+
+    #[test]
+    fn deep_level_iterations_are_clamped() {
+        let c = KernelCounters::new_shared();
+        c.record_level_iterations(50, 3);
+        assert_eq!(c.snapshot().level_iterations[7], 3);
+    }
+}

@@ -1,0 +1,403 @@
+//! The [`Scalar`] trait and the [`Precision`] runtime tag.
+//!
+//! All sparse kernels, preconditioners and solver levels in this workspace
+//! are generic over a working precision `T: Scalar`.  The trait is kept
+//! deliberately small: the solvers only need basic arithmetic, conversions
+//! to/from `f64`/`f32`, and a handful of numeric queries.
+//!
+//! Half precision (`half::f16`) follows the convention used by the paper and
+//! by fp16 hardware: values are *stored* in binary16, while compound
+//! operations that would otherwise lose too much accuracy (long
+//! accumulations, inner products for the adaptive Richardson weight) are
+//! carried out in the associated [`Scalar::Accum`] type, which is `f32` for
+//! `f16` and the type itself for `f32`/`f64`.
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use half::f16;
+use serde::{Deserialize, Serialize};
+
+/// Runtime description of a floating-point precision.
+///
+/// This is the configuration-level counterpart of the compile-time
+/// [`Scalar`] trait: solver configurations (e.g. "store the level-3 matrix in
+/// fp16") carry a `Precision`, and builders dispatch to the matching
+/// `Scalar` instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE binary16 (half precision), 2 bytes per value.
+    Fp16,
+    /// IEEE binary32 (single precision), 4 bytes per value.
+    Fp32,
+    /// IEEE binary64 (double precision), 8 bytes per value.
+    Fp64,
+}
+
+impl Precision {
+    /// Number of bytes used to store one value in this precision.
+    #[must_use]
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+            Precision::Fp64 => 8,
+        }
+    }
+
+    /// Unit roundoff (machine epsilon) of the precision.
+    #[must_use]
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Precision::Fp16 => f64::from(f16::EPSILON),
+            Precision::Fp32 => f64::from(f32::EPSILON),
+            Precision::Fp64 => f64::EPSILON,
+        }
+    }
+
+    /// Largest finite representable magnitude.
+    #[must_use]
+    pub fn max_finite(self) -> f64 {
+        match self {
+            Precision::Fp16 => f64::from(f16::MAX),
+            Precision::Fp32 => f64::from(f32::MAX),
+            Precision::Fp64 => f64::MAX,
+        }
+    }
+
+    /// Short human-readable name matching the paper's nomenclature
+    /// (`"fp16"`, `"fp32"`, `"fp64"`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::Fp16 => "fp16",
+            Precision::Fp32 => "fp32",
+            Precision::Fp64 => "fp64",
+        }
+    }
+
+    /// All precisions ordered from lowest to highest.
+    #[must_use]
+    pub const fn all() -> [Precision; 3] {
+        [Precision::Fp16, Precision::Fp32, Precision::Fp64]
+    }
+
+    /// The next lower precision, if any (fp64 → fp32 → fp16).
+    #[must_use]
+    pub const fn lower(self) -> Option<Precision> {
+        match self {
+            Precision::Fp64 => Some(Precision::Fp32),
+            Precision::Fp32 => Some(Precision::Fp16),
+            Precision::Fp16 => None,
+        }
+    }
+}
+
+impl Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Floating-point scalar usable as a working precision in the solvers.
+///
+/// Implemented for `f64`, `f32` and [`half::f16`].  The trait provides the
+/// conversions and numeric queries the nested solver levels need; heavier
+/// numeric work (accumulation, inner products) should be done in
+/// [`Scalar::Accum`].
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + 'static
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// The precision this scalar stores values in.
+    const PRECISION: Precision;
+
+    /// Accumulation type: long reductions over `Self` values should be done
+    /// in this type.  `f32` for `f16`, otherwise `Self`.
+    type Accum: Scalar;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Round a double-precision value into this precision
+    /// (round-to-nearest-even).
+    fn from_f64(v: f64) -> Self;
+    /// Widen into double precision (exact).
+    fn to_f64(self) -> f64;
+    /// Round a single-precision value into this precision.
+    fn from_f32(v: f32) -> Self;
+    /// Convert to single precision (exact for `f16`/`f32`, rounding for `f64`).
+    fn to_f32(self) -> f32;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root (computed in the accumulation precision for `f16`).
+    fn sqrt(self) -> Self;
+    /// Fused (or emulated) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` if the value is neither infinite nor NaN.
+    fn is_finite(self) -> bool;
+
+    /// Number of bytes per stored value.
+    #[must_use]
+    fn bytes() -> usize {
+        Self::PRECISION.bytes()
+    }
+
+    /// Unit roundoff of this precision.
+    #[must_use]
+    fn epsilon() -> f64 {
+        Self::PRECISION.epsilon()
+    }
+
+    /// Short name (`"fp16"`, `"fp32"`, `"fp64"`).
+    #[must_use]
+    fn name() -> &'static str {
+        Self::PRECISION.name()
+    }
+}
+
+impl Scalar for f64 {
+    const PRECISION: Precision = Precision::Fp64;
+    type Accum = f64;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        f64::from(v)
+    }
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for f32 {
+    const PRECISION: Precision = Precision::Fp32;
+    type Accum = f32;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f16 {
+    const PRECISION: Precision = Precision::Fp16;
+    type Accum = f32;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        f16::from_f32(0.0)
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        f16::from_f32(1.0)
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        f16::from_f64(v)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        f16::from_f32(v)
+    }
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        f32::from(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f16::from_f32(f32::from(self).abs())
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f16::from_f32(f32::from(self).sqrt())
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // Emulate an fp16 FMA with an fp32 intermediate, which is what
+        // mixed-precision hardware units (and the paper's AVX512-FP16
+        // kernels with fp32 accumulation) effectively provide.
+        f16::from_f32(f32::from(self).mul_add(f32::from(a), f32::from(b)))
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::from(self).is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Scalar>() {
+        let x = T::from_f64(1.5);
+        assert_eq!(x.to_f64(), 1.5);
+        assert_eq!(T::zero().to_f64(), 0.0);
+        assert_eq!(T::one().to_f64(), 1.0);
+        assert!(T::one().is_finite());
+        assert_eq!((T::one() + T::one()).to_f64(), 2.0);
+        assert_eq!((-T::one()).abs().to_f64(), 1.0);
+        assert_eq!(T::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::one()).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        generic_roundtrip::<f64>();
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        generic_roundtrip::<f32>();
+    }
+
+    #[test]
+    fn roundtrip_f16() {
+        generic_roundtrip::<f16>();
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Fp64.bytes(), 8);
+        assert_eq!(<f16 as Scalar>::bytes(), 2);
+        assert_eq!(<f32 as Scalar>::bytes(), 4);
+        assert_eq!(<f64 as Scalar>::bytes(), 8);
+    }
+
+    #[test]
+    fn precision_epsilons_are_ordered() {
+        assert!(Precision::Fp16.epsilon() > Precision::Fp32.epsilon());
+        assert!(Precision::Fp32.epsilon() > Precision::Fp64.epsilon());
+        // binary16 has 10 fraction bits => eps = 2^-10.
+        assert_eq!(Precision::Fp16.epsilon(), 2.0_f64.powi(-10));
+    }
+
+    #[test]
+    fn precision_names() {
+        assert_eq!(Precision::Fp16.name(), "fp16");
+        assert_eq!(Precision::Fp32.name(), "fp32");
+        assert_eq!(Precision::Fp64.name(), "fp64");
+        assert_eq!(format!("{}", Precision::Fp64), "fp64");
+    }
+
+    #[test]
+    fn precision_lowering_chain() {
+        assert_eq!(Precision::Fp64.lower(), Some(Precision::Fp32));
+        assert_eq!(Precision::Fp32.lower(), Some(Precision::Fp16));
+        assert_eq!(Precision::Fp16.lower(), None);
+    }
+
+    #[test]
+    fn fp16_max_finite_is_65504() {
+        assert_eq!(Precision::Fp16.max_finite(), 65504.0);
+    }
+
+    #[test]
+    fn fp16_rounds_to_nearest() {
+        // 1 + 2^-11 is exactly between 1 and 1 + 2^-10; round-to-even gives 1.
+        let x = f16::from_f64(1.0 + 2.0_f64.powi(-11));
+        assert_eq!(x.to_f64(), 1.0);
+        let y = f16::from_f64(1.0 + 1.5 * 2.0_f64.powi(-10));
+        assert!((y.to_f64() - (1.0 + 2.0 * 2.0_f64.powi(-10))).abs() < 1e-12 || (y.to_f64() - (1.0 + 2.0_f64.powi(-10))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accum_types() {
+        fn accum_name<T: Scalar>() -> &'static str {
+            <T::Accum as Scalar>::name()
+        }
+        assert_eq!(accum_name::<f16>(), "fp32");
+        assert_eq!(accum_name::<f32>(), "fp32");
+        assert_eq!(accum_name::<f64>(), "fp64");
+    }
+}

@@ -1,0 +1,107 @@
+//! Jacobi (diagonal) preconditioner.
+//!
+//! The simplest preconditioner: `M = diag(A)⁻¹`.  Used as a cheap baseline
+//! and inside the SD-AINV style approximate inverse.
+
+use f3r_precision::Scalar;
+use f3r_sparse::CsrMatrix;
+
+use crate::traits::Preconditioner;
+
+/// Diagonal (Jacobi) preconditioner storing `1 / a_ii` in precision `T`.
+#[derive(Debug, Clone)]
+pub struct JacobiPrecond<T> {
+    inv_diag: Vec<T>,
+}
+
+impl<T: Scalar> JacobiPrecond<T> {
+    /// Build from the diagonal of `a` (constructed in fp64, stored in `T`).
+    ///
+    /// Zero diagonal entries are replaced by 1 so the operator stays defined.
+    #[must_use]
+    pub fn new(a: &CsrMatrix<f64>) -> Self {
+        let inv_diag = a
+            .diagonal()
+            .iter()
+            .map(|&d| {
+                let inv = if d.abs() > 0.0 { 1.0 / d } else { 1.0 };
+                T::from_f64(inv)
+            })
+            .collect();
+        Self { inv_diag }
+    }
+
+    /// The stored reciprocal diagonal.
+    #[must_use]
+    pub fn inv_diagonal(&self) -> &[T] {
+        &self.inv_diag
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for JacobiPrecond<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        assert_eq!(r.len(), self.inv_diag.len(), "jacobi: length mismatch");
+        assert_eq!(z.len(), self.inv_diag.len(), "jacobi: length mismatch");
+        for i in 0..r.len() {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn nnz(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn name(&self) -> String {
+        format!("Jacobi ({})", T::name())
+    }
+
+    fn sweeps_per_apply(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_sparse::gen::laplacian::poisson2d_5pt;
+    use half::f16;
+
+    #[test]
+    fn applies_inverse_diagonal() {
+        let a = poisson2d_5pt(4, 4);
+        let p = JacobiPrecond::<f64>::new(&a);
+        let r = vec![4.0; 16];
+        let mut z = vec![0.0; 16];
+        p.apply(&r, &mut z);
+        assert!(z.iter().all(|&v| (v - 1.0).abs() < 1e-14));
+    }
+
+    #[test]
+    fn half_precision_storage_rounds_but_stays_close() {
+        let a = poisson2d_5pt(4, 4);
+        let p = JacobiPrecond::<f16>::new(&a);
+        let r = vec![f16::from_f32(2.0); 16];
+        let mut z = vec![f16::from_f32(0.0); 16];
+        p.apply(&r, &mut z);
+        for v in &z {
+            assert!((v.to_f64() - 0.5).abs() < 1e-3);
+        }
+        assert_eq!(p.name(), "Jacobi (fp16)");
+    }
+
+    #[test]
+    fn zero_diagonal_is_safeguarded() {
+        use f3r_sparse::CooMatrix;
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 1, 2.0);
+        let a = coo.to_csr();
+        let p = JacobiPrecond::<f64>::new(&a);
+        assert_eq!(p.inv_diagonal()[0], 1.0);
+        assert_eq!(p.inv_diagonal()[1], 0.5);
+    }
+}

@@ -1,0 +1,27 @@
+//! Preconditioner substrate for the F3R reproduction.
+//!
+//! The paper's *primary preconditioner* `M` is an algebraic preconditioner
+//! applied at the innermost level of the nested solver: block-Jacobi
+//! ILU(0)/IC(0) on the CPU node (Section 5.1) and the SD-AINV approximate
+//! inverse on the GPU node (Section 5.2).  This crate provides those
+//! preconditioners (plus Jacobi and identity baselines), all constructed in
+//! fp64 and stored/applied in an arbitrary precision `T` so they can serve
+//! the fp64-, fp32- and fp16-variants of every solver in the study.
+
+#![warn(missing_docs)]
+
+pub mod ainv;
+pub mod block_jacobi;
+pub mod config;
+pub mod ic0;
+pub mod ilu0;
+pub mod jacobi;
+pub mod traits;
+
+pub use ainv::SdAinvPrecond;
+pub use block_jacobi::BlockJacobiPrecond;
+pub use config::{build_preconditioner, PrecondKind};
+pub use ic0::Ic0Precond;
+pub use ilu0::Ilu0Precond;
+pub use jacobi::JacobiPrecond;
+pub use traits::{IdentityPrecond, Preconditioner};

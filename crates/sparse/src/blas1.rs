@@ -1,0 +1,231 @@
+//! Dense vector (BLAS-1) kernels, generic over the working precision.
+//!
+//! Reductions (dot products, norms) accumulate in [`Scalar::Accum`] — fp32
+//! for fp16 vectors, matching how the paper treats reduction kernels (they
+//! are kept out of pure fp16; the innermost Richardson solver avoids them
+//! entirely, and the fp32 FGMRES levels accumulate in fp32).  Element-wise
+//! updates (axpy and friends) are carried out in the vector precision itself.
+//!
+//! Each kernel has a sequential and a rayon-parallel variant plus a
+//! size-dispatching wrapper, mirroring the SpMV module.
+
+use f3r_precision::Scalar;
+use rayon::prelude::*;
+
+/// Vector length above which the dispatching wrappers use rayon.
+pub const PAR_LEN_THRESHOLD: usize = 1 << 15;
+
+/// Minimum elements per rayon task.
+const MIN_LEN_PER_TASK: usize = 1 << 12;
+
+/// Dot product `xᵀ y`, accumulated in `T::Accum` and returned as `f64`.
+#[must_use]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    if x.len() >= PAR_LEN_THRESHOLD {
+        x.par_chunks(MIN_LEN_PER_TASK)
+            .zip(y.par_chunks(MIN_LEN_PER_TASK))
+            .map(|(xc, yc)| dot_seq_accum(xc, yc))
+            .sum()
+    } else {
+        dot_seq_accum(x, y)
+    }
+}
+
+fn dot_seq_accum<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    let mut acc = <T::Accum as Scalar>::zero();
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        let a = <T::Accum as Scalar>::from_f64(a.to_f64());
+        let b = <T::Accum as Scalar>::from_f64(b.to_f64());
+        acc = a.mul_add(b, acc);
+    }
+    acc.to_f64()
+}
+
+/// Euclidean norm `‖x‖₂`, accumulated in `T::Accum`.
+#[must_use]
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← y + alpha * x`.
+pub fn axpy<T: Scalar>(alpha: f64, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let a = T::from_f64(alpha);
+    if x.len() >= PAR_LEN_THRESHOLD {
+        y.par_iter_mut()
+            .with_min_len(MIN_LEN_PER_TASK)
+            .zip(x.par_iter())
+            .for_each(|(yi, &xi)| *yi = xi.mul_add(a, *yi));
+    } else {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi = xi.mul_add(a, *yi);
+        }
+    }
+}
+
+/// `y ← alpha * x + beta * y`.
+pub fn axpby<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    let a = T::from_f64(alpha);
+    let b = T::from_f64(beta);
+    if x.len() >= PAR_LEN_THRESHOLD {
+        y.par_iter_mut()
+            .with_min_len(MIN_LEN_PER_TASK)
+            .zip(x.par_iter())
+            .for_each(|(yi, &xi)| *yi = xi * a + *yi * b);
+    } else {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi = xi * a + *yi * b;
+        }
+    }
+}
+
+/// `w ← alpha * x + beta * y` (three-operand form used by CG/BiCGStab).
+pub fn waxpby<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &[T], w: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "waxpby: length mismatch");
+    assert_eq!(x.len(), w.len(), "waxpby: length mismatch");
+    let a = T::from_f64(alpha);
+    let b = T::from_f64(beta);
+    if x.len() >= PAR_LEN_THRESHOLD {
+        w.par_iter_mut()
+            .with_min_len(MIN_LEN_PER_TASK)
+            .enumerate()
+            .for_each(|(i, wi)| *wi = x[i] * a + y[i] * b);
+    } else {
+        for i in 0..x.len() {
+            w[i] = x[i] * a + y[i] * b;
+        }
+    }
+}
+
+/// `x ← alpha * x`.
+pub fn scale<T: Scalar>(alpha: f64, x: &mut [T]) {
+    let a = T::from_f64(alpha);
+    if x.len() >= PAR_LEN_THRESHOLD {
+        x.par_iter_mut()
+            .with_min_len(MIN_LEN_PER_TASK)
+            .for_each(|xi| *xi *= a);
+    } else {
+        for xi in x.iter_mut() {
+            *xi *= a;
+        }
+    }
+}
+
+/// Set every element of `x` to zero.
+pub fn set_zero<T: Scalar>(x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi = T::zero();
+    }
+}
+
+/// Element-wise product `z ← x ⊙ y` (used by diagonal preconditioning).
+pub fn hadamard<T: Scalar>(x: &[T], y: &[T], z: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
+    assert_eq!(x.len(), z.len(), "hadamard: length mismatch");
+    for i in 0..x.len() {
+        z[i] = x[i] * y[i];
+    }
+}
+
+/// Maximum absolute entry `‖x‖_∞`.
+#[must_use]
+pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.to_f64().abs()).fold(0.0, f64::max)
+}
+
+/// Sum of the entries, accumulated in `f64`.
+#[must_use]
+pub fn sum<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.to_f64()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use half::f16;
+
+    #[test]
+    fn dot_and_norm_small() {
+        let x = vec![1.0f64, 2.0, 3.0];
+        let y = vec![4.0f64, -5.0, 6.0];
+        assert!((dot(&x, &y) - 12.0).abs() < 1e-14);
+        assert!((norm2(&x) - 14.0f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn dot_parallel_matches_serial() {
+        let n = 100_000;
+        let x: Vec<f64> = (0..n).map(|i| ((i % 97) as f64) * 1e-3).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 89) as f64) * 1e-3).collect();
+        let serial = dot_seq_accum(&x, &y);
+        let par = dot(&x, &y);
+        assert!((serial - par).abs() < 1e-9 * serial.abs());
+    }
+
+    #[test]
+    fn fp16_dot_accumulates_in_fp32() {
+        // 4096 ones: a pure fp16 accumulation would saturate at 2048
+        // (adding 1 to 2048 in fp16 is a no-op); fp32 accumulation is exact.
+        let x = vec![f16::from_f32(1.0); 4096];
+        assert_eq!(dot(&x, &x), 4096.0);
+    }
+
+    #[test]
+    fn axpy_variants() {
+        let x = vec![1.0f32, 2.0, 3.0];
+        let mut y = vec![10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+
+        let mut y2 = vec![10.0f32, 20.0, 30.0];
+        axpby(2.0, &x, 0.5, &mut y2);
+        assert_eq!(y2, vec![7.0, 14.0, 21.0]);
+
+        let mut w = vec![0.0f32; 3];
+        waxpby(1.0, &x, -1.0, &y, &mut w);
+        assert_eq!(w, vec![-11.0, -22.0, -33.0]);
+    }
+
+    #[test]
+    fn scale_zero_hadamard() {
+        let mut x = vec![1.0f64, -2.0, 3.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, vec![3.0, -6.0, 9.0]);
+        let y = vec![2.0f64, 0.5, 1.0];
+        let mut z = vec![0.0f64; 3];
+        hadamard(&x, &y, &mut z);
+        assert_eq!(z, vec![6.0, -3.0, 9.0]);
+        set_zero(&mut x);
+        assert_eq!(x, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn inf_norm_and_sum() {
+        let x = vec![1.0f64, -5.0, 3.0];
+        assert_eq!(norm_inf(&x), 5.0);
+        assert_eq!(sum(&x), -1.0);
+        assert_eq!(norm_inf::<f64>(&[]), 0.0);
+    }
+
+    #[test]
+    fn large_parallel_axpy_matches_serial() {
+        let n = 70_000;
+        let x: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+        let mut y1: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let mut y2 = y1.clone();
+        // force serial by chunking manually
+        for (yi, &xi) in y1.iter_mut().zip(x.iter()) {
+            *yi = xi.mul_add(0.25, *yi);
+        }
+        axpy(0.25, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_dot_panics() {
+        let _ = dot(&[1.0f64, 2.0], &[1.0f64]);
+    }
+}

@@ -1,0 +1,144 @@
+//! The HPCG benchmark matrix (27-point stencil).
+//!
+//! As described in Section 5 of the paper: "HPCG is based on the 27-point
+//! stencil computation, and the diagonal and off-diagonal elements of the
+//! matrices are 26 and -1, respectively."  Grid points are connected to all
+//! neighbours within a Chebyshev distance of 1 on a regular
+//! `nx × ny × nz` grid; boundary rows simply have fewer off-diagonal
+//! entries (no periodic wrap-around), exactly like the HPCG reference code.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Linear index of grid point `(ix, iy, iz)` on an `nx × ny × nz` grid.
+#[inline]
+pub(crate) fn grid_index(ix: usize, iy: usize, iz: usize, nx: usize, ny: usize) -> usize {
+    (iz * ny + iy) * nx + ix
+}
+
+/// Build the HPCG 27-point stencil matrix for an `nx × ny × nz` grid.
+///
+/// The resulting matrix is symmetric positive definite with diagonal 26 and
+/// off-diagonal entries -1.
+#[must_use]
+pub fn hpcg_matrix(nx: usize, ny: usize, nz: usize) -> CsrMatrix<f64> {
+    stencil_27pt(nx, ny, nz, |_dx, _dy, _dz| -1.0)
+}
+
+/// Generic 27-point stencil builder: the weight of the coupling to the
+/// neighbour at offset `(dx, dy, dz) != (0,0,0)` is given by `off_diag`.
+/// The diagonal entry is fixed at 26, as in HPCG/HPGMP.
+pub(crate) fn stencil_27pt(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    off_diag: impl Fn(i64, i64, i64) -> f64,
+) -> CsrMatrix<f64> {
+    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::with_capacity(n, n, 27 * n);
+    for iz in 0..nz {
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let row = grid_index(ix, iy, iz, nx, ny);
+                coo.push(row, row, 26.0);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                continue;
+                            }
+                            let jx = ix as i64 + dx;
+                            let jy = iy as i64 + dy;
+                            let jz = iz as i64 + dz;
+                            if jx < 0
+                                || jy < 0
+                                || jz < 0
+                                || jx >= nx as i64
+                                || jy >= ny as i64
+                                || jz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let col = grid_index(jx as usize, jy as usize, jz as usize, nx, ny);
+                            coo.push(row, col, off_diag(dx, dy, dz));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_pattern() {
+        let a = hpcg_matrix(4, 4, 4);
+        assert_eq!(a.n_rows(), 64);
+        // paper Table 2: nnz/n approaches 27 for large grids; for 4^3 the
+        // count is exactly (2*4-... ) - just check against a direct formula:
+        // sum over nodes of product of (neighbours+1) per axis.
+        let mut expect = 0usize;
+        for iz in 0..4i64 {
+            for iy in 0..4i64 {
+                for ix in 0..4i64 {
+                    let cnt = |i: i64, n: i64| if i == 0 || i == n - 1 { 2 } else { 3 };
+                    expect += (cnt(ix, 4) * cnt(iy, 4) * cnt(iz, 4)) as usize;
+                }
+            }
+        }
+        assert_eq!(a.nnz(), expect);
+    }
+
+    #[test]
+    fn interior_row_has_27_entries_diag_26_offdiag_minus_1() {
+        let a = hpcg_matrix(5, 5, 5);
+        let row = grid_index(2, 2, 2, 5, 5);
+        let (cols, vals) = a.row_entries(row);
+        assert_eq!(cols.len(), 27);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            if c as usize == row {
+                assert_eq!(v, 26.0);
+            } else {
+                assert_eq!(v, -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_diagonally_dominant_interior() {
+        let a = hpcg_matrix(4, 3, 5);
+        assert!(a.is_symmetric(1e-14));
+        // interior rows: 26 diagonal vs 26 off-diagonal magnitude (weakly
+        // dominant); boundary rows strictly dominant.
+        let (cols, vals) = a.row_entries(0);
+        let diag: f64 = vals[cols.iter().position(|&c| c == 0).unwrap()];
+        let off: f64 = vals
+            .iter()
+            .zip(cols.iter())
+            .filter(|(_, &c)| c != 0)
+            .map(|(v, _)| v.abs())
+            .sum();
+        assert!(diag > off);
+    }
+
+    #[test]
+    fn paper_grid_sizes_scale_correctly() {
+        // hpcg_x_y_z in the paper: n = 2^x * 2^y * 2^z; check the scaled-down
+        // equivalent relationship holds for our generator.
+        let a = hpcg_matrix(8, 8, 8);
+        assert_eq!(a.n_rows(), 512);
+        let b = hpcg_matrix(16, 8, 8);
+        assert_eq!(b.n_rows(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must be positive")]
+    fn zero_grid_panics() {
+        let _ = hpcg_matrix(0, 4, 4);
+    }
+}

@@ -1,0 +1,67 @@
+//! The HPGMP benchmark matrix (nonsymmetric 27-point stencil).
+//!
+//! Section 5 of the paper: "The matrices from HPGMP are similar to those from
+//! HPCG; the off-diagonal values that represent the connection with forward
+//! and backward positions along the z-axis are replaced with −1 + β and
+//! −1 − β, respectively (β was 0.5 in the experiments)."
+//!
+//! The skew is applied to the direct ±z neighbours (offset `(0, 0, ±1)`),
+//! which breaks symmetry while keeping the stencil pattern of HPCG.
+
+use crate::csr::CsrMatrix;
+
+use super::hpcg::stencil_27pt;
+
+/// Build the HPGMP nonsymmetric stencil matrix for an `nx × ny × nz` grid
+/// with skew parameter `beta` (the paper uses `beta = 0.5`).
+#[must_use]
+pub fn hpgmp_matrix(nx: usize, ny: usize, nz: usize, beta: f64) -> CsrMatrix<f64> {
+    stencil_27pt(nx, ny, nz, move |dx, dy, dz| {
+        if dx == 0 && dy == 0 && dz == 1 {
+            // forward along z
+            -1.0 + beta
+        } else if dx == 0 && dy == 0 && dz == -1 {
+            // backward along z
+            -1.0 - beta
+        } else {
+            -1.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::hpcg::{grid_index, hpcg_matrix};
+
+    #[test]
+    fn z_neighbours_are_skewed() {
+        let (nx, ny, nz) = (4, 4, 4);
+        let a = hpgmp_matrix(nx, ny, nz, 0.5);
+        let row = grid_index(1, 1, 1, nx, ny);
+        let fwd = grid_index(1, 1, 2, nx, ny);
+        let bwd = grid_index(1, 1, 0, nx, ny);
+        assert_eq!(a.get(row, fwd), Some(-0.5));
+        assert_eq!(a.get(row, bwd), Some(-1.5));
+        // the matching transposed entries differ => nonsymmetric
+        assert_eq!(a.get(fwd, row), Some(-1.5));
+        assert!(!a.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn beta_zero_reduces_to_hpcg() {
+        let a = hpgmp_matrix(3, 4, 5, 0.0);
+        let b = hpcg_matrix(3, 4, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_pattern_as_hpcg() {
+        let a = hpgmp_matrix(4, 4, 4, 0.5);
+        let b = hpcg_matrix(4, 4, 4);
+        assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.row_ptr(), b.row_ptr());
+        assert_eq!(a.col_idx(), b.col_idx());
+        assert_eq!(a.diagonal(), b.diagonal());
+    }
+}

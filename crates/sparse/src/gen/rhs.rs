@@ -1,0 +1,40 @@
+//! Right-hand-side generation.
+//!
+//! Section 5 of the paper: "In each test, the right-hand side was a random
+//! vector, whose elements were uniformly distributed in the range [0, 1)."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random right-hand side with entries uniformly distributed in `[0, 1)`,
+/// reproducible from `seed`.
+#[must_use]
+pub fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_in_unit_interval() {
+        let b = random_rhs(1000, 1);
+        assert_eq!(b.len(), 1000);
+        assert!(b.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn reproducible_and_seed_dependent() {
+        assert_eq!(random_rhs(64, 5), random_rhs(64, 5));
+        assert_ne!(random_rhs(64, 5), random_rhs(64, 6));
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let b = random_rhs(20_000, 9);
+        let mean: f64 = b.iter().sum::<f64>() / b.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02);
+    }
+}

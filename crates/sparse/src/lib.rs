@@ -1,0 +1,40 @@
+//! Sparse linear-algebra substrate for the F3R reproduction.
+//!
+//! The paper's solvers are built on a small set of memory-bound kernels:
+//! CSR / sliced-ELLPACK sparse matrix–vector products in several precisions,
+//! dense vector (BLAS-1) operations, and problem generators for the HPCG /
+//! HPGMP benchmark matrices plus synthetic analogues of the SuiteSparse test
+//! set.  This crate provides all of them, generic over the working precision
+//! via [`f3r_precision::Scalar`], with sequential and rayon-parallel
+//! implementations.
+//!
+//! # Quick example
+//!
+//! ```
+//! use f3r_sparse::gen::hpcg::hpcg_matrix;
+//! use f3r_sparse::spmv::spmv;
+//!
+//! let a = hpcg_matrix(8, 8, 8);          // 27-point stencil, n = 512
+//! let x = vec![1.0_f64; a.n_cols()];
+//! let mut y = vec![0.0_f64; a.n_rows()];
+//! spmv(&a, &x, &mut y);
+//! assert!(y.iter().all(|v| *v >= 0.0));  // weak diagonal dominance
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blas1;
+pub mod coo;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod scaling;
+pub mod sell;
+pub mod spmv;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use scaling::ScaledSystem;
+pub use sell::SellMatrix;
+pub use stats::MatrixStats;

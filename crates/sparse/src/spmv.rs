@@ -1,0 +1,279 @@
+//! Mixed-precision sparse matrix–vector products.
+//!
+//! The SpMV kernels are the dominant memory-bound kernels of every solver in
+//! the paper.  They are generic over two precisions:
+//!
+//! * `TA` — the precision in which the matrix values are *stored*
+//!   (fp64/fp32/fp16 depending on the nesting level, Table 1),
+//! * `TV` — the precision of the input/output vectors.
+//!
+//! Arithmetic follows the paper's rule that "higher-precision instructions
+//! are used when the inputs differ in precision": each row accumulates in
+//! `TV::Accum` (fp32 when the vectors are fp16, otherwise the vector
+//! precision itself), and matrix entries are widened into that type before
+//! multiplying.
+//!
+//! Every kernel has a sequential and a rayon-parallel variant; the
+//! un-suffixed entry points dispatch on problem size so small systems do not
+//! pay the fork/join overhead.
+
+use f3r_precision::Scalar;
+use rayon::prelude::*;
+
+use crate::csr::CsrMatrix;
+use crate::sell::SellMatrix;
+
+/// Row count above which the dispatching wrappers switch to rayon.
+pub const PAR_ROW_THRESHOLD: usize = 1 << 14;
+
+/// Minimum rows handled per rayon task, to bound scheduling overhead.
+const MIN_ROWS_PER_TASK: usize = 1 << 10;
+
+#[inline(always)]
+fn spmv_row<TA: Scalar, TV: Scalar>(cols: &[u32], vals: &[TA], x: &[TV]) -> TV {
+    let mut acc = <TV::Accum as Scalar>::zero();
+    for (&c, &a) in cols.iter().zip(vals.iter()) {
+        let xv = <TV::Accum as Scalar>::from_f64(x[c as usize].to_f64());
+        let av = <TV::Accum as Scalar>::from_f64(a.to_f64());
+        acc = av.mul_add(xv, acc);
+    }
+    TV::from_f64(acc.to_f64())
+}
+
+/// Sequential CSR SpMV: `y = A x`.
+///
+/// # Panics
+/// Panics if the vector lengths do not match the matrix dimensions.
+pub fn spmv_seq<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV]) {
+    assert_eq!(x.len(), a.n_cols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv: y length mismatch");
+    for (row, yi) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row_entries(row);
+        *yi = spmv_row(cols, vals, x);
+    }
+}
+
+/// Rayon-parallel CSR SpMV: `y = A x` (row-wise parallelism).
+pub fn spmv_par<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV]) {
+    assert_eq!(x.len(), a.n_cols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv: y length mismatch");
+    y.par_iter_mut()
+        .with_min_len(MIN_ROWS_PER_TASK)
+        .enumerate()
+        .for_each(|(row, yi)| {
+            let (cols, vals) = a.row_entries(row);
+            *yi = spmv_row(cols, vals, x);
+        });
+}
+
+/// CSR SpMV dispatching between the sequential and parallel kernels based on
+/// the number of rows.
+pub fn spmv<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV]) {
+    if a.n_rows() >= PAR_ROW_THRESHOLD {
+        spmv_par(a, x, y);
+    } else {
+        spmv_seq(a, x, y);
+    }
+}
+
+/// Fused residual kernel: `r = b - A x`, accumulating in `TV::Accum`.
+pub fn spmv_residual<TA: Scalar, TV: Scalar>(
+    a: &CsrMatrix<TA>,
+    x: &[TV],
+    b: &[TV],
+    r: &mut [TV],
+) {
+    assert_eq!(x.len(), a.n_cols(), "residual: x length mismatch");
+    assert_eq!(b.len(), a.n_rows(), "residual: b length mismatch");
+    assert_eq!(r.len(), a.n_rows(), "residual: r length mismatch");
+    let body = |row: usize, ri: &mut TV| {
+        let (cols, vals) = a.row_entries(row);
+        let ax = spmv_row(cols, vals, x);
+        let val = <TV::Accum as Scalar>::from_f64(b[row].to_f64())
+            - <TV::Accum as Scalar>::from_f64(ax.to_f64());
+        *ri = TV::from_f64(val.to_f64());
+    };
+    if a.n_rows() >= PAR_ROW_THRESHOLD {
+        r.par_iter_mut()
+            .with_min_len(MIN_ROWS_PER_TASK)
+            .enumerate()
+            .for_each(|(row, ri)| body(row, ri));
+    } else {
+        for (row, ri) in r.iter_mut().enumerate() {
+            body(row, ri);
+        }
+    }
+}
+
+/// Sequential sliced-ELLPACK SpMV: `y = A x`.
+///
+/// This is the kernel used by the "GPU node" experiment configuration
+/// (Section 5.2 uses sliced ELLPACK with a chunk size of 32).
+pub fn spmv_sell_seq<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &mut [TV]) {
+    assert_eq!(x.len(), a.n_cols(), "sell spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "sell spmv: y length mismatch");
+    for (row, yi) in y.iter_mut().enumerate() {
+        *yi = sell_row(a, row, x);
+    }
+}
+
+/// Rayon-parallel sliced-ELLPACK SpMV.
+pub fn spmv_sell_par<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &mut [TV]) {
+    assert_eq!(x.len(), a.n_cols(), "sell spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "sell spmv: y length mismatch");
+    y.par_iter_mut()
+        .with_min_len(MIN_ROWS_PER_TASK)
+        .enumerate()
+        .for_each(|(row, yi)| *yi = sell_row(a, row, x));
+}
+
+/// Sliced-ELLPACK SpMV dispatching on problem size.
+pub fn spmv_sell<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &mut [TV]) {
+    if a.n_rows() >= PAR_ROW_THRESHOLD {
+        spmv_sell_par(a, x, y);
+    } else {
+        spmv_sell_seq(a, x, y);
+    }
+}
+
+#[inline(always)]
+fn sell_row<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, row: usize, x: &[TV]) -> TV {
+    let mut acc = <TV::Accum as Scalar>::zero();
+    for (c, v) in a.row_iter(row) {
+        let xv = <TV::Accum as Scalar>::from_f64(x[c].to_f64());
+        let av = <TV::Accum as Scalar>::from_f64(v.to_f64());
+        acc = av.mul_add(xv, acc);
+    }
+    TV::from_f64(acc.to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use half::f16;
+
+    fn tridiag(n: usize) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        let a = tridiag(10);
+        let x: Vec<f64> = (0..10).map(|i| (i as f64 + 1.0) * 0.1).collect();
+        let mut y = vec![0.0; 10];
+        spmv_seq(&a, &x, &mut y);
+        for i in 0..10 {
+            let mut expect = 2.0 * x[i];
+            if i > 0 {
+                expect -= x[i - 1];
+            }
+            if i + 1 < 10 {
+                expect -= x[i + 1];
+            }
+            assert!((y[i] - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = tridiag(5000);
+        let x: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let mut y1 = vec![0.0; 5000];
+        let mut y2 = vec![0.0; 5000];
+        spmv_seq(&a, &x, &mut y1);
+        spmv_par(&a, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn mixed_precision_fp16_matrix_fp32_vectors() {
+        let a = tridiag(50);
+        let a16: CsrMatrix<f16> = a.to_precision();
+        let x: Vec<f32> = (0..50).map(|i| (i as f32 * 0.01).cos()).collect();
+        let mut y64 = vec![0.0f64; 50];
+        let x64: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+        spmv_seq(&a, &x64, &mut y64);
+        let mut y = vec![0.0f32; 50];
+        spmv_seq(&a16, &x, &mut y);
+        for i in 0..50 {
+            assert!(
+                (f64::from(y[i]) - y64[i]).abs() < 1e-2,
+                "row {i}: {} vs {}",
+                y[i],
+                y64[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pure_fp16_spmv_accumulates_in_fp32() {
+        // With many same-sign terms an fp16 accumulation would visibly drift;
+        // the f32 accumulation keeps the row sums near-exact for values that
+        // are exactly representable in fp16.
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a: CsrMatrix<f16> = coo.to_csr().to_precision();
+        let x = vec![f16::from_f32(1.0); n];
+        let mut y = vec![f16::from_f32(0.0); n];
+        spmv_seq(&a, &x, &mut y);
+        for yi in &y {
+            assert_eq!(yi.to_f64(), n as f64);
+        }
+    }
+
+    #[test]
+    fn residual_kernel_matches_separate_ops() {
+        let a = tridiag(200);
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut ax = vec![0.0; 200];
+        spmv_seq(&a, &x, &mut ax);
+        let mut r = vec![0.0; 200];
+        spmv_residual(&a, &x, &b, &mut r);
+        for i in 0..200 {
+            assert!((r[i] - (b[i] - ax[i])).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sell_matches_csr() {
+        let a = tridiag(1000);
+        let sell = SellMatrix::from_csr(&a, 32);
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y1 = vec![0.0; 1000];
+        let mut y2 = vec![0.0; 1000];
+        let mut y3 = vec![0.0; 1000];
+        spmv_seq(&a, &x, &mut y1);
+        spmv_sell_seq(&sell, &x, &mut y2);
+        spmv_sell_par(&sell, &x, &mut y3);
+        for i in 0..1000 {
+            assert!((y1[i] - y2[i]).abs() < 1e-13);
+            assert!((y1[i] - y3[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = tridiag(4);
+        let x = vec![0.0f64; 3];
+        let mut y = vec![0.0f64; 4];
+        spmv_seq(&a, &x, &mut y);
+    }
+}

@@ -1,0 +1,86 @@
+//! Matrix statistics used to build the Table 2 style suite description.
+
+use f3r_precision::Scalar;
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrMatrix;
+
+/// Summary statistics of a test matrix, mirroring the columns of Table 2 in
+/// the paper (`n`, `nnz`, `nnz/n`) plus a few structural measures used by the
+/// experiment reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Matrix dimension `n`.
+    pub n: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Average nonzeros per row.
+    pub nnz_per_row: f64,
+    /// Whether the matrix is numerically symmetric (tolerance `1e-12`).
+    pub symmetric: bool,
+    /// Largest absolute entry.
+    pub max_abs: f64,
+    /// Fraction of rows that are strictly diagonally dominant.
+    pub diag_dominant_fraction: f64,
+}
+
+impl MatrixStats {
+    /// Compute statistics for a matrix.
+    #[must_use]
+    pub fn compute<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        let n = a.n_rows();
+        let mut dominant = 0usize;
+        for row in 0..n {
+            let (cols, vals) = a.row_entries(row);
+            let mut diag = 0.0f64;
+            let mut off = 0.0f64;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if c as usize == row {
+                    diag = v.to_f64().abs();
+                } else {
+                    off += v.to_f64().abs();
+                }
+            }
+            if diag > off {
+                dominant += 1;
+            }
+        }
+        Self {
+            n,
+            nnz: a.nnz(),
+            nnz_per_row: a.nnz_per_row(),
+            symmetric: a.is_symmetric(1e-12),
+            max_abs: a.max_abs(),
+            diag_dominant_fraction: if n == 0 { 0.0 } else { dominant as f64 / n as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::hpcg::hpcg_matrix;
+    use crate::gen::hpgmp::hpgmp_matrix;
+
+    #[test]
+    fn hpcg_stats_match_paper_structure() {
+        let a = hpcg_matrix(8, 8, 8);
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.n, 512);
+        assert!(s.symmetric);
+        // interior rows have 27 entries; nnz/n approaches 27 from below
+        assert!(s.nnz_per_row > 15.0 && s.nnz_per_row < 27.0);
+        assert_eq!(s.max_abs, 26.0);
+        // 27-point stencil rows are weakly dominant (26 vs 26) except at the
+        // boundary where they are strictly dominant.
+        assert!(s.diag_dominant_fraction > 0.5);
+    }
+
+    #[test]
+    fn hpgmp_is_nonsymmetric() {
+        let a = hpgmp_matrix(6, 6, 6, 0.5);
+        let s = MatrixStats::compute(&a);
+        assert!(!s.symmetric);
+        assert_eq!(s.n, 216);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: solve one HPCG-style system with fp16-F3R and print what the
+//! solver did.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use f3r::prelude::*;
+use f3r::sparse::gen::{hpcg_matrix, random_rhs};
+use f3r::sparse::scaling::jacobi_scale;
+
+fn main() {
+    // 1. Build the problem: the HPCG 27-point stencil on a 24^3 grid,
+    //    diagonally scaled, with a random right-hand side in [0, 1).
+    let grid = 24;
+    let a = jacobi_scale(&hpcg_matrix(grid, grid, grid));
+    let n = a.n_rows();
+    let b = random_rhs(n, 2025);
+    println!("problem: HPCG {grid}x{grid}x{grid}  n = {n}, nnz = {}", a.nnz());
+
+    // 2. Configure fp16-F3R exactly as in Table 1 of the paper:
+    //    (F100, F8, F4, R2, M) with IC(0) as the primary preconditioner.
+    let matrix = Arc::new(ProblemMatrix::from_csr(a));
+    let settings = SolverSettings {
+        precond: PrecondKind::Ic0 { alpha: 1.0 },
+        tol: 1e-8,
+        max_outer_cycles: 3,
+    };
+    let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings);
+    println!("solver:  {} {}", spec.name, spec.tuple_notation());
+
+    // 3. Solve.
+    let mut solver = NestedSolver::new(matrix, spec);
+    let mut x = vec![0.0; n];
+    let result = solver.solve(&b, &mut x);
+
+    // 4. Report.
+    println!("converged              : {}", result.converged);
+    println!("true relative residual : {:.3e}", result.final_relative_residual);
+    println!("outer iterations       : {}", result.outer_iterations);
+    println!("M applications         : {}", result.precond_applications);
+    println!("wall-clock seconds     : {:.3}", result.seconds);
+    for prec in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+        println!(
+            "traffic in {prec:>4}        : {:6.1}%  ({} MiB modeled)",
+            100.0 * result.counters.traffic_fraction(prec),
+            result.counters.bytes_in(prec) / (1 << 20)
+        );
+    }
+}

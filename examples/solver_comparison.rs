@@ -1,0 +1,90 @@
+//! Compare F3R against the conventional Krylov baselines of the paper
+//! (CG, BiCGStab, restarted FGMRES(64)) on one symmetric and one
+//! nonsymmetric problem — a miniature version of Figure 1.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example solver_comparison
+//! ```
+
+use std::sync::Arc;
+
+use f3r::prelude::*;
+use f3r::sparse::gen::{hpcg_matrix, hpgmp_matrix, random_rhs};
+use f3r::sparse::scaling::jacobi_scale;
+use f3r::sparse::CsrMatrix;
+
+fn run_all(label: &str, a: CsrMatrix<f64>, symmetric: bool) {
+    let n = a.n_rows();
+    let b = random_rhs(n, 11);
+    let matrix = Arc::new(ProblemMatrix::from_csr(a));
+    let precond = if symmetric {
+        PrecondKind::BlockJacobiIc0 { blocks: 8, alpha: 1.0 }
+    } else {
+        PrecondKind::BlockJacobiIlu0 { blocks: 8, alpha: 1.0 }
+    };
+    let settings = SolverSettings {
+        precond,
+        ..SolverSettings::default()
+    };
+    let baseline_cfg = |prec| BaselineConfig {
+        precond,
+        precond_prec: prec,
+        tol: 1e-8,
+        max_iterations: 10_000,
+    };
+
+    println!("\n=== {label}  (n = {n}) ===");
+    println!("{:<18} {:>9} {:>12} {:>14} {:>10}", "solver", "converged", "time [s]", "M applications", "rel. res.");
+
+    let report = |name: String, result: SolveResult| {
+        println!(
+            "{:<18} {:>9} {:>12.3} {:>14} {:>10.2e}",
+            name,
+            result.converged,
+            result.seconds,
+            result.precond_applications,
+            result.final_relative_residual
+        );
+    };
+
+    for scheme in [F3rScheme::Fp64, F3rScheme::Fp32, F3rScheme::Fp16] {
+        let mut s = NestedSolver::new(
+            Arc::clone(&matrix),
+            f3r_spec(F3rParams::default(), scheme, &settings),
+        );
+        let mut x = vec![0.0; n];
+        let r = s.solve(&b, &mut x);
+        report(s.name(), r);
+    }
+
+    if symmetric {
+        let mut s = CgSolver::new(Arc::clone(&matrix), baseline_cfg(Precision::Fp64));
+        let mut x = vec![0.0; n];
+        let r = s.solve(&b, &mut x);
+        report(s.name(), r);
+    } else {
+        let mut s = BiCgStabSolver::new(Arc::clone(&matrix), baseline_cfg(Precision::Fp64));
+        let mut x = vec![0.0; n];
+        let r = s.solve(&b, &mut x);
+        report(s.name(), r);
+    }
+
+    let mut s = RestartedFgmresSolver::new(Arc::clone(&matrix), 64, baseline_cfg(Precision::Fp64));
+    let mut x = vec![0.0; n];
+    let r = s.solve(&b, &mut x);
+    report(s.name(), r);
+}
+
+fn main() {
+    run_all(
+        "HPCG 20x20x20 (symmetric positive definite)",
+        jacobi_scale(&hpcg_matrix(20, 20, 20)),
+        true,
+    );
+    run_all(
+        "HPGMP 20x20x20, beta = 0.5 (nonsymmetric)",
+        jacobi_scale(&hpgmp_matrix(20, 20, 20, 0.5)),
+        false,
+    );
+}

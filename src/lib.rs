@@ -1,0 +1,64 @@
+//! # f3r — a reproduction of *"A Nested Krylov Method Using Half-Precision
+//! Arithmetic"* (Suzuki & Iwashita, 2025)
+//!
+//! This umbrella crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`precision`] — fp64/fp32/fp16 scalar abstraction, conversions, the
+//!   Section 4.1 memory-traffic model and instrumentation counters,
+//! * [`sparse`] — CSR / sliced-ELLPACK storage, mixed-precision SpMV, BLAS-1
+//!   kernels, HPCG/HPGMP and synthetic problem generators, Matrix Market I/O,
+//! * [`precond`] — ILU(0), IC(0), block-Jacobi, Jacobi and SD-AINV-style
+//!   preconditioners with mixed-precision storage,
+//! * [`core`] — the F3R solver itself, the nested-solver framework, the
+//!   adaptive-weight Richardson sweep (Algorithm 1), the CG / BiCGStab /
+//!   FGMRES(64) baselines and the cost model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use f3r::prelude::*;
+//!
+//! // Build a small HPCG-style SPD problem (27-point stencil), diagonally
+//! // scaled as in the paper, and a random right-hand side in [0, 1).
+//! let a = f3r::sparse::scaling::jacobi_scale(&f3r::sparse::gen::hpcg_matrix(8, 8, 8));
+//! let n = a.n_rows();
+//! let b = f3r::sparse::gen::random_rhs(n, 7);
+//!
+//! // Solve with fp16-F3R (the paper's default parameters).
+//! let matrix = Arc::new(ProblemMatrix::from_csr(a));
+//! let settings = SolverSettings {
+//!     precond: f3r::precond::PrecondKind::Ic0 { alpha: 1.0 },
+//!     ..SolverSettings::default()
+//! };
+//! let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+//! let mut x = vec![0.0; n];
+//! let result = solver.solve(&b, &mut x);
+//! assert!(result.converged && result.final_relative_residual < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use f3r_core as core;
+pub use f3r_precision as precision;
+pub use f3r_precond as precond;
+pub use f3r_sparse as sparse;
+
+/// One-stop re-exports for applications: solver presets, the nested-solver
+/// framework, the baselines and the result types.
+pub mod prelude {
+    pub use f3r_core::prelude::*;
+    pub use f3r_precision::{Precision, Scalar};
+    pub use f3r_precond::{PrecondKind, Preconditioner};
+    pub use f3r_sparse::{CooMatrix, CsrMatrix};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn re_exports_are_wired() {
+        assert_eq!(crate::precision::Precision::Fp16.bytes(), 2);
+        let i = crate::sparse::CsrMatrix::<f64>::identity(3);
+        assert_eq!(i.nnz(), 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests pinning the qualitative claims of the paper that the
+//! reproduction is expected to preserve (the "shape" of the evaluation).
+
+use std::sync::Arc;
+
+use f3r::core::cost_model::{best_split, RowCosts};
+use f3r::prelude::*;
+use f3r::sparse::gen::{hpcg_matrix, hpgmp_matrix, random_rhs};
+use f3r::sparse::scaling::jacobi_scale;
+
+fn f3r_result(a: &f3r::sparse::CsrMatrix<f64>, symmetric: bool, scheme: F3rScheme) -> SolveResult {
+    let n = a.n_rows();
+    let b = random_rhs(n, 77);
+    let precond = if symmetric {
+        PrecondKind::BlockJacobiIc0 { blocks: 4, alpha: 1.0 }
+    } else {
+        PrecondKind::BlockJacobiIlu0 { blocks: 4, alpha: 1.0 }
+    };
+    let settings = SolverSettings {
+        precond,
+        ..SolverSettings::default()
+    };
+    let matrix = Arc::new(ProblemMatrix::from_csr(a.clone()));
+    let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), scheme, &settings));
+    let mut x = vec![0.0; n];
+    solver.solve(&b, &mut x)
+}
+
+/// Section 5.1 / Table 3: "there is no significant difference in the
+/// convergence rate, regardless of the use of lower-precision arithmetic in
+/// F3R" (the worst observed increase is ~9%).
+///
+/// F3R's preconditioner count is quantised to `m2·m3·m4 = 64` per outermost
+/// iteration, so on laptop-scale problems the comparison allows either a
+/// small relative increase or at most one extra outermost iteration.
+#[test]
+fn reduced_precision_does_not_degrade_convergence() {
+    let a = jacobi_scale(&hpcg_matrix(12, 12, 12));
+    let r64 = f3r_result(&a, true, F3rScheme::Fp64);
+    let r32 = f3r_result(&a, true, F3rScheme::Fp32);
+    let r16 = f3r_result(&a, true, F3rScheme::Fp16);
+    assert!(r64.converged && r32.converged && r16.converged);
+    let c64 = r64.precond_applications;
+    for (name, r) in [("fp32", &r32), ("fp16", &r16)] {
+        let c = r.precond_applications;
+        let ratio = c as f64 / c64 as f64;
+        let extra_outer = c.saturating_sub(c64) <= 64;
+        assert!(
+            ratio < 1.15 || extra_outer,
+            "{name}-F3R needed {ratio:.2}x the preconditioning steps of fp64-F3R ({c} vs {c64})"
+        );
+    }
+}
+
+/// Section 4 / Figure 1: the benefit of fp16 comes from reduced data
+/// movement; the fp16 scheme must move substantially fewer modeled bytes
+/// than the fp64 scheme, with fp32 in between.
+#[test]
+fn traffic_ordering_fp16_lt_fp32_lt_fp64() {
+    let a = jacobi_scale(&hpcg_matrix(10, 10, 10));
+    let b64 = f3r_result(&a, true, F3rScheme::Fp64).modeled_bytes() as f64;
+    let b32 = f3r_result(&a, true, F3rScheme::Fp32).modeled_bytes() as f64;
+    let b16 = f3r_result(&a, true, F3rScheme::Fp16).modeled_bytes() as f64;
+    assert!(b16 < b32 && b32 < b64, "traffic not ordered: {b16} {b32} {b64}");
+    assert!(
+        b64 / b16 > 1.4,
+        "fp16-F3R should reduce modeled traffic by well over 1.4x, got {:.2}",
+        b64 / b16
+    );
+}
+
+/// Section 5.1: most of fp16-F3R's data movement happens in low precision —
+/// the whole point of pushing fp16 into the inner solvers.
+#[test]
+fn majority_of_fp16_f3r_traffic_is_low_precision() {
+    let a = jacobi_scale(&hpcg_matrix(10, 10, 10));
+    let r = f3r_result(&a, true, F3rScheme::Fp16);
+    let frac16 = r.counters.traffic_fraction(Precision::Fp16);
+    let frac32 = r.counters.traffic_fraction(Precision::Fp32);
+    assert!(
+        frac16 + frac32 > 0.6,
+        "only {:.0}% of traffic below fp64",
+        100.0 * (frac16 + frac32)
+    );
+    assert!(frac16 > 0.25, "only {:.0}% of traffic in fp16", 100.0 * frac16);
+}
+
+/// Section 5.1: F3R's advantage over restarted FGMRES(64) comes from the
+/// much cheaper Arnoldi process of its nested structure plus the fp16
+/// storage.  The scale-robust form of that claim is *per preconditioning
+/// step*: fp16-F3R must move clearly fewer modeled bytes per application of
+/// `M` than fp64-FGMRES(64) does.  (Total traffic also favours F3R on the
+/// paper's hard problems, but at laptop scale easy problems converge in a
+/// fraction of one FGMRES(64) cycle, so the per-step form is asserted.)
+#[test]
+fn f3r_beats_restarted_fgmres_in_traffic() {
+    let a = jacobi_scale(&hpgmp_matrix(10, 10, 10, 0.5));
+    let n = a.n_rows();
+    let b = random_rhs(n, 9);
+    let matrix = Arc::new(ProblemMatrix::from_csr(a));
+    let precond = PrecondKind::BlockJacobiIlu0 { blocks: 4, alpha: 1.0 };
+    let settings = SolverSettings {
+        precond,
+        ..SolverSettings::default()
+    };
+
+    let mut f3r = NestedSolver::new(
+        Arc::clone(&matrix),
+        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
+    );
+    let mut x = vec![0.0; n];
+    let rf3r = f3r.solve(&b, &mut x);
+
+    let mut fgmres = RestartedFgmresSolver::new(
+        Arc::clone(&matrix),
+        64,
+        BaselineConfig {
+            precond,
+            max_iterations: 10_000,
+            ..BaselineConfig::default()
+        },
+    );
+    let mut x2 = vec![0.0; n];
+    let rfg = fgmres.solve(&b, &mut x2);
+
+    assert!(rf3r.converged && rfg.converged);
+    let f3r_per_step = rf3r.modeled_bytes() as f64 / rf3r.precond_applications as f64;
+    let fgmres_per_step = rfg.modeled_bytes() as f64 / rfg.precond_applications as f64;
+    assert!(
+        f3r_per_step < fgmres_per_step,
+        "fp16-F3R should move fewer bytes per preconditioning step than fp64-FGMRES(64): {f3r_per_step:.0} vs {fgmres_per_step:.0}"
+    );
+}
+
+/// Section 4.1 worked example: with cA = 45 and m = 64 the best two-level
+/// split is m̄ = 10, and nesting beats the reference.
+#[test]
+fn cost_model_worked_example() {
+    let best = best_split(RowCosts::paper_example(), 64);
+    assert_eq!(best.m_outer, 10);
+    assert!(best.nested_traffic < best.reference_traffic);
+}
+
+/// Section 6.2 (Assumption (ii)): replacing the innermost FGMRES(2) of F4 by
+/// Richardson(2) — i.e. going from F4 to fp16-F3R — must not change the
+/// number of preconditioning steps appreciably.  A weak Jacobi primary
+/// preconditioner is used so that convergence takes enough outermost
+/// iterations for the 64-per-iteration quantisation not to dominate.
+#[test]
+fn richardson_innermost_matches_fgmres2_innermost() {
+    let a = jacobi_scale(&hpcg_matrix(12, 12, 12));
+    let n = a.n_rows();
+    let b = random_rhs(n, 21);
+    let matrix = Arc::new(ProblemMatrix::from_csr(a));
+    let settings = SolverSettings {
+        precond: PrecondKind::Jacobi,
+        ..SolverSettings::default()
+    };
+    let mut f3r = NestedSolver::new(
+        Arc::clone(&matrix),
+        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
+    );
+    let mut f4 = NestedSolver::new(Arc::clone(&matrix), f4_spec(&settings));
+    let mut x = vec![0.0; n];
+    let r_f3r = f3r.solve(&b, &mut x);
+    let mut x2 = vec![0.0; n];
+    let r_f4 = f4.solve(&b, &mut x2);
+    assert!(r_f3r.converged && r_f4.converged);
+    let ratio = r_f3r.precond_applications as f64 / r_f4.precond_applications as f64;
+    let within_one_outer =
+        r_f3r.precond_applications.abs_diff(r_f4.precond_applications) <= 64;
+    assert!(
+        (0.55..=1.8).contains(&ratio) || within_one_outer,
+        "fp16-F3R vs F4 preconditioning-step ratio {ratio:.2} ({} vs {})",
+        r_f3r.precond_applications,
+        r_f4.precond_applications
+    );
+}

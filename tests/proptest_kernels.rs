@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) on the core data structures and numeric
+//! invariants of the workspace.
+
+use f3r::precision::{convert_vec, Precision, Scalar};
+use f3r::prelude::*;
+use f3r::sparse::blas1;
+use f3r::sparse::gen::random_spd;
+use f3r::sparse::scaling::jacobi_scale;
+use f3r::sparse::spmv::{spmv_par, spmv_seq};
+use f3r::sparse::{CooMatrix, CsrMatrix, SellMatrix};
+use half::f16;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a small random sparse square matrix given as triplets.
+fn sparse_triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -10.0..10.0f64),
+        1..max_entries,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO → CSR assembly preserves the sum of every coordinate's entries.
+    #[test]
+    fn coo_to_csr_preserves_entries(triplets in sparse_triplets(12, 60)) {
+        let mut coo = CooMatrix::<f64>::new(12, 12);
+        let mut dense = vec![vec![0.0f64; 12]; 12];
+        for &(r, c, v) in &triplets {
+            coo.push(r, c, v);
+            dense[r][c] += v;
+        }
+        let csr = coo.to_csr();
+        for r in 0..12 {
+            for c in 0..12 {
+                let stored = csr.get(r, c).unwrap_or(0.0);
+                prop_assert!((stored - dense[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// CSR transpose is an involution.
+    #[test]
+    fn transpose_twice_is_identity(triplets in sparse_triplets(10, 50)) {
+        let mut coo = CooMatrix::<f64>::new(10, 10);
+        for &(r, c, v) in &triplets {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// Sequential, parallel and sliced-ELLPACK SpMV agree.
+    #[test]
+    fn spmv_kernels_agree(triplets in sparse_triplets(16, 100), x in prop::collection::vec(-5.0..5.0f64, 16)) {
+        let mut coo = CooMatrix::<f64>::new(16, 16);
+        for &(r, c, v) in &triplets {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let sell = SellMatrix::from_csr(&a, 4);
+        let mut y1 = vec![0.0; 16];
+        let mut y2 = vec![0.0; 16];
+        let mut y3 = vec![0.0; 16];
+        spmv_seq(&a, &x, &mut y1);
+        spmv_par(&a, &x, &mut y2);
+        f3r::sparse::spmv::spmv_sell_seq(&sell, &x, &mut y3);
+        for i in 0..16 {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-10);
+            prop_assert!((y1[i] - y3[i]).abs() < 1e-10);
+        }
+    }
+
+    /// Precision round-trips: f64 -> f16 -> f64 error is bounded by the fp16
+    /// unit roundoff relative to the magnitude (for values in fp16 range).
+    #[test]
+    fn fp16_roundtrip_error_is_bounded(values in prop::collection::vec(-1000.0..1000.0f64, 1..64)) {
+        let lo: Vec<f16> = convert_vec(&values);
+        let back: Vec<f64> = convert_vec(&lo);
+        for (orig, round) in values.iter().zip(back.iter()) {
+            let tol = orig.abs() * f64::from(half::f16::EPSILON) + 1e-7;
+            prop_assert!((orig - round).abs() <= tol, "{} -> {}", orig, round);
+        }
+    }
+
+    /// Dot product is symmetric and ‖x‖² = (x, x) for every precision.
+    #[test]
+    fn dot_and_norm_are_consistent(x in prop::collection::vec(-3.0..3.0f64, 1..80), seed in 0u64..100) {
+        let y: Vec<f64> = x.iter().rev().map(|v| v * (seed as f64 % 7.0 + 0.5)).collect();
+        prop_assert!((blas1::dot(&x, &y) - blas1::dot(&y, &x)).abs() < 1e-9);
+        let n2 = blas1::norm2(&x);
+        prop_assert!((n2 * n2 - blas1::dot(&x, &x)).abs() < 1e-9 * (1.0 + n2 * n2));
+    }
+
+    /// Jacobi scaling always produces a unit diagonal (up to roundoff) and
+    /// preserves symmetry of SPD matrices.
+    #[test]
+    fn jacobi_scaling_normalises_diagonal(n in 3usize..20, nnz in 2usize..6, seed in 0u64..50) {
+        let a = random_spd(n, nnz, 0.7, seed);
+        let scaled = jacobi_scale(&a);
+        for i in 0..n {
+            let d = scaled.get(i, i).unwrap_or(0.0);
+            prop_assert!((d - 1.0).abs() < 1e-12, "diag {} = {}", i, d);
+        }
+        prop_assert!(scaled.is_symmetric(1e-12));
+        prop_assert!(scaled.max_abs() <= 1.0 + 1e-9);
+    }
+
+    /// The fp16 matrix copy used by the inner solvers never silently loses
+    /// the sparsity pattern, and its values stay within fp16 rounding of the
+    /// fp64 values after diagonal scaling.
+    #[test]
+    fn fp16_matrix_copy_is_faithful(n in 4usize..16, nnz in 2usize..5, seed in 0u64..50) {
+        let a = jacobi_scale(&random_spd(n, nnz, 0.5, seed));
+        let a16: CsrMatrix<f16> = a.to_precision();
+        prop_assert_eq!(a16.nnz(), a.nnz());
+        for row in 0..n {
+            let (cols, vals) = a.row_entries(row);
+            let (cols16, vals16) = a16.row_entries(row);
+            prop_assert_eq!(cols, cols16);
+            for (v, v16) in vals.iter().zip(vals16.iter()) {
+                prop_assert!((v - v16.to_f64()).abs() <= v.abs() * f64::from(half::f16::EPSILON) + 1e-7);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Solver-level properties are more expensive; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// fp16-F3R converges on random diagonally dominant SPD systems and its
+    /// reported residual matches an independent fp64 evaluation.
+    #[test]
+    fn f3r_converges_on_random_spd_systems(seed in 0u64..1000) {
+        let a = jacobi_scale(&random_spd(400, 8, 0.6, seed));
+        let n = a.n_rows();
+        let b = f3r::sparse::gen::random_rhs(n, seed.wrapping_add(1));
+        let matrix = Arc::new(ProblemMatrix::from_csr(a.clone()));
+        let settings = SolverSettings {
+            precond: PrecondKind::BlockJacobiIc0 { blocks: 4, alpha: 1.0 },
+            ..SolverSettings::default()
+        };
+        let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+        let mut x = vec![0.0; n];
+        let r = solver.solve(&b, &mut x);
+        prop_assert!(r.converged, "seed {} residual {}", seed, r.final_relative_residual);
+
+        let mut ax = vec![0.0; n];
+        spmv_seq(&a, &x, &mut ax);
+        let num: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!((num / den - r.final_relative_residual).abs() < 1e-10);
+        prop_assert!(num / den < 1e-8);
+    }
+
+    /// The preconditioner-invocation counter (the Table 3 metric) is exactly
+    /// m2·m3 invocations of the Richardson part per outermost iteration for
+    /// the default F3R parameters plus the Richardson-internal M calls.
+    #[test]
+    fn precond_count_scales_with_outer_iterations(seed in 0u64..200) {
+        let a = jacobi_scale(&random_spd(300, 6, 0.8, seed));
+        let n = a.n_rows();
+        let b = f3r::sparse::gen::random_rhs(n, seed);
+        let matrix = Arc::new(ProblemMatrix::from_csr(a));
+        let settings = SolverSettings {
+            precond: PrecondKind::Jacobi,
+            ..SolverSettings::default()
+        };
+        let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+        let mut x = vec![0.0; n];
+        let r = solver.solve(&b, &mut x);
+        prop_assert!(r.converged);
+        // Default parameters: every outermost iteration triggers m2*m3 = 32
+        // Richardson invocations of m4 = 2 sweeps, i.e. 64 M applications.
+        let per_outer = 64;
+        prop_assert_eq!(r.precond_applications, (r.outer_iterations as u64) * per_outer);
+    }
+}
+
+#[test]
+fn precision_enum_and_scalar_agree() {
+    // not property-based but belongs with the cross-crate invariants
+    assert_eq!(<f16 as Scalar>::PRECISION, Precision::Fp16);
+    assert_eq!(<f32 as Scalar>::PRECISION, Precision::Fp32);
+    assert_eq!(<f64 as Scalar>::PRECISION, Precision::Fp64);
+}
