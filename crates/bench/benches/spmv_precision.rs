@@ -1,11 +1,18 @@
 //! SpMV micro-benchmark across matrix storage precisions and backends —
 //! the bandwidth effect that Section 4 of the paper builds on.
+//!
+//! Every storage precision is timed with both the production direct-widening
+//! kernel (`spmv_seq`) and the pre-widening naive kernel preserved in
+//! `f3r_sparse::reference` (`naive_csr` rows: per-element `f64` round trip +
+//! scalar `mul_add`).  The fused SpMV+dot kernel used by the adaptive
+//! Richardson weight is timed against the unfused SpMV-then-two-dots
+//! sequence it replaces.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use f3r_bench::BenchProblem;
 use f3r_precision::{f16, Precision};
-use f3r_sparse::spmv::{spmv_seq, spmv_sell_seq};
-use f3r_sparse::SellMatrix;
+use f3r_sparse::spmv::{spmv_dot2, spmv_seq, spmv_sell_seq};
+use f3r_sparse::{blas1, reference, SellMatrix};
 use std::hint::black_box;
 
 fn bench_spmv(c: &mut Criterion) {
@@ -32,6 +39,39 @@ fn bench_spmv(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("csr", "A fp16 / x fp32"), |b| {
         b.iter(|| spmv_seq(black_box(&a16), black_box(&x32), black_box(&mut y32)))
+    });
+
+    // Pre-widening baselines (the seed kernels this layer replaced).
+    group.bench_function(BenchmarkId::new("naive_csr", "A fp64 / x fp64"), |b| {
+        b.iter(|| reference::spmv_seq_naive(black_box(a64), black_box(&x64), black_box(&mut y64)))
+    });
+    group.bench_function(BenchmarkId::new("naive_csr", "A fp32 / x fp32"), |b| {
+        b.iter(|| reference::spmv_seq_naive(black_box(&a32), black_box(&x32), black_box(&mut y32)))
+    });
+    group.bench_function(BenchmarkId::new("naive_csr", "A fp16 / x fp32"), |b| {
+        b.iter(|| reference::spmv_seq_naive(black_box(&a16), black_box(&x32), black_box(&mut y32)))
+    });
+
+    // Fused SpMV + dual dot (adaptive Richardson weight) vs. the unfused
+    // three-kernel sequence it replaces.
+    let u32v: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) / 7.0).collect();
+    group.bench_function(BenchmarkId::new("spmv_dot2", "A fp16 / x fp32"), |b| {
+        b.iter(|| {
+            black_box(spmv_dot2(
+                black_box(&a16),
+                black_box(&x32),
+                black_box(&u32v),
+                black_box(&mut y32),
+            ))
+        })
+    });
+    group.bench_function(BenchmarkId::new("spmv_then_dots", "A fp16 / x fp32"), |b| {
+        b.iter(|| {
+            spmv_seq(black_box(&a16), black_box(&x32), black_box(&mut y32));
+            let num = blas1::dot(black_box(&u32v), black_box(&y32));
+            let den = blas1::dot(black_box(&y32), black_box(&y32));
+            black_box((num, den))
+        })
     });
 
     let sell16 = SellMatrix::from_csr(&a16, 32);

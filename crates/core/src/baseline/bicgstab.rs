@@ -97,21 +97,19 @@ impl SparseSolver for BiCgStabSolver {
                     p[i] = r[i] + beta * (p[i] - omega * v[i]);
                 }
                 self.record_blas1(n, 3, 1);
-                // p_hat = M p ; v = A p_hat
+                // p_hat = M p ; v = A p_hat with (r̂, v) fused into the SpMV.
                 self.precond.apply_to(&p, &mut p_hat, &self.counters);
-                self.matrix.apply(Precision::Fp64, &p_hat, &mut v, &self.counters);
-                let rhat_v = blas1::dot(&r_hat, &v);
-                self.record_blas1(n, 2, 0);
+                let (rhat_v, _) =
+                    self.matrix.apply_dot2(Precision::Fp64, &p_hat, &r_hat, &mut v, &self.counters);
                 if rhat_v.abs() < f64::MIN_POSITIVE || !rhat_v.is_finite() {
                     stop_reason = StopReason::Breakdown;
                     break;
                 }
                 alpha = rho / rhat_v;
-                // s = r - alpha v
-                blas1::waxpby(1.0, &r, -alpha, &v, &mut s);
+                // s = r - alpha v fused with ‖s‖² for the early-exit check:
+                // three sweeps (read r, read v, write s) instead of four.
+                let snorm = blas1::waxpby_norm2(1.0, &r, -alpha, &v, &mut s).sqrt();
                 self.record_blas1(n, 2, 1);
-                let snorm = blas1::norm2(&s);
-                self.record_blas1(n, 1, 0);
                 if snorm / bnorm < self.config.tol {
                     // early exit: x += alpha * p_hat
                     blas1::axpy(alpha, &p_hat, x);
@@ -121,12 +119,11 @@ impl SparseSolver for BiCgStabSolver {
                     stop_reason = StopReason::Converged;
                     break;
                 }
-                // s_hat = M s ; t = A s_hat
+                // s_hat = M s ; t = A s_hat with (t, s) and (t, t) fused into
+                // the SpMV sweep — t is never re-read for the ω reductions.
                 self.precond.apply_to(&s, &mut s_hat, &self.counters);
-                self.matrix.apply(Precision::Fp64, &s_hat, &mut t, &self.counters);
-                let tt = blas1::dot(&t, &t);
-                let ts = blas1::dot(&t, &s);
-                self.record_blas1(n, 4, 0);
+                let (ts, tt) =
+                    self.matrix.apply_dot2(Precision::Fp64, &s_hat, &s, &mut t, &self.counters);
                 if tt.abs() < f64::MIN_POSITIVE || !tt.is_finite() {
                     stop_reason = StopReason::Breakdown;
                     break;

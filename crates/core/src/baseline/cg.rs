@@ -78,19 +78,19 @@ impl SparseSolver for CgSolver {
 
             for it in 1..=self.config.max_iterations {
                 iterations = it;
-                self.matrix.apply(Precision::Fp64, &p, &mut q, &self.counters);
-                let pq = blas1::dot(&p, &q);
-                self.record_blas1(n, 2, 0);
+                // q = A p with (p, q) folded into the SpMV sweep.
+                let (pq, _qq) =
+                    self.matrix.apply_dot2(Precision::Fp64, &p, &p, &mut q, &self.counters);
                 if !pq.is_finite() || pq.abs() < f64::MIN_POSITIVE {
                     stop_reason = StopReason::Breakdown;
                     break;
                 }
                 let alpha = rz / pq;
                 blas1::axpy(alpha, &p, x);
-                blas1::axpy(-alpha, &q, &mut r);
-                self.record_blas1(n, 4, 2);
-                let rel = blas1::norm2(&r) / bnorm;
-                self.record_blas1(n, 1, 0);
+                self.record_blas1(n, 2, 1);
+                // r ← r − α q fused with ‖r‖² for the convergence check.
+                let rel = blas1::axpy_norm2(-alpha, &q, &mut r).sqrt() / bnorm;
+                self.record_blas1(n, 2, 1);
                 history.push(rel);
                 if rel < self.config.tol {
                     converged = true;

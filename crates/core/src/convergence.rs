@@ -1,10 +1,9 @@
 //! Solve results, convergence histories and the common solver interface.
 
 use f3r_precision::CounterSnapshot;
-use serde::{Deserialize, Serialize};
 
 /// Why a solver stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
     /// The true relative residual dropped below the tolerance.
     Converged,
@@ -16,7 +15,7 @@ pub enum StopReason {
 }
 
 /// Outcome of one linear solve.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SolveResult {
     /// Whether the convergence criterion ‖b − A x‖₂/‖b‖₂ < tol was met.
     pub converged: bool,

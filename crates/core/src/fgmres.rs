@@ -167,21 +167,31 @@ pub fn fgmres_cycle<T: Scalar>(
         // performed only with vectors and scalars stored in fp32" for the
         // inner levels — the dots below accumulate in T::Accum).
         let hcol = &mut ws.h[j];
-        for i in 0..=j {
+        // Projection coefficients, two basis vectors per fused sweep.
+        let mut i = 0;
+        while i < j {
+            let (hi, hi1) = blas1::dot2(&ws.w, &ws.basis[i], &ws.w, &ws.basis[i + 1]);
+            hcol[i] = hi;
+            hcol[i + 1] = hi1;
+            i += 2;
+        }
+        if i <= j {
             hcol[i] = blas1::dot(&ws.w, &ws.basis[i]);
         }
         counters.record_blas1(
             T::PRECISION,
             TrafficModel::blas1_bytes(n, 2 * (j + 1), 0, T::PRECISION),
         );
-        for i in 0..=j {
-            blas1::axpy(-hcol[i], &ws.basis[i], &mut ws.w);
+        // Orthogonalisation updates; the last one is fused with the norm of
+        // the orthogonalised vector so w is not swept again for h_{j+1,j}.
+        for (hi, vi) in hcol.iter().zip(ws.basis.iter()).take(j) {
+            blas1::axpy(-hi, vi, &mut ws.w);
         }
+        let hnext = blas1::axpy_norm2(-hcol[j], &ws.basis[j], &mut ws.w).sqrt();
         counters.record_blas1(
             T::PRECISION,
             TrafficModel::blas1_bytes(n, 2 * (j + 1), j + 1, T::PRECISION),
         );
-        let hnext = blas1::norm2(&ws.w);
         hcol[j + 1] = hnext;
 
         // Apply the accumulated Givens rotations to the new column.
@@ -209,12 +219,11 @@ pub fn fgmres_cycle<T: Scalar>(
         if hnext <= f64::EPSILON * beta {
             // Lucky breakdown: the Krylov space is invariant.
             breakdown = true;
-            converged = abs_tol.map_or(true, |t| res_est <= t);
+            converged = abs_tol.is_none_or(|t| res_est <= t);
             break;
         }
-        // Normalise v_{j+1}.
-        ws.basis[j + 1].copy_from_slice(&ws.w);
-        blas1::scale(1.0 / hnext, &mut ws.basis[j + 1]);
+        // Normalise v_{j+1} (fused copy + scale, one sweep).
+        blas1::scale_into(1.0 / hnext, &ws.w, &mut ws.basis[j + 1]);
 
         if let Some(tol) = abs_tol {
             if res_est <= tol {
@@ -230,8 +239,8 @@ pub fn fgmres_cycle<T: Scalar>(
         let mut y = vec![0.0f64; iters];
         for i in (0..iters).rev() {
             let mut sum = ws.g[i];
-            for k in (i + 1)..iters {
-                sum -= ws.h[k][i] * y[k];
+            for (hk, &yk) in ws.h[(i + 1)..iters].iter().zip(y[(i + 1)..iters].iter()) {
+                sum -= hk[i] * yk;
             }
             let rii = ws.h[i][i];
             y[i] = if rii.abs() > 0.0 { sum / rii } else { 0.0 };

@@ -12,13 +12,15 @@ use std::sync::Arc;
 use f3r_precision::{f16, KernelCounters, Precision, Scalar};
 use f3r_precision::traffic::TrafficModel;
 use f3r_sparse::blas1;
-use f3r_sparse::spmv::{spmv, spmv_sell};
+use f3r_sparse::spmv::{spmv, spmv_dot2, spmv_residual, spmv_sell};
 use f3r_sparse::{CsrMatrix, SellMatrix};
 
 /// Which sparse matrix–vector kernel the solvers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
 pub enum SpmvBackend {
     /// Compressed sparse row (the paper's CPU-node configuration).
+    #[default]
     Csr,
     /// Sliced ELLPACK with the given chunk size (the paper's GPU-node
     /// configuration uses a chunk of 32).
@@ -28,11 +30,6 @@ pub enum SpmvBackend {
     },
 }
 
-impl Default for SpmvBackend {
-    fn default() -> Self {
-        SpmvBackend::Csr
-    }
-}
 
 /// Multi-precision copies of the coefficient matrix plus the SpMV backend.
 pub struct ProblemMatrix {
@@ -146,8 +143,70 @@ impl ProblemMatrix {
         }
     }
 
+    /// Compute `y = A x` and, in the same sweep, the two dot products
+    /// `(uᵀ y, yᵀ y)` — the reduction pair behind CG's `(p, Ap)`, BiCGStab's
+    /// `(t, s)/(t, t)` and the adaptive Richardson weight.
+    ///
+    /// With the CSR backend the dots are fused into the SpMV kernel
+    /// ([`spmv_dot2`]); the SELL backend falls back to the SpMV followed by
+    /// the one-pass [`blas1::dot_with_sqnorm`].
+    pub fn apply_dot2<TV: Scalar>(
+        &self,
+        mat_prec: Precision,
+        x: &[TV],
+        u: &[TV],
+        y: &mut [TV],
+        counters: &KernelCounters,
+    ) -> (f64, f64) {
+        counters.record_spmv(
+            mat_prec,
+            TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
+        );
+        match (self.backend, mat_prec) {
+            (SpmvBackend::Csr, Precision::Fp64) | (SpmvBackend::Csr, Precision::Fp32)
+            | (SpmvBackend::Csr, Precision::Fp16) => {
+                // The fused sweep reads `u` once on top of the SpMV traffic.
+                counters.record_blas1(
+                    TV::PRECISION,
+                    TrafficModel::blas1_bytes(self.n, 1, 0, TV::PRECISION),
+                );
+            }
+            (SpmvBackend::Sell { .. }, _) => {
+                // The SELL fallback runs a second pass reading y and u.
+                counters.record_blas1(
+                    TV::PRECISION,
+                    TrafficModel::blas1_bytes(self.n, 2, 0, TV::PRECISION),
+                );
+            }
+        }
+        match (self.backend, mat_prec) {
+            (SpmvBackend::Csr, Precision::Fp64) => spmv_dot2(&self.csr64, x, u, y),
+            (SpmvBackend::Csr, Precision::Fp32) => spmv_dot2(&self.csr32, x, u, y),
+            (SpmvBackend::Csr, Precision::Fp16) => spmv_dot2(&self.csr16, x, u, y),
+            (SpmvBackend::Sell { .. }, _) => {
+                match mat_prec {
+                    Precision::Fp64 => {
+                        spmv_sell(self.sell64.as_ref().expect("sell64 built"), x, y);
+                    }
+                    Precision::Fp32 => {
+                        spmv_sell(self.sell32.as_ref().expect("sell32 built"), x, y);
+                    }
+                    Precision::Fp16 => {
+                        spmv_sell(self.sell16.as_ref().expect("sell16 built"), x, y);
+                    }
+                }
+                let (uy, yy) = blas1::dot_with_sqnorm(y, u);
+                (uy, yy)
+            }
+        }
+    }
+
     /// Compute the residual `r = b - A x` with the matrix copy in `mat_prec`
     /// and vectors in `TV`.
+    ///
+    /// With the CSR backend this runs the fused [`spmv_residual`] kernel
+    /// (subtraction in the accumulation precision, one sweep); the SELL
+    /// backend subtracts in a second widening pass.
     pub fn residual<TV: Scalar>(
         &self,
         mat_prec: Precision,
@@ -156,13 +215,46 @@ impl ProblemMatrix {
         r: &mut [TV],
         counters: &KernelCounters,
     ) {
-        self.apply(mat_prec, x, r, counters);
-        counters.record_blas1(
-            TV::PRECISION,
-            TrafficModel::blas1_bytes(self.n, 2, 1, TV::PRECISION),
-        );
-        for i in 0..self.n {
-            r[i] = b[i] - r[i];
+        match self.backend {
+            // Fused kernel: reads b once, writes r once on top of the SpMV.
+            SpmvBackend::Csr => counters.record_blas1(
+                TV::PRECISION,
+                TrafficModel::blas1_bytes(self.n, 1, 1, TV::PRECISION),
+            ),
+            // SELL subtracts in a second pass: reads b and r, writes r.
+            SpmvBackend::Sell { .. } => counters.record_blas1(
+                TV::PRECISION,
+                TrafficModel::blas1_bytes(self.n, 2, 1, TV::PRECISION),
+            ),
+        }
+        match (self.backend, mat_prec) {
+            (SpmvBackend::Csr, Precision::Fp64) => {
+                counters.record_spmv(
+                    mat_prec,
+                    TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
+                );
+                spmv_residual(&self.csr64, x, b, r);
+            }
+            (SpmvBackend::Csr, Precision::Fp32) => {
+                counters.record_spmv(
+                    mat_prec,
+                    TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
+                );
+                spmv_residual(&self.csr32, x, b, r);
+            }
+            (SpmvBackend::Csr, Precision::Fp16) => {
+                counters.record_spmv(
+                    mat_prec,
+                    TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
+                );
+                spmv_residual(&self.csr16, x, b, r);
+            }
+            (SpmvBackend::Sell { .. }, _) => {
+                self.apply(mat_prec, x, r, counters);
+                for i in 0..self.n {
+                    r[i] = TV::narrow(b[i].widen() - r[i].widen());
+                }
+            }
         }
     }
 

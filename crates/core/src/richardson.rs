@@ -112,7 +112,7 @@ impl<T: Scalar> RichardsonLevel<T> {
         match self.strategy {
             WeightStrategy::Adaptive { cycle } => {
                 let c = cycle.max(1) as u64;
-                self.call_count % c == 0
+                self.call_count.is_multiple_of(c)
             }
             WeightStrategy::Fixed(_) => false,
         }
@@ -150,16 +150,14 @@ impl<T: Scalar> InnerSolver<T> for RichardsonLevel<T> {
 
             let omega = if update_call {
                 // ω'_k = (r, AMr) / (AMr, AMr), computed in fp32 precision or
-                // better (the dots below accumulate in T::Accum ≥ fp32).
+                // better (the fused kernel accumulates the dots in f64 from
+                // T::Accum ≥ fp32 operands).  The SpMV and both reductions
+                // run in one sweep: AMr is never re-read from memory.
                 let mut amr = std::mem::take(&mut self.amr);
-                self.matrix.apply(self.mat_prec, &self.mr, &mut amr, &self.counters);
+                let (num, den) =
+                    self.matrix
+                        .apply_dot2(self.mat_prec, &self.mr, &self.r, &mut amr, &self.counters);
                 self.amr = amr;
-                let num = blas1::dot(&self.r, &self.amr);
-                let den = blas1::dot(&self.amr, &self.amr);
-                self.counters.record_blas1(
-                    T::PRECISION,
-                    TrafficModel::blas1_bytes(n, 4, 0, T::PRECISION),
-                );
                 self.counters.record_weight_update();
                 let omega_opt = if den > 0.0 { num / den } else { 1.0 };
                 // Fold into the running average (Eq. 5); the step itself uses

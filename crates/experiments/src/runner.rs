@@ -31,11 +31,11 @@ pub enum NodeConfig {
 }
 
 impl NodeConfig {
-    /// Default CPU-node configuration: one block per rayon thread.
+    /// Default CPU-node configuration: one block per worker thread.
     #[must_use]
     pub fn cpu_default() -> Self {
         NodeConfig::Cpu {
-            blocks: rayon::current_num_threads().max(2),
+            blocks: f3r_parallel::current_num_threads().max(2),
         }
     }
 

@@ -1,0 +1,258 @@
+//! Scoped-thread data parallelism for the F3R kernel layer.
+//!
+//! The sparse kernels previously used rayon's parallel iterators; this crate
+//! replaces that external dependency with a small set of first-party helpers
+//! built on [`std::thread::scope`].  The helpers are deliberately shaped
+//! around how the kernels actually parallelise:
+//!
+//! * [`par_chunks_mut`] — split an output slice into contiguous chunks and
+//!   process each chunk on its own thread (SpMV rows, axpy-style updates),
+//! * [`par_map_ranges`] — map disjoint index ranges to per-chunk results and
+//!   collect them in order (chunked reductions: dot products, norms),
+//! * [`par_for_each_mut`] / [`par_map`] — parallelise over a small list of
+//!   unevenly sized items (block-Jacobi blocks).
+//!
+//! Threads are spawned per call, so callers must gate on a problem-size
+//! threshold (the kernels use `PAR_*_THRESHOLD` constants an order of
+//! magnitude above the spawn cost).  All helpers fall back to inline
+//! sequential execution when a single worker would be used, so small inputs
+//! and single-CPU machines never pay for a spawn.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads the helpers will use at most: the machine's
+/// available parallelism (1 if it cannot be queried).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of workers for `items` work items at granularity `grain`.
+fn workers(items: usize, grain: usize) -> usize {
+    if grain == 0 {
+        return 1;
+    }
+    (items / grain.max(1)).clamp(1, current_num_threads())
+}
+
+/// Process contiguous chunks of `data` in parallel.
+///
+/// `data` is split into roughly equal contiguous chunks of at least `grain`
+/// elements; `f` is called with each chunk's start offset in `data` and the
+/// mutable chunk itself.  Runs inline when one worker suffices.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], grain: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let nw = workers(n, grain);
+    if nw <= 1 {
+        f(0, data);
+        return;
+    }
+    let per = n.div_ceil(nw);
+    std::thread::scope(|s| {
+        let mut chunks = data.chunks_mut(per).enumerate();
+        let last = chunks.next_back();
+        for (i, chunk) in chunks {
+            let f = &f;
+            s.spawn(move || f(i * per, chunk));
+        }
+        // The caller would otherwise idle in the scope; give it the last
+        // chunk, saving one spawn per call.
+        if let Some((i, chunk)) = last {
+            f(i * per, chunk);
+        }
+    });
+}
+
+/// Process contiguous chunks of `data` in parallel, collecting a per-chunk
+/// result in chunk order.
+///
+/// Like [`par_chunks_mut`] but each chunk also produces a value — the shape
+/// fused kernels need (e.g. an SpMV that simultaneously accumulates dot
+/// products of its output).
+#[must_use]
+pub fn par_map_chunks_mut<T: Send, R: Send, F>(data: &mut [T], grain: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let n = data.len();
+    let nw = workers(n, grain);
+    if nw <= 1 {
+        return vec![f(0, data)];
+    }
+    let per = n.div_ceil(nw);
+    let mut out: Vec<Option<R>> = (0..n.div_ceil(per)).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut work: Vec<_> = data.chunks_mut(per).enumerate().zip(out.iter_mut()).collect();
+        let last = work.pop();
+        for ((i, chunk), slot) in work {
+            let f = &f;
+            s.spawn(move || *slot = Some(f(i * per, chunk)));
+        }
+        if let Some(((i, chunk), slot)) = last {
+            *slot = Some(f(i * per, chunk));
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker produced a result")).collect()
+}
+
+/// Map disjoint index ranges of `0..len` to per-range results, in order.
+///
+/// The index space is split into roughly equal ranges of at least `grain`
+/// indices; `f` maps each range to a result, and the results are returned in
+/// range order (so reductions stay deterministic for a fixed worker count —
+/// combine them with a fold on the caller side).
+#[must_use]
+pub fn par_map_ranges<R: Send, F>(len: usize, grain: usize, f: F) -> Vec<R>
+where
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let nw = workers(len, grain);
+    if nw <= 1 {
+        return vec![f(0..len)];
+    }
+    let per = len.div_ceil(nw);
+    let mut out: Vec<Option<R>> = (0..len.div_ceil(per)).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let count = out.len();
+        let mut slots = out.iter_mut().enumerate();
+        let last = slots.next_back();
+        debug_assert!(count >= 1);
+        for (i, slot) in slots {
+            let f = &f;
+            s.spawn(move || {
+                let start = i * per;
+                let end = (start + per).min(len);
+                *slot = Some(f(start..end));
+            });
+        }
+        if let Some((i, slot)) = last {
+            let start = i * per;
+            let end = (start + per).min(len);
+            *slot = Some(f(start..end));
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker produced a result")).collect()
+}
+
+/// Apply `f` to every item of `items` in parallel (uneven item costs are
+/// fine; items are dealt round-robin-free as contiguous groups).
+pub fn par_for_each_mut<I: Send, F>(items: &mut [I], f: F)
+where
+    F: Fn(usize, &mut I) + Sync,
+{
+    let n = items.len();
+    let nw = n.clamp(1, current_num_threads());
+    if nw <= 1 || n <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let per = n.div_ceil(nw);
+    std::thread::scope(|s| {
+        for (g, group) in items.chunks_mut(per).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, item) in group.iter_mut().enumerate() {
+                    f(g * per + j, item);
+                }
+            });
+        }
+    });
+}
+
+/// Map every item of `items` to a result in parallel, preserving order.
+#[must_use]
+pub fn par_map<T: Sync, R: Send, F>(items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let nw = n.clamp(1, current_num_threads());
+    if nw <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let per = n.div_ceil(nw);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (g, slots) in out.chunks_mut(per).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    let idx = g * per + j;
+                    *slot = Some(f(idx, &items[idx]));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker produced a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_element_exactly_once() {
+        let mut data = vec![0u32; 10_000];
+        par_chunks_mut(&mut data, 16, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v += (offset + i) as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn small_input_runs_inline() {
+        let mut data = vec![1u8; 3];
+        par_chunks_mut(&mut data, 1024, |offset, chunk| {
+            assert_eq!(offset, 0);
+            assert_eq!(chunk.len(), 3);
+        });
+    }
+
+    #[test]
+    fn ranges_partition_and_preserve_order() {
+        let sums = par_map_ranges(100_000, 1_000, |r| r.map(|i| i as u64).sum::<u64>());
+        let total: u64 = sums.iter().sum();
+        assert_eq!(total, 99_999 * 100_000 / 2);
+        assert!(!sums.is_empty());
+    }
+
+    #[test]
+    fn zero_length_range_map() {
+        let sums = par_map_ranges(0, 64, |r| r.len());
+        assert_eq!(sums, vec![0]);
+    }
+
+    #[test]
+    fn uneven_items_all_processed() {
+        let mut items: Vec<Vec<u8>> = (0..7).map(|i| vec![0u8; i + 1]).collect();
+        par_for_each_mut(&mut items, |idx, item| {
+            for v in item.iter_mut() {
+                *v = idx as u8 + 1;
+            }
+        });
+        for (idx, item) in items.iter().enumerate() {
+            assert!(item.iter().all(|&v| v == idx as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..133).collect();
+        let doubled = par_map(&items, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(doubled, (0..133).map(|v| v * 2).collect::<Vec<_>>());
+    }
+}

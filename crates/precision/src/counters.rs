@@ -11,8 +11,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::scalar::Precision;
 
 /// Shared, thread-safe set of kernel counters.
@@ -135,7 +133,7 @@ impl KernelCounters {
 }
 
 /// Plain-data snapshot of a [`KernelCounters`] instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CounterSnapshot {
     /// Invocations of the primary preconditioner `M`.
     pub precond_applies: u64,
@@ -200,8 +198,12 @@ impl CounterSnapshot {
             ]
         };
         let mut level_iterations = [0u64; 8];
-        for i in 0..8 {
-            level_iterations[i] = self.level_iterations[i].saturating_sub(earlier.level_iterations[i]);
+        for ((o, s), e) in level_iterations
+            .iter_mut()
+            .zip(self.level_iterations.iter())
+            .zip(earlier.level_iterations.iter())
+        {
+            *o = s.saturating_sub(*e);
         }
         CounterSnapshot {
             precond_applies: self.precond_applies.saturating_sub(earlier.precond_applies),

@@ -16,7 +16,6 @@ use core::fmt::{Debug, Display};
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 use half::f16;
-use serde::{Deserialize, Serialize};
 
 /// Runtime description of a floating-point precision.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// [`Scalar`] trait: solver configurations (e.g. "store the level-3 matrix in
 /// fp16") carry a `Precision`, and builders dispatch to the matching
 /// `Scalar` instantiation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Precision {
     /// IEEE binary16 (half precision), 2 bytes per value.
     Fp16,
@@ -129,7 +128,27 @@ pub trait Scalar:
 
     /// Accumulation type: long reductions over `Self` values should be done
     /// in this type.  `f32` for `f16`, otherwise `Self`.
-    type Accum: Scalar;
+    ///
+    /// The [`FromScalar`] bound lets mixed-precision kernels pull a matrix
+    /// value stored in *any* precision into this accumulator with one direct
+    /// conversion (`TA → TV::Accum`), which is what makes the
+    /// decoupled-storage/arithmetic scheme of the paper free at the kernel
+    /// level.
+    type Accum: FromScalar;
+
+    /// Widen directly into the accumulation precision.
+    ///
+    /// This is the streaming-kernel conversion: a single, exact `f16 → f32`
+    /// widening for half precision and the identity for `f32`/`f64`.  Hot
+    /// loops must use this (or [`Scalar::narrow`]) instead of the
+    /// `from_f64(x.to_f64())` round trip, which costs two conversions and two
+    /// rounding steps per element and blocks vectorisation.
+    fn widen(self) -> Self::Accum;
+
+    /// Round a value from the accumulation precision back into this
+    /// precision (round-to-nearest-even).  Identity for `f32`/`f64`, a
+    /// single `f32 → f16` rounding for half precision.
+    fn narrow(v: Self::Accum) -> Self;
 
     /// Additive identity.
     fn zero() -> Self;
@@ -172,10 +191,46 @@ pub trait Scalar:
     }
 }
 
+/// Direct conversion *into* an accumulation precision from any stored
+/// scalar.
+///
+/// Only `f32` and `f64` ever serve as accumulators, and both can absorb any
+/// stored precision with a single hardware (or, for `f16`, one software)
+/// conversion.  Kernels use this to widen matrix values stored in `TA` into
+/// the vector accumulator `TV::Accum` without the historical
+/// `from_f64(x.to_f64())` double conversion.
+pub trait FromScalar: Scalar {
+    /// Widen (or round, when the source is wider) `s` into this precision
+    /// with a single conversion.
+    fn from_scalar<S: Scalar>(s: S) -> Self;
+}
+
+impl FromScalar for f32 {
+    #[inline(always)]
+    fn from_scalar<S: Scalar>(s: S) -> f32 {
+        s.to_f32()
+    }
+}
+
+impl FromScalar for f64 {
+    #[inline(always)]
+    fn from_scalar<S: Scalar>(s: S) -> f64 {
+        s.to_f64()
+    }
+}
+
 impl Scalar for f64 {
     const PRECISION: Precision = Precision::Fp64;
     type Accum = f64;
 
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn narrow(v: f64) -> Self {
+        v
+    }
     #[inline(always)]
     fn zero() -> Self {
         0.0
@@ -223,6 +278,14 @@ impl Scalar for f32 {
     type Accum = f32;
 
     #[inline(always)]
+    fn widen(self) -> f32 {
+        self
+    }
+    #[inline(always)]
+    fn narrow(v: f32) -> Self {
+        v
+    }
+    #[inline(always)]
     fn zero() -> Self {
         0.0
     }
@@ -268,6 +331,14 @@ impl Scalar for f16 {
     const PRECISION: Precision = Precision::Fp16;
     type Accum = f32;
 
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self.to_f32()
+    }
+    #[inline(always)]
+    fn narrow(v: f32) -> Self {
+        f16::from_f32(v)
+    }
     #[inline(always)]
     fn zero() -> Self {
         f16::from_f32(0.0)
@@ -389,6 +460,42 @@ mod tests {
         assert_eq!(x.to_f64(), 1.0);
         let y = f16::from_f64(1.0 + 1.5 * 2.0_f64.powi(-10));
         assert!((y.to_f64() - (1.0 + 2.0 * 2.0_f64.powi(-10))).abs() < 1e-12 || (y.to_f64() - (1.0 + 2.0_f64.powi(-10))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widen_is_exact_and_narrow_rounds() {
+        fn roundtrip<T: Scalar>() {
+            // widen is exact: it must agree with the f64 path for every
+            // representable value we throw at it.
+            for &v in &[0.0, 1.0, -1.0, 0.5, -2.75, 1024.0] {
+                let x = T::from_f64(v);
+                assert_eq!(x.widen().to_f64(), x.to_f64());
+                // narrow ∘ widen is the identity on representable values
+                assert_eq!(T::narrow(x.widen()).to_f64(), x.to_f64());
+            }
+        }
+        roundtrip::<f16>();
+        roundtrip::<f32>();
+        roundtrip::<f64>();
+        // narrow applies round-to-nearest-even: 1 + 2^-11 in f32 is halfway
+        // between adjacent f16 values and must round down to 1.0.
+        let halfway = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(<f16 as Scalar>::narrow(halfway).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn widen_narrow_match_the_f64_round_trip() {
+        // The direct conversions must be numerically identical to the old
+        // from_f64(to_f64()) path — just cheaper.
+        for bits in (0..=0xFFFFu16).step_by(7) {
+            let h = f16::from_bits(bits);
+            if !h.is_finite() {
+                continue;
+            }
+            assert_eq!(h.widen(), f32::from_f64(h.to_f64()));
+            let w = h.widen() * 1.000_976_6; // perturb to force rounding
+            assert_eq!(<f16 as Scalar>::narrow(w), f16::from_f64(f64::from(w)));
+        }
     }
 
     #[test]

@@ -19,7 +19,6 @@
 //! columns.
 
 use crate::scalar::Precision;
-use serde::{Deserialize, Serialize};
 
 /// Per-row storage cost of a sparse operator, in *double-precision-equivalent
 /// words per row* (the unit the paper uses for `cA` and `cM`).
@@ -65,7 +64,7 @@ pub fn nested_fgmres_richardson_traffic(c_a: f64, c_m: f64, m_outer: f64, m_inne
 ///
 /// These are lower-bound "every operand streams from memory once" estimates,
 /// the same level of abstraction as the paper's model (no cache model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrafficModel;
 
 impl TrafficModel {
@@ -100,7 +99,7 @@ impl TrafficModel {
 
 /// Result of the Eq. 2 worked example in Section 4.1: given `cA` and `m`,
 /// find the inner/outer split minimising the two-level nested traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BestSplit {
     /// Outer iteration count `m̄`.
     pub m_outer: usize,

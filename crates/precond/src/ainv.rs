@@ -48,6 +48,7 @@ impl<T: Scalar> SdAinvPrecond<T> {
     /// # Panics
     /// Panics if `a` is not square or `order` is zero.
     #[must_use]
+    #[allow(clippy::needless_range_loop)] // row indexes the matrix and the diagonal
     pub fn new(a: &CsrMatrix<f64>, alpha: f64, order: usize) -> Self {
         assert!(a.is_square(), "SD-AINV requires a square matrix");
         assert!(order >= 1, "order must be at least 1");

@@ -9,7 +9,6 @@
 
 use f3r_precision::Scalar;
 use f3r_sparse::CsrMatrix;
-use rayon::prelude::*;
 
 use crate::ic0::Ic0Precond;
 use crate::ilu0::Ilu0Precond;
@@ -75,10 +74,9 @@ impl<P> BlockJacobiPrecond<P> {
         assert!(a.is_square(), "block-Jacobi requires a square matrix");
         let n = a.n_rows();
         let offsets = block_offsets(n, n_blocks);
-        let blocks: Vec<P> = offsets
-            .par_windows(2)
-            .map(|w| factorise(&a.diagonal_block(w[0], w[1])))
-            .collect();
+        let windows: Vec<(usize, usize)> = offsets.windows(2).map(|w| (w[0], w[1])).collect();
+        let blocks: Vec<P> =
+            f3r_parallel::par_map(&windows, |_, &(lo, hi)| factorise(&a.diagonal_block(lo, hi)));
         let nnz = blocks.iter().map(Preconditioner::nnz).sum();
         Self {
             blocks,
@@ -96,10 +94,21 @@ impl<P> BlockJacobiPrecond<P> {
     }
 }
 
+/// Total rows below which block applications run sequentially: scoped
+/// threads are spawned per call, so small systems (where a triangular solve
+/// is microseconds) must not pay the spawn cost on every `M` application.
+const PAR_APPLY_ROW_THRESHOLD: usize = 1 << 15;
+
 impl<T: Scalar, P: Preconditioner<T>> Preconditioner<T> for BlockJacobiPrecond<P> {
     fn apply(&self, r: &[T], z: &mut [T]) {
         assert_eq!(r.len(), self.n, "block-Jacobi: length mismatch");
         assert_eq!(z.len(), self.n, "block-Jacobi: length mismatch");
+        if self.n < PAR_APPLY_ROW_THRESHOLD {
+            for (b, w) in self.offsets.windows(2).enumerate() {
+                self.blocks[b].apply(&r[w[0]..w[1]], &mut z[w[0]..w[1]]);
+            }
+            return;
+        }
         // Split z into per-block mutable chunks, then solve blocks in parallel.
         let mut chunks: Vec<&mut [T]> = Vec::with_capacity(self.blocks.len());
         let mut rest = z;
@@ -108,13 +117,10 @@ impl<T: Scalar, P: Preconditioner<T>> Preconditioner<T> for BlockJacobiPrecond<P
             chunks.push(head);
             rest = tail;
         }
-        chunks
-            .into_par_iter()
-            .enumerate()
-            .for_each(|(b, z_block)| {
-                let (start, end) = (self.offsets[b], self.offsets[b + 1]);
-                self.blocks[b].apply(&r[start..end], z_block);
-            });
+        f3r_parallel::par_for_each_mut(&mut chunks, |b, z_block| {
+            let (start, end) = (self.offsets[b], self.offsets[b + 1]);
+            self.blocks[b].apply(&r[start..end], z_block);
+        });
     }
 
     fn dim(&self) -> usize {

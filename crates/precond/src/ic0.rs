@@ -138,33 +138,29 @@ impl<T: Scalar> Preconditioner<T> for Ic0Precond<T> {
         assert_eq!(z.len(), self.n, "IC(0): length mismatch");
         let n = self.n;
         // Forward solve L y = r (diagonal is the last entry of each row).
+        // All operands enter the accumulator with a single widening
+        // conversion (no f64 round trip).
         for i in 0..n {
-            let mut acc = <T::Accum as Scalar>::from_f64(r[i].to_f64());
+            let mut acc = r[i].widen();
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 let j = self.col_idx[k] as usize;
                 if j >= i {
                     break;
                 }
-                let l = <T::Accum as Scalar>::from_f64(self.values[k].to_f64());
-                let zj = <T::Accum as Scalar>::from_f64(z[j].to_f64());
-                acc = acc - l * zj;
+                acc -= self.values[k].widen() * z[j].widen();
             }
-            let inv = <T::Accum as Scalar>::from_f64(self.inv_diag[i].to_f64());
-            z[i] = T::from_f64((acc * inv).to_f64());
+            z[i] = T::narrow(acc * self.inv_diag[i].widen());
         }
         // Backward solve L^T z = y, traversing rows in reverse and scattering.
         for i in (0..n).rev() {
-            let inv = <T::Accum as Scalar>::from_f64(self.inv_diag[i].to_f64());
-            let zi = <T::Accum as Scalar>::from_f64(z[i].to_f64()) * inv;
-            z[i] = T::from_f64(zi.to_f64());
+            let zi = z[i].widen() * self.inv_diag[i].widen();
+            z[i] = T::narrow(zi);
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 let j = self.col_idx[k] as usize;
                 if j >= i {
                     break;
                 }
-                let l = <T::Accum as Scalar>::from_f64(self.values[k].to_f64());
-                let zj = <T::Accum as Scalar>::from_f64(z[j].to_f64());
-                z[j] = T::from_f64((zj - l * zi).to_f64());
+                z[j] = T::narrow(z[j].widen() - self.values[k].widen() * zi);
             }
         }
     }

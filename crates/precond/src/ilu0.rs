@@ -132,37 +132,33 @@ impl<T: Scalar> Ilu0Precond<T> {
     /// backward substitution `U z = y`, writing the result into `z`.
     fn solve(&self, r: &[T], z: &mut [T]) {
         let n = self.n;
-        // Forward: z temporarily holds y.
+        // Forward: z temporarily holds y.  All operands enter the
+        // accumulator with a single widening conversion (no f64 round trip).
         for i in 0..n {
             let start = self.row_ptr[i];
             let end = self.row_ptr[i + 1];
-            let mut acc = <T::Accum as Scalar>::from_f64(r[i].to_f64());
+            let mut acc = r[i].widen();
             for k in start..end {
                 let j = self.col_idx[k] as usize;
                 if j >= i {
                     break;
                 }
-                let l = <T::Accum as Scalar>::from_f64(self.values[k].to_f64());
-                let zj = <T::Accum as Scalar>::from_f64(z[j].to_f64());
-                acc = acc - l * zj;
+                acc -= self.values[k].widen() * z[j].widen();
             }
-            z[i] = T::from_f64(acc.to_f64());
+            z[i] = T::narrow(acc);
         }
         // Backward: U z = y.
         for i in (0..n).rev() {
             let start = self.row_ptr[i];
             let end = self.row_ptr[i + 1];
             let dpos = self.diag_pos[i];
-            let mut acc = <T::Accum as Scalar>::from_f64(z[i].to_f64());
+            let mut acc = z[i].widen();
             let ustart = if dpos == usize::MAX { start } else { start + dpos + 1 };
             for k in ustart..end {
                 let j = self.col_idx[k] as usize;
-                let u = <T::Accum as Scalar>::from_f64(self.values[k].to_f64());
-                let zj = <T::Accum as Scalar>::from_f64(z[j].to_f64());
-                acc = acc - u * zj;
+                acc -= self.values[k].widen() * z[j].widen();
             }
-            let inv = <T::Accum as Scalar>::from_f64(self.inv_diag[i].to_f64());
-            z[i] = T::from_f64((acc * inv).to_f64());
+            z[i] = T::narrow(acc * self.inv_diag[i].widen());
         }
     }
 }

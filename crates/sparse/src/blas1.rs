@@ -1,45 +1,188 @@
-//! Dense vector (BLAS-1) kernels, generic over the working precision.
+//! Dense vector (BLAS-1) kernels, generic over the working precision, built
+//! on direct widening.
 //!
 //! Reductions (dot products, norms) accumulate in [`Scalar::Accum`] — fp32
 //! for fp16 vectors, matching how the paper treats reduction kernels (they
 //! are kept out of pure fp16; the innermost Richardson solver avoids them
 //! entirely, and the fp32 FGMRES levels accumulate in fp32).  Element-wise
-//! updates (axpy and friends) are carried out in the vector precision itself.
+//! updates (axpy and friends) widen both operands with a single conversion,
+//! combine them in the accumulation precision and round back once per
+//! element with [`Scalar::narrow`] — there is no per-element `f64` round
+//! trip and no scalar `mul_add` anywhere on the hot paths (see
+//! [`crate::reference`] for the historical kernels kept as correctness and
+//! performance baselines).
 //!
-//! Each kernel has a sequential and a rayon-parallel variant plus a
+//! Reductions run eight independent accumulator chains so LLVM can
+//! vectorise; chunked parallel variants combine per-chunk partial sums in
+//! `f64`.  Fused kernels ([`dot2`], [`dot_with_sqnorm`], [`axpy_norm2`],
+//! [`scale_into`]) cover the two-reductions-one-pass and update-plus-norm
+//! patterns of the CG / BiCGStab / FGMRES / Richardson iteration loops.
+//!
+//! Each kernel has a sequential and a thread-parallel variant plus a
 //! size-dispatching wrapper, mirroring the SpMV module.
 
 use f3r_precision::Scalar;
-use rayon::prelude::*;
 
-/// Vector length above which the dispatching wrappers use rayon.
-pub const PAR_LEN_THRESHOLD: usize = 1 << 15;
+/// Vector length above which the dispatching wrappers go parallel.  Scoped
+/// threads are spawned per call, so this sits far above the spawn cost.
+pub const PAR_LEN_THRESHOLD: usize = 1 << 20;
 
-/// Minimum elements per rayon task.
-const MIN_LEN_PER_TASK: usize = 1 << 12;
+/// Minimum elements per worker.
+const MIN_LEN_PER_TASK: usize = 1 << 17;
+
+/// Elements accumulated in `T::Accum` before the partial sum is folded into
+/// `f64`.  This bounds every accumulation-precision chain at
+/// `CASCADE_BLOCK / 8` additions regardless of vector length or the
+/// parallel chunking, so fp32 accumulation stays accurate for arbitrarily
+/// long vectors (the same cascade length the pre-widening kernels used).
+const CASCADE_BLOCK: usize = 4096;
+
+/// Drive `f` over consecutive `[start, end)` cascade blocks of `0..len`.
+///
+/// Shared skeleton of every blocked reduction below: each invocation of `f`
+/// accumulates one block in `T::Accum` and folds its partial sum(s) into
+/// `f64` state captured by the closure, so changes to the cascade scheme
+/// happen in one place.
+#[inline]
+fn for_cascade_blocks(len: usize, mut f: impl FnMut(usize, usize)) {
+    let mut start = 0;
+    while start < len {
+        let end = (start + CASCADE_BLOCK).min(len);
+        f(start, end);
+        start = end;
+    }
+}
+
+/// Unrolled dot kernel over one contiguous chunk, returned in `f64`.
+#[inline]
+fn dot_chunk<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    let mut total = 0.0f64;
+    for_cascade_blocks(x.len(), |start, end| {
+        let (xb, yb) = (&x[start..end], &y[start..end]);
+        let mut acc = [<T::Accum as Scalar>::zero(); 8];
+        let mut x8 = xb.chunks_exact(8);
+        let mut y8 = yb.chunks_exact(8);
+        for (xc, yc) in (&mut x8).zip(&mut y8) {
+            for k in 0..8 {
+                acc[k] += xc[k].widen() * yc[k].widen();
+            }
+        }
+        let mut tail = <T::Accum as Scalar>::zero();
+        for (&a, &b) in x8.remainder().iter().zip(y8.remainder().iter()) {
+            tail += a.widen() * b.widen();
+        }
+        let p0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        let p1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+        total += ((p0 + p1) + tail).to_f64();
+    });
+    total
+}
 
 /// Dot product `xᵀ y`, accumulated in `T::Accum` and returned as `f64`.
 #[must_use]
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     if x.len() >= PAR_LEN_THRESHOLD {
-        x.par_chunks(MIN_LEN_PER_TASK)
-            .zip(y.par_chunks(MIN_LEN_PER_TASK))
-            .map(|(xc, yc)| dot_seq_accum(xc, yc))
-            .sum()
+        f3r_parallel::par_map_ranges(x.len(), MIN_LEN_PER_TASK, |r| {
+            dot_chunk(&x[r.clone()], &y[r])
+        })
+        .into_iter()
+        .sum()
     } else {
-        dot_seq_accum(x, y)
+        dot_chunk(x, y)
     }
 }
 
-fn dot_seq_accum<T: Scalar>(x: &[T], y: &[T]) -> f64 {
-    let mut acc = <T::Accum as Scalar>::zero();
-    for (&a, &b) in x.iter().zip(y.iter()) {
-        let a = <T::Accum as Scalar>::from_f64(a.to_f64());
-        let b = <T::Accum as Scalar>::from_f64(b.to_f64());
-        acc = a.mul_add(b, acc);
+/// Two dot products in one pass: returns `(x1ᵀ y1, x2ᵀ y2)`.
+///
+/// All four vectors must have the same length; the fused sweep halves the
+/// loop overhead of the paired reductions that CG-style methods issue
+/// back-to-back (e.g. `(r, z)` and `(p, A p)`).
+#[must_use]
+pub fn dot2<T: Scalar>(x1: &[T], y1: &[T], x2: &[T], y2: &[T]) -> (f64, f64) {
+    assert_eq!(x1.len(), y1.len(), "dot2: length mismatch");
+    assert_eq!(x1.len(), x2.len(), "dot2: length mismatch");
+    assert_eq!(x2.len(), y2.len(), "dot2: length mismatch");
+    let body = |x1: &[T], y1: &[T], x2: &[T], y2: &[T]| -> (f64, f64) {
+        let mut t1 = 0.0f64;
+        let mut t2 = 0.0f64;
+        for_cascade_blocks(x1.len(), |start, end| {
+            let mut a = [<T::Accum as Scalar>::zero(); 4];
+            let mut b = [<T::Accum as Scalar>::zero(); 4];
+            let n4 = start + ((end - start) & !3);
+            let mut i = start;
+            while i < n4 {
+                for k in 0..4 {
+                    a[k] += x1[i + k].widen() * y1[i + k].widen();
+                    b[k] += x2[i + k].widen() * y2[i + k].widen();
+                }
+                i += 4;
+            }
+            let mut ta = <T::Accum as Scalar>::zero();
+            let mut tb = <T::Accum as Scalar>::zero();
+            for j in n4..end {
+                ta += x1[j].widen() * y1[j].widen();
+                tb += x2[j].widen() * y2[j].widen();
+            }
+            t1 += (((a[0] + a[1]) + (a[2] + a[3])) + ta).to_f64();
+            t2 += (((b[0] + b[1]) + (b[2] + b[3])) + tb).to_f64();
+        });
+        (t1, t2)
+    };
+    if x1.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_map_ranges(x1.len(), MIN_LEN_PER_TASK, |r| {
+            body(&x1[r.clone()], &y1[r.clone()], &x2[r.clone()], &y2[r])
+        })
+        .into_iter()
+        .fold((0.0, 0.0), |(s0, s1), (p0, p1)| (s0 + p0, s1 + p1))
+    } else {
+        body(x1, y1, x2, y2)
     }
-    acc.to_f64()
+}
+
+/// Fused `(xᵀ y, xᵀ x)` in one pass over `x` (reads `x` once instead of
+/// twice).  This is the BiCGStab `ω = (t, s)/(t, t)` and Richardson
+/// `ω′ = (r, AMr)/(AMr, AMr)` reduction shape.
+#[must_use]
+pub fn dot_with_sqnorm<T: Scalar>(x: &[T], y: &[T]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "dot_with_sqnorm: length mismatch");
+    let body = |x: &[T], y: &[T]| -> (f64, f64) {
+        let mut t1 = 0.0f64;
+        let mut t2 = 0.0f64;
+        for_cascade_blocks(x.len(), |start, end| {
+            let mut a = [<T::Accum as Scalar>::zero(); 4];
+            let mut b = [<T::Accum as Scalar>::zero(); 4];
+            let n4 = start + ((end - start) & !3);
+            let mut i = start;
+            while i < n4 {
+                for k in 0..4 {
+                    let xv = x[i + k].widen();
+                    a[k] += xv * y[i + k].widen();
+                    b[k] += xv * xv;
+                }
+                i += 4;
+            }
+            let mut ta = <T::Accum as Scalar>::zero();
+            let mut tb = <T::Accum as Scalar>::zero();
+            for j in n4..end {
+                let xv = x[j].widen();
+                ta += xv * y[j].widen();
+                tb += xv * xv;
+            }
+            t1 += (((a[0] + a[1]) + (a[2] + a[3])) + ta).to_f64();
+            t2 += (((b[0] + b[1]) + (b[2] + b[3])) + tb).to_f64();
+        });
+        (t1, t2)
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_map_ranges(x.len(), MIN_LEN_PER_TASK, |r| {
+            body(&x[r.clone()], &y[r])
+        })
+        .into_iter()
+        .fold((0.0, 0.0), |(s0, s1), (p0, p1)| (s0 + p0, s1 + p1))
+    } else {
+        body(x, y)
+    }
 }
 
 /// Euclidean norm `‖x‖₂`, accumulated in `T::Accum`.
@@ -51,33 +194,116 @@ pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
 /// `y ← y + alpha * x`.
 pub fn axpy<T: Scalar>(alpha: f64, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    let a = T::from_f64(alpha);
-    if x.len() >= PAR_LEN_THRESHOLD {
-        y.par_iter_mut()
-            .with_min_len(MIN_LEN_PER_TASK)
-            .zip(x.par_iter())
-            .for_each(|(yi, &xi)| *yi = xi.mul_add(a, *yi));
-    } else {
-        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-            *yi = xi.mul_add(a, *yi);
+    let a = <T::Accum as Scalar>::from_f64(alpha);
+    let body = |base: usize, chunk: &mut [T]| {
+        let xs = &x[base..base + chunk.len()];
+        for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
+            *yi = T::narrow(xi.widen() * a + yi.widen());
         }
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_chunks_mut(y, MIN_LEN_PER_TASK, body);
+    } else {
+        body(0, y);
+    }
+}
+
+/// Fused `y ← y + alpha * x` returning `‖y_new‖²` (as `f64`) from the same
+/// sweep — the CG/BiCGStab "update the residual, then take its norm"
+/// pattern without the second pass.
+#[must_use]
+pub fn axpy_norm2<T: Scalar>(alpha: f64, x: &[T], y: &mut [T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy_norm2: length mismatch");
+    let a = <T::Accum as Scalar>::from_f64(alpha);
+    let body = |base: usize, chunk: &mut [T]| -> f64 {
+        let xs = &x[base..base + chunk.len()];
+        let mut total = 0.0f64;
+        for_cascade_blocks(chunk.len(), |start, end| {
+            let mut s0 = <T::Accum as Scalar>::zero();
+            let mut s1 = <T::Accum as Scalar>::zero();
+            let n2 = start + ((end - start) & !1);
+            let mut i = start;
+            while i < n2 {
+                let v0 = T::narrow(xs[i].widen() * a + chunk[i].widen());
+                let v1 = T::narrow(xs[i + 1].widen() * a + chunk[i + 1].widen());
+                chunk[i] = v0;
+                chunk[i + 1] = v1;
+                // accumulate on the stored (rounded) values so the result
+                // equals norm2 of the updated vector exactly
+                let w0 = v0.widen();
+                let w1 = v1.widen();
+                s0 += w0 * w0;
+                s1 += w1 * w1;
+                i += 2;
+            }
+            if i < end {
+                let v = T::narrow(xs[i].widen() * a + chunk[i].widen());
+                chunk[i] = v;
+                let w = v.widen();
+                s0 += w * w;
+            }
+            total += (s0 + s1).to_f64();
+        });
+        total
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_map_chunks_mut(y, MIN_LEN_PER_TASK, body)
+            .into_iter()
+            .sum()
+    } else {
+        body(0, y)
+    }
+}
+
+/// Fused `w ← alpha * x + beta * y` returning `‖w‖²` (as `f64`) from the
+/// same sweep — BiCGStab's `s = r − α v` plus the early-exit norm check in
+/// three memory sweeps (read `x`, read `y`, write `w`).
+#[must_use]
+pub fn waxpby_norm2<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &[T], w: &mut [T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "waxpby_norm2: length mismatch");
+    assert_eq!(x.len(), w.len(), "waxpby_norm2: length mismatch");
+    let a = <T::Accum as Scalar>::from_f64(alpha);
+    let b = <T::Accum as Scalar>::from_f64(beta);
+    let body = |base: usize, chunk: &mut [T]| -> f64 {
+        let xs = &x[base..base + chunk.len()];
+        let ys = &y[base..base + chunk.len()];
+        let mut total = 0.0f64;
+        for_cascade_blocks(chunk.len(), |start, end| {
+            let mut s = <T::Accum as Scalar>::zero();
+            for i in start..end {
+                let v = T::narrow(xs[i].widen() * a + ys[i].widen() * b);
+                chunk[i] = v;
+                let wv = v.widen();
+                s += wv * wv;
+            }
+            total += s.to_f64();
+        });
+        total
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_map_chunks_mut(w, MIN_LEN_PER_TASK, body)
+            .into_iter()
+            .sum()
+    } else {
+        body(0, w)
     }
 }
 
 /// `y ← alpha * x + beta * y`.
 pub fn axpby<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpby: length mismatch");
-    let a = T::from_f64(alpha);
-    let b = T::from_f64(beta);
-    if x.len() >= PAR_LEN_THRESHOLD {
-        y.par_iter_mut()
-            .with_min_len(MIN_LEN_PER_TASK)
-            .zip(x.par_iter())
-            .for_each(|(yi, &xi)| *yi = xi * a + *yi * b);
-    } else {
-        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-            *yi = xi * a + *yi * b;
+    let a = <T::Accum as Scalar>::from_f64(alpha);
+    let b = <T::Accum as Scalar>::from_f64(beta);
+    let body = |base: usize, chunk: &mut [T]| {
+        let xs = &x[base..base + chunk.len()];
+        for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
+            *yi = T::narrow(xi.widen() * a + yi.widen() * b);
         }
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_chunks_mut(y, MIN_LEN_PER_TASK, body);
+    } else {
+        body(0, y);
     }
 }
 
@@ -85,31 +311,52 @@ pub fn axpby<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &mut [T]) {
 pub fn waxpby<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &[T], w: &mut [T]) {
     assert_eq!(x.len(), y.len(), "waxpby: length mismatch");
     assert_eq!(x.len(), w.len(), "waxpby: length mismatch");
-    let a = T::from_f64(alpha);
-    let b = T::from_f64(beta);
-    if x.len() >= PAR_LEN_THRESHOLD {
-        w.par_iter_mut()
-            .with_min_len(MIN_LEN_PER_TASK)
-            .enumerate()
-            .for_each(|(i, wi)| *wi = x[i] * a + y[i] * b);
-    } else {
-        for i in 0..x.len() {
-            w[i] = x[i] * a + y[i] * b;
+    let a = <T::Accum as Scalar>::from_f64(alpha);
+    let b = <T::Accum as Scalar>::from_f64(beta);
+    let body = |base: usize, chunk: &mut [T]| {
+        let xs = &x[base..base + chunk.len()];
+        let ys = &y[base..base + chunk.len()];
+        for i in 0..chunk.len() {
+            chunk[i] = T::narrow(xs[i].widen() * a + ys[i].widen() * b);
         }
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_chunks_mut(w, MIN_LEN_PER_TASK, body);
+    } else {
+        body(0, w);
     }
 }
 
 /// `x ← alpha * x`.
 pub fn scale<T: Scalar>(alpha: f64, x: &mut [T]) {
-    let a = T::from_f64(alpha);
-    if x.len() >= PAR_LEN_THRESHOLD {
-        x.par_iter_mut()
-            .with_min_len(MIN_LEN_PER_TASK)
-            .for_each(|xi| *xi *= a);
-    } else {
-        for xi in x.iter_mut() {
-            *xi *= a;
+    let a = <T::Accum as Scalar>::from_f64(alpha);
+    let body = |_base: usize, chunk: &mut [T]| {
+        for xi in chunk.iter_mut() {
+            *xi = T::narrow(xi.widen() * a);
         }
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_chunks_mut(x, MIN_LEN_PER_TASK, body);
+    } else {
+        body(0, x);
+    }
+}
+
+/// Fused `dst ← alpha * src` (the FGMRES "normalise the new basis vector"
+/// copy + scale collapsed into one sweep).
+pub fn scale_into<T: Scalar>(alpha: f64, src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), dst.len(), "scale_into: length mismatch");
+    let a = <T::Accum as Scalar>::from_f64(alpha);
+    let body = |base: usize, chunk: &mut [T]| {
+        let xs = &src[base..base + chunk.len()];
+        for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
+            *di = T::narrow(si.widen() * a);
+        }
+    };
+    if src.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_chunks_mut(dst, MIN_LEN_PER_TASK, body);
+    } else {
+        body(0, dst);
     }
 }
 
@@ -125,14 +372,17 @@ pub fn hadamard<T: Scalar>(x: &[T], y: &[T], z: &mut [T]) {
     assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
     assert_eq!(x.len(), z.len(), "hadamard: length mismatch");
     for i in 0..x.len() {
-        z[i] = x[i] * y[i];
+        z[i] = T::narrow(x[i].widen() * y[i].widen());
     }
 }
 
 /// Maximum absolute entry `‖x‖_∞`.
 #[must_use]
 pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|v| v.to_f64().abs()).fold(0.0, f64::max)
+    x.iter()
+        .map(|v| v.widen().abs())
+        .fold(<T::Accum as Scalar>::zero(), |m, v| if v > m { v } else { m })
+        .to_f64()
 }
 
 /// Sum of the entries, accumulated in `f64`.
@@ -156,10 +406,10 @@ mod tests {
 
     #[test]
     fn dot_parallel_matches_serial() {
-        let n = 100_000;
+        let n = PAR_LEN_THRESHOLD + 1234;
         let x: Vec<f64> = (0..n).map(|i| ((i % 97) as f64) * 1e-3).collect();
         let y: Vec<f64> = (0..n).map(|i| ((i % 89) as f64) * 1e-3).collect();
-        let serial = dot_seq_accum(&x, &y);
+        let serial = dot_chunk(&x, &y);
         let par = dot(&x, &y);
         assert!((serial - par).abs() < 1e-9 * serial.abs());
     }
@@ -170,6 +420,82 @@ mod tests {
         // (adding 1 to 2048 in fp16 is a no-op); fp32 accumulation is exact.
         let x = vec![f16::from_f32(1.0); 4096];
         assert_eq!(dot(&x, &x), 4096.0);
+    }
+
+    #[test]
+    fn fused_dot2_matches_two_dots() {
+        let n = 1001;
+        let x1: Vec<f32> = (0..n).map(|i| ((i % 17) as f32 - 8.0) / 17.0).collect();
+        let y1: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) / 13.0).collect();
+        let x2: Vec<f32> = (0..n).map(|i| ((i % 11) as f32 - 5.0) / 11.0).collect();
+        let y2: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) / 7.0).collect();
+        // dot and dot2 unroll differently (8 vs 4 chains), so f32
+        // accumulation may differ by a few ulps of the absolute sum.
+        let tol = 4.0 * n as f64 * f64::from(f32::EPSILON);
+        let (d1, d2) = dot2(&x1, &y1, &x2, &y2);
+        assert!((d1 - dot(&x1, &y1)).abs() < tol);
+        assert!((d2 - dot(&x2, &y2)).abs() < tol);
+    }
+
+    #[test]
+    fn fused_dot_with_sqnorm_matches_two_dots() {
+        let n = 777;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 101) as f64 / 101.0 - 0.5).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 17) % 97) as f64 / 97.0 - 0.5).collect();
+        let (xy, xx) = dot_with_sqnorm(&x, &y);
+        assert!((xy - dot(&x, &y)).abs() < 1e-12);
+        assert!((xx - dot(&x, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_axpy_norm2_matches_separate_ops() {
+        for n in [5usize, 64, 1003] {
+            let x: Vec<f32> = (0..n).map(|i| ((i % 23) as f32 - 11.0) / 23.0).collect();
+            let mut y1: Vec<f32> = (0..n).map(|i| ((i % 19) as f32 - 9.0) / 19.0).collect();
+            let mut y2 = y1.clone();
+            axpy(0.37, &x, &mut y1);
+            let nn = axpy_norm2(0.37, &x, &mut y2);
+            assert_eq!(y1, y2, "n={n}");
+            assert!((nn.sqrt() - norm2(&y1)).abs() < 1e-6, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_waxpby_norm2_matches_separate_ops() {
+        for n in [3usize, 64, 4097, 9001] {
+            let x: Vec<f32> = (0..n).map(|i| ((i % 23) as f32 - 11.0) / 23.0).collect();
+            let y: Vec<f32> = (0..n).map(|i| ((i % 19) as f32 - 9.0) / 19.0).collect();
+            let mut w1 = vec![0.0f32; n];
+            let mut w2 = vec![0.0f32; n];
+            waxpby(1.0, &x, -0.75, &y, &mut w1);
+            let nn = waxpby_norm2(1.0, &x, -0.75, &y, &mut w2);
+            assert_eq!(w1, w2, "n={n}");
+            assert!((nn.sqrt() - norm2(&w1)).abs() < 1e-5 * (1.0 + norm2(&w1)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn long_fp32_dot_stays_accurate_via_f64_cascade() {
+        // 2^20 identical entries: a single f32 accumulation chain would lose
+        // ~2^-4 relative accuracy; the 4096-element f64 cascade keeps the
+        // result within a few f32 ulps of exact.
+        let n = 1 << 20;
+        let x = vec![1.000_001f32; n];
+        let exact = f64::from(x[0]) * f64::from(x[0]) * n as f64;
+        let got = dot(&x, &x);
+        assert!(
+            (got - exact).abs() < 1e-4 * exact,
+            "{got} vs {exact} (rel {})",
+            ((got - exact) / exact).abs()
+        );
+    }
+
+    #[test]
+    fn scale_into_matches_copy_then_scale() {
+        let src = vec![1.0f64, -2.0, 3.5, 0.25];
+        let mut dst = vec![0.0f64; 4];
+        scale_into(-2.0, &src, &mut dst);
+        assert_eq!(dst, vec![-2.0, 4.0, -7.0, -0.5]);
     }
 
     #[test]
@@ -186,6 +512,18 @@ mod tests {
         let mut w = vec![0.0f32; 3];
         waxpby(1.0, &x, -1.0, &y, &mut w);
         assert_eq!(w, vec![-11.0, -22.0, -33.0]);
+    }
+
+    #[test]
+    fn fp16_axpy_widens_through_fp32() {
+        // alpha below fp16 resolution relative to y must still contribute
+        // through the fp32 arithmetic before the final rounding.
+        let x = vec![f16::from_f32(1.0); 4];
+        let mut y = vec![f16::from_f32(1.0); 4];
+        axpy(f64::from(f16::EPSILON) * 0.75, &x, &mut y);
+        // 1 + 0.75*eps rounds to 1 + eps in round-to-nearest? No: halfway is
+        // 0.5*eps, 0.75 eps is above it, so it rounds up.
+        assert!(y.iter().all(|&v| v.to_f32() > 1.0));
     }
 
     #[test]
@@ -211,13 +549,13 @@ mod tests {
 
     #[test]
     fn large_parallel_axpy_matches_serial() {
-        let n = 70_000;
+        let n = PAR_LEN_THRESHOLD + 717;
         let x: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
         let mut y1: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
         let mut y2 = y1.clone();
-        // force serial by chunking manually
+        // force serial by updating manually
         for (yi, &xi) in y1.iter_mut().zip(x.iter()) {
-            *yi = xi.mul_add(0.25, *yi);
+            *yi += xi * 0.25;
         }
         axpy(0.25, &x, &mut y2);
         assert_eq!(y1, y2);

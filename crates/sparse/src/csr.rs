@@ -254,6 +254,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// # Panics
     /// Panics if the scaling vectors do not match the matrix dimensions.
     #[must_use]
+    #[allow(clippy::needless_range_loop)] // row indexes three parallel arrays
     pub fn scale_rows_cols(&self, row_scale: &[f64], col_scale: &[f64]) -> CsrMatrix<T> {
         assert_eq!(row_scale.len(), self.n_rows);
         assert_eq!(col_scale.len(), self.n_cols);

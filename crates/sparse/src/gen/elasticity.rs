@@ -90,7 +90,7 @@ mod tests {
         let a = elasticity_like_3d(4, 4, 4, 0.1);
         assert_eq!(a.n_rows(), 3 * 64);
         // interior node: 26 neighbours × 3 + own block 3 = 81 entries per row
-        let interior_node = (1 * 4 + 1) * 4 + 1;
+        let interior_node = (4 + 1) * 4 + 1;
         let (cols, _) = a.row_entries(3 * interior_node);
         assert_eq!(cols.len(), 81);
         assert!(a.nnz_per_row() > 40.0, "nnz/row = {}", a.nnz_per_row());

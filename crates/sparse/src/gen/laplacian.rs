@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn anisotropic_diag_reflects_coefficients() {
         let a = anisotropic_poisson_3d(4, 4, 4, 1.0, 1.0, 1e-3);
-        let mid = (1 * 4 + 1) * 4 + 1;
+        let mid = (4 + 1) * 4 + 1;
         assert!((a.get(mid, mid).unwrap() - 2.0 * (1.0 + 1.0 + 1e-3)).abs() < 1e-14);
         assert!(a.is_symmetric(1e-14));
     }

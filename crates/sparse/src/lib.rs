@@ -5,8 +5,51 @@
 //! dense vector (BLAS-1) operations, and problem generators for the HPCG /
 //! HPGMP benchmark matrices plus synthetic analogues of the SuiteSparse test
 //! set.  This crate provides all of them, generic over the working precision
-//! via [`f3r_precision::Scalar`], with sequential and rayon-parallel
-//! implementations.
+//! via [`f3r_precision::Scalar`], with sequential and thread-parallel
+//! implementations (scoped threads from `f3r-parallel`).
+//!
+//! # The direct-widening convention
+//!
+//! The whole point of fp16/fp32 storage in the paper is that the memory-bound
+//! kernels run at the *narrow* precision's bandwidth while arithmetic happens
+//! in a safe *accumulation* precision.  The kernel layer therefore separates
+//! three precisions:
+//!
+//! * **storage precision `TA`** — how the matrix values are stored
+//!   (fp64/fp32/fp16 per nesting level),
+//! * **vector precision `TV`** — how the dense vectors are stored,
+//! * **accumulation precision `TV::Accum`** — where multiplies and long sums
+//!   happen: `f32` for fp16 vectors, otherwise `TV` itself.
+//!
+//! Every stored operand enters the accumulator with **one direct
+//! conversion** — vectors via [`f3r_precision::Scalar::widen`] (exact),
+//! matrix values via [`f3r_precision::FromScalar::from_scalar`]
+//! (`TA → TV::Accum`) — and results are rounded back **once** per element
+//! with [`f3r_precision::Scalar::narrow`].  Hot loops are unrolled over
+//! independent accumulators (4-way SpMV rows, 8-way dots) with no
+//! per-element `mul_add`, so LLVM autovectorises them.  The historical
+//! kernels, which converted every element through `f64`
+//! (`from_f64(x.to_f64())`) and issued a scalar FMA per element, are
+//! preserved in [`mod@reference`] as correctness and performance baselines
+//! only.
+//!
+//! ## Fused kernels
+//!
+//! The solvers' iteration loops pair reductions with the sweeps that produce
+//! their operands; the kernel layer fuses those pairs so the operand is
+//! never re-read from memory:
+//!
+//! * [`spmv::spmv_residual`] — `r = b − A x` with the subtraction in the
+//!   accumulator,
+//! * [`spmv::spmv_dot2`] — `y = A x` plus `(uᵀy, yᵀy)` in one sweep (the
+//!   adaptive Richardson weight, CG's `(p, Ap)`, BiCGStab's `(t,s)/(t,t)`),
+//! * [`blas1::dot2`] — two dots in one pass (FGMRES Gram–Schmidt),
+//! * [`blas1::dot_with_sqnorm`] — `(xᵀy, xᵀx)` reading `x` once,
+//! * [`blas1::axpy_norm2`] — vector update plus the updated vector's norm²,
+//! * [`blas1::scale_into`] — fused copy + scale (basis normalisation).
+//!
+//! See `crates/bench/README.md` for how to benchmark the layer and the
+//! recorded per-PR baselines.
 //!
 //! # Quick example
 //!
@@ -28,6 +71,7 @@ pub mod coo;
 pub mod csr;
 pub mod gen;
 pub mod io;
+pub mod reference;
 pub mod scaling;
 pub mod sell;
 pub mod spmv;

@@ -138,6 +138,30 @@ impl<T: Scalar> SellMatrix<T> {
         })
     }
 
+    /// Raw lane view of one row for streaming kernels: column/value slices
+    /// beginning at the row's first lane slot, the stride between
+    /// consecutive lanes, and the row's padded width.
+    ///
+    /// The row's `k`-th (possibly padding) entry lives at offset
+    /// `k * stride` of both slices, for `k < width`.  Padding entries store
+    /// a zero value and the row's own column index, so kernels can consume
+    /// all `width` lanes unconditionally.
+    #[must_use]
+    pub fn row_lanes(&self, row: usize) -> (&[u32], &[T], usize, usize) {
+        let c = row / self.chunk;
+        let lane = row % self.chunk;
+        let end = self.chunk_ptr[c + 1];
+        // A chunk of all-empty rows has width 0; clamp so the slices stay
+        // valid (the returned width of 0 means kernels read nothing).
+        let base = (self.chunk_ptr[c] + lane).min(end);
+        (
+            &self.col_idx[base..end],
+            &self.values[base..end],
+            self.chunk,
+            self.chunk_width[c],
+        )
+    }
+
     /// Bytes used to store the matrix (padded values + padded 32-bit column
     /// indices + chunk bookkeeping).
     #[must_use]

@@ -1,4 +1,4 @@
-//! Mixed-precision sparse matrix–vector products.
+//! Mixed-precision sparse matrix–vector products with direct widening.
 //!
 //! The SpMV kernels are the dominant memory-bound kernels of every solver in
 //! the paper.  They are generic over two precisions:
@@ -10,34 +10,73 @@
 //! Arithmetic follows the paper's rule that "higher-precision instructions
 //! are used when the inputs differ in precision": each row accumulates in
 //! `TV::Accum` (fp32 when the vectors are fp16, otherwise the vector
-//! precision itself), and matrix entries are widened into that type before
-//! multiplying.
+//! precision itself).
 //!
-//! Every kernel has a sequential and a rayon-parallel variant; the
-//! un-suffixed entry points dispatch on problem size so small systems do not
-//! pay the fork/join overhead.
+//! # The widening convention
+//!
+//! Every stored operand enters the accumulator through a **single direct
+//! conversion**: vector entries via [`Scalar::widen`] (`f16 → f32` is one
+//! instruction/bit-cast sequence, `f32`/`f64` are the identity) and matrix
+//! values via [`FromScalar::from_scalar`] (`TA → TV::Accum` directly).  The
+//! historical kernels instead converted *every element* through `f64`
+//! (`from_f64(x.to_f64())`) and issued a scalar `mul_add` per element — two
+//! extra rounding steps and a libm call on targets without FMA, which
+//! blocked autovectorisation and erased the bandwidth advantage of narrow
+//! storage.  Those kernels are preserved in [`crate::reference`] for
+//! correctness baselines and benchmarks.
+//!
+//! Inner loops are unrolled four ways over independent partial accumulators
+//! so LLVM can keep several chains in flight; results are reduced pairwise
+//! and rounded back once per row with [`Scalar::narrow`].
+//!
+//! Every kernel has a sequential and a thread-parallel variant (scoped
+//! threads from `f3r-parallel`); the un-suffixed entry points dispatch on
+//! problem size so small systems do not pay the spawn overhead.
 
-use f3r_precision::Scalar;
-use rayon::prelude::*;
+use f3r_precision::{FromScalar, Scalar};
 
 use crate::csr::CsrMatrix;
 use crate::sell::SellMatrix;
 
-/// Row count above which the dispatching wrappers switch to rayon.
-pub const PAR_ROW_THRESHOLD: usize = 1 << 14;
+/// Row count above which the dispatching wrappers switch to the parallel
+/// kernels.  Scoped threads are spawned per call, so the threshold sits well
+/// above the spawn cost.
+pub const PAR_ROW_THRESHOLD: usize = 1 << 16;
 
-/// Minimum rows handled per rayon task, to bound scheduling overhead.
-const MIN_ROWS_PER_TASK: usize = 1 << 10;
+/// Minimum rows handled per worker, to bound scheduling overhead.
+const MIN_ROWS_PER_TASK: usize = 1 << 13;
 
+/// One CSR row: unrolled multi-accumulator dot of the row against `x`,
+/// returned in the accumulation precision (callers narrow once).
+///
+/// The gathers skip per-element bounds checks: every public kernel asserts
+/// `x.len() == a.n_cols()` on entry, and [`CsrMatrix::from_parts`] validates
+/// that every stored column index is `< n_cols`, so the indices are in range
+/// by construction (also re-checked with `debug_assert!` here).
 #[inline(always)]
-fn spmv_row<TA: Scalar, TV: Scalar>(cols: &[u32], vals: &[TA], x: &[TV]) -> TV {
-    let mut acc = <TV::Accum as Scalar>::zero();
-    for (&c, &a) in cols.iter().zip(vals.iter()) {
-        let xv = <TV::Accum as Scalar>::from_f64(x[c as usize].to_f64());
-        let av = <TV::Accum as Scalar>::from_f64(a.to_f64());
-        acc = av.mul_add(xv, acc);
+fn spmv_row<TA: Scalar, TV: Scalar>(cols: &[u32], vals: &[TA], x: &[TV]) -> TV::Accum {
+    let gather = |c: u32| -> TV {
+        debug_assert!((c as usize) < x.len(), "CSR column index out of range");
+        // SAFETY: see function docs — the CSR constructor bounds all column
+        // indices by n_cols and callers assert x.len() == n_cols.
+        unsafe { *x.get_unchecked(c as usize) }
+    };
+    let mut acc0 = <TV::Accum as Scalar>::zero();
+    let mut acc1 = <TV::Accum as Scalar>::zero();
+    let mut acc2 = <TV::Accum as Scalar>::zero();
+    let mut acc3 = <TV::Accum as Scalar>::zero();
+    let mut c4 = cols.chunks_exact(4);
+    let mut v4 = vals.chunks_exact(4);
+    for (c, v) in (&mut c4).zip(&mut v4) {
+        acc0 += <TV::Accum as FromScalar>::from_scalar(v[0]) * gather(c[0]).widen();
+        acc1 += <TV::Accum as FromScalar>::from_scalar(v[1]) * gather(c[1]).widen();
+        acc2 += <TV::Accum as FromScalar>::from_scalar(v[2]) * gather(c[2]).widen();
+        acc3 += <TV::Accum as FromScalar>::from_scalar(v[3]) * gather(c[3]).widen();
     }
-    TV::from_f64(acc.to_f64())
+    for (&c, &v) in c4.remainder().iter().zip(v4.remainder().iter()) {
+        acc0 += <TV::Accum as FromScalar>::from_scalar(v) * gather(c).widen();
+    }
+    (acc0 + acc1) + (acc2 + acc3)
 }
 
 /// Sequential CSR SpMV: `y = A x`.
@@ -49,21 +88,20 @@ pub fn spmv_seq<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV
     assert_eq!(y.len(), a.n_rows(), "spmv: y length mismatch");
     for (row, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row_entries(row);
-        *yi = spmv_row(cols, vals, x);
+        *yi = TV::narrow(spmv_row(cols, vals, x));
     }
 }
 
-/// Rayon-parallel CSR SpMV: `y = A x` (row-wise parallelism).
+/// Thread-parallel CSR SpMV: `y = A x` (row-wise parallelism).
 pub fn spmv_par<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV]) {
     assert_eq!(x.len(), a.n_cols(), "spmv: x length mismatch");
     assert_eq!(y.len(), a.n_rows(), "spmv: y length mismatch");
-    y.par_iter_mut()
-        .with_min_len(MIN_ROWS_PER_TASK)
-        .enumerate()
-        .for_each(|(row, yi)| {
-            let (cols, vals) = a.row_entries(row);
-            *yi = spmv_row(cols, vals, x);
-        });
+    f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            let (cols, vals) = a.row_entries(base + i);
+            *yi = TV::narrow(spmv_row(cols, vals, x));
+        }
+    });
 }
 
 /// CSR SpMV dispatching between the sequential and parallel kernels based on
@@ -77,6 +115,10 @@ pub fn spmv<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV]) {
 }
 
 /// Fused residual kernel: `r = b - A x`, accumulating in `TV::Accum`.
+///
+/// The subtraction happens in the accumulator *before* rounding, so the
+/// fused kernel is one rounding step more accurate (and one memory sweep
+/// cheaper) than `spmv` followed by an `axpby`.
 pub fn spmv_residual<TA: Scalar, TV: Scalar>(
     a: &CsrMatrix<TA>,
     x: &[TV],
@@ -86,23 +128,61 @@ pub fn spmv_residual<TA: Scalar, TV: Scalar>(
     assert_eq!(x.len(), a.n_cols(), "residual: x length mismatch");
     assert_eq!(b.len(), a.n_rows(), "residual: b length mismatch");
     assert_eq!(r.len(), a.n_rows(), "residual: r length mismatch");
-    let body = |row: usize, ri: &mut TV| {
-        let (cols, vals) = a.row_entries(row);
-        let ax = spmv_row(cols, vals, x);
-        let val = <TV::Accum as Scalar>::from_f64(b[row].to_f64())
-            - <TV::Accum as Scalar>::from_f64(ax.to_f64());
-        *ri = TV::from_f64(val.to_f64());
+    let body = |base: usize, chunk: &mut [TV]| {
+        for (i, ri) in chunk.iter_mut().enumerate() {
+            let row = base + i;
+            let (cols, vals) = a.row_entries(row);
+            let ax = spmv_row(cols, vals, x);
+            *ri = TV::narrow(b[row].widen() - ax);
+        }
     };
     if a.n_rows() >= PAR_ROW_THRESHOLD {
-        r.par_iter_mut()
-            .with_min_len(MIN_ROWS_PER_TASK)
-            .enumerate()
-            .for_each(|(row, ri)| body(row, ri));
+        f3r_parallel::par_chunks_mut(r, MIN_ROWS_PER_TASK, body);
     } else {
-        for (row, ri) in r.iter_mut().enumerate() {
-            body(row, ri);
-        }
+        body(0, r);
     }
+}
+
+/// Fused SpMV + dual dot product: computes `y = A x` and returns
+/// `(uᵀ y, yᵀ y)` from the same sweep, with the dots accumulated in `f64`.
+///
+/// This is the kernel behind the adaptive Richardson weight (Algorithm 1):
+/// `ω′ = (r, AMr) / (AMr, AMr)` needs exactly `A·(Mr)` plus those two dots,
+/// and fusing them removes two full passes over `y` per weight update.
+pub fn spmv_dot2<TA: Scalar, TV: Scalar>(
+    a: &CsrMatrix<TA>,
+    x: &[TV],
+    u: &[TV],
+    y: &mut [TV],
+) -> (f64, f64) {
+    assert_eq!(x.len(), a.n_cols(), "spmv_dot2: x length mismatch");
+    assert_eq!(u.len(), a.n_rows(), "spmv_dot2: u length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv_dot2: y length mismatch");
+    let body = |base: usize, chunk: &mut [TV]| -> (f64, f64) {
+        let mut uy = 0.0f64;
+        let mut yy = 0.0f64;
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            let row = base + i;
+            let (cols, vals) = a.row_entries(row);
+            let acc = spmv_row(cols, vals, x);
+            // Round once, then accumulate the dots on the *stored* value so
+            // the result is bit-identical to running the dots after the SpMV.
+            let stored = TV::narrow(acc);
+            *yi = stored;
+            let w = stored.widen();
+            uy += (u[row].widen() * w).to_f64();
+            yy += (w * w).to_f64();
+        }
+        (uy, yy)
+    };
+    let partials = if a.n_rows() >= PAR_ROW_THRESHOLD {
+        f3r_parallel::par_map_chunks_mut(y, MIN_ROWS_PER_TASK, body)
+    } else {
+        vec![body(0, y)]
+    };
+    partials
+        .into_iter()
+        .fold((0.0, 0.0), |(a0, a1), (b0, b1)| (a0 + b0, a1 + b1))
 }
 
 /// Sequential sliced-ELLPACK SpMV: `y = A x`.
@@ -113,18 +193,19 @@ pub fn spmv_sell_seq<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &m
     assert_eq!(x.len(), a.n_cols(), "sell spmv: x length mismatch");
     assert_eq!(y.len(), a.n_rows(), "sell spmv: y length mismatch");
     for (row, yi) in y.iter_mut().enumerate() {
-        *yi = sell_row(a, row, x);
+        *yi = TV::narrow(sell_row(a, row, x));
     }
 }
 
-/// Rayon-parallel sliced-ELLPACK SpMV.
+/// Thread-parallel sliced-ELLPACK SpMV.
 pub fn spmv_sell_par<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &mut [TV]) {
     assert_eq!(x.len(), a.n_cols(), "sell spmv: x length mismatch");
     assert_eq!(y.len(), a.n_rows(), "sell spmv: y length mismatch");
-    y.par_iter_mut()
-        .with_min_len(MIN_ROWS_PER_TASK)
-        .enumerate()
-        .for_each(|(row, yi)| *yi = sell_row(a, row, x));
+    f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            *yi = TV::narrow(sell_row(a, base + i, x));
+        }
+    });
 }
 
 /// Sliced-ELLPACK SpMV dispatching on problem size.
@@ -136,15 +217,28 @@ pub fn spmv_sell<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &mut [
     }
 }
 
+/// One sliced-ELLPACK row: strided walk over the row's lanes with the same
+/// widen-into-accumulator scheme as the CSR kernel (two independent chains;
+/// SELL rows are strided, so deeper unrolling buys nothing here).
 #[inline(always)]
-fn sell_row<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, row: usize, x: &[TV]) -> TV {
-    let mut acc = <TV::Accum as Scalar>::zero();
-    for (c, v) in a.row_iter(row) {
-        let xv = <TV::Accum as Scalar>::from_f64(x[c].to_f64());
-        let av = <TV::Accum as Scalar>::from_f64(v.to_f64());
-        acc = av.mul_add(xv, acc);
+fn sell_row<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, row: usize, x: &[TV]) -> TV::Accum {
+    let (cols, vals, stride, width) = a.row_lanes(row);
+    let mut acc0 = <TV::Accum as Scalar>::zero();
+    let mut acc1 = <TV::Accum as Scalar>::zero();
+    let mut k = 0usize;
+    let twice = width & !1;
+    while k < twice {
+        let p0 = k * stride;
+        let p1 = (k + 1) * stride;
+        acc0 += <TV::Accum as FromScalar>::from_scalar(vals[p0]) * x[cols[p0] as usize].widen();
+        acc1 += <TV::Accum as FromScalar>::from_scalar(vals[p1]) * x[cols[p1] as usize].widen();
+        k += 2;
     }
-    TV::from_f64(acc.to_f64())
+    if k < width {
+        let p = k * stride;
+        acc0 += <TV::Accum as FromScalar>::from_scalar(vals[p]) * x[cols[p] as usize].widen();
+    }
+    acc0 + acc1
 }
 
 #[cfg(test)]
@@ -193,6 +287,18 @@ mod tests {
         let mut y2 = vec![0.0; 5000];
         spmv_seq(&a, &x, &mut y1);
         spmv_par(&a, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_above_threshold() {
+        let n = PAR_ROW_THRESHOLD + 123;
+        let a = tridiag(n);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 97) as f64 - 48.0) / 97.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        spmv_seq(&a, &x, &mut y1);
+        spmv(&a, &x, &mut y2);
         assert_eq!(y1, y2);
     }
 
@@ -249,6 +355,38 @@ mod tests {
         for i in 0..200 {
             assert!((r[i] - (b[i] - ax[i])).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn fused_spmv_dot2_matches_separate_kernels() {
+        let a = tridiag(300);
+        let x: Vec<f64> = (0..300).map(|i| (i as f64 * 0.13).sin()).collect();
+        let u: Vec<f64> = (0..300).map(|i| (i as f64 * 0.29).cos()).collect();
+        let mut y1 = vec![0.0; 300];
+        spmv_seq(&a, &x, &mut y1);
+        let uy_ref: f64 = u.iter().zip(&y1).map(|(a, b)| a * b).sum();
+        let yy_ref: f64 = y1.iter().map(|v| v * v).sum();
+        let mut y2 = vec![0.0; 300];
+        let (uy, yy) = spmv_dot2(&a, &x, &u, &mut y2);
+        assert_eq!(y1, y2);
+        assert!((uy - uy_ref).abs() < 1e-12 * uy_ref.abs().max(1.0));
+        assert!((yy - yy_ref).abs() < 1e-12 * yy_ref.max(1.0));
+    }
+
+    #[test]
+    fn fused_spmv_dot2_fp16_storage() {
+        let a: CsrMatrix<f16> = tridiag(128).to_precision();
+        let x: Vec<f32> = (0..128).map(|i| ((i % 7) as f32 - 3.0) / 7.0).collect();
+        let u: Vec<f32> = (0..128).map(|i| ((i % 5) as f32 - 2.0) / 5.0).collect();
+        let mut y1 = vec![0.0f32; 128];
+        spmv_seq(&a, &x, &mut y1);
+        let mut y2 = vec![0.0f32; 128];
+        let (uy, yy) = spmv_dot2(&a, &x, &u, &mut y2);
+        assert_eq!(y1, y2);
+        let uy_ref: f64 = u.iter().zip(&y1).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let yy_ref: f64 = y1.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        assert!((uy - uy_ref).abs() < 1e-5 * uy_ref.abs().max(1.0));
+        assert!((yy - yy_ref).abs() < 1e-5 * yy_ref.max(1.0));
     }
 
     #[test]

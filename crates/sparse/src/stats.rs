@@ -1,14 +1,13 @@
 //! Matrix statistics used to build the Table 2 style suite description.
 
 use f3r_precision::Scalar;
-use serde::{Deserialize, Serialize};
 
 use crate::csr::CsrMatrix;
 
 /// Summary statistics of a test matrix, mirroring the columns of Table 2 in
 /// the paper (`n`, `nnz`, `nnz/n`) plus a few structural measures used by the
 /// experiment reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixStats {
     /// Matrix dimension `n`.
     pub n: usize,

@@ -1,0 +1,360 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the subset of the criterion API its bench targets use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_custom`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up once, the iteration count
+//! per sample is calibrated so a sample lasts roughly
+//! [`TARGET_SAMPLE_NANOS`], and `sample_size` samples are collected.  The
+//! mean / median / minimum per-iteration times are printed to stdout and,
+//! when the `F3R_BENCH_JSON` environment variable names a file, appended to
+//! it as JSON lines so CI and the repo's `BENCH_*.json` baselines can track
+//! the numbers across commits.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may import either this
+/// or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Duration each measurement sample aims for, in nanoseconds.
+pub const TARGET_SAMPLE_NANOS: u64 = 10_000_000; // 10 ms
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Create an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs the measurement.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<Stats>,
+}
+
+/// Collected timing statistics for one benchmark, in ns/iteration.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, timing calibrated batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: run once, size batches to the target sample
+        // duration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 1_000_000);
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        *self.result = Some(Stats::from_samples(&mut per_iter, iters));
+    }
+
+    /// Measure with caller-controlled timing: `routine` receives an iteration
+    /// count and returns the total elapsed duration for that many calls.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let once = routine(1).as_nanos().max(1) as u64;
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 1_000_000);
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            per_iter.push(routine(iters).as_nanos() as f64 / iters as f64);
+        }
+        *self.result = Some(Stats::from_samples(&mut per_iter, iters));
+    }
+}
+
+impl Stats {
+    fn from_samples(per_iter: &mut [f64], iters: u64) -> Stats {
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        Stats {
+            mean_ns: mean,
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate the group with a throughput so results report bandwidth.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Reduce warm-up time (accepted for API compatibility; the shim's
+    /// warm-up is a single calibration call already).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set measurement time (accepted for API compatibility; the shim sizes
+    /// samples from [`TARGET_SAMPLE_NANOS`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        if let Some(stats) = result {
+            self.criterion.report(&self.name, &id.id, stats, self.throughput);
+        }
+        self
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples: 20,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        if let Some(stats) = result {
+            self.report("", id, stats, None);
+        }
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &str, stats: Stats, throughput: Option<Throughput>) {
+        self.ran += 1;
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        let bandwidth = match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib = bytes as f64 / stats.median_ns * 1e9 / (1u64 << 30) as f64;
+                format!("  {gib:>8.2} GiB/s")
+            }
+            Some(Throughput::Elements(elems)) => {
+                let me = elems as f64 / stats.median_ns * 1e3;
+                format!("  {me:>8.2} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench: {full:<60} median {:>12} ns/iter  mean {:>12} ns  min {:>12} ns{bandwidth}",
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.min_ns),
+        );
+        if let Ok(path) = std::env::var("F3R_BENCH_JSON") {
+            let line = format!(
+                "{{\"group\":{},\"bench\":{},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}}}",
+                json_str(group),
+                json_str(id),
+                stats.median_ns,
+                stats.mean_ns,
+                stats.min_ns,
+                stats.samples,
+                stats.iters_per_sample,
+                match throughput {
+                    Some(Throughput::Bytes(b)) => format!(",\"throughput_bytes\":{b}"),
+                    Some(Throughput::Elements(e)) => format!(",\"throughput_elements\":{e}"),
+                    None => String::new(),
+                }
+            );
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+
+    /// Print a closing summary (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        println!("bench: {} benchmarks measured", self.ran);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.0}", ns)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Define a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_stats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut acc = 0u64;
+        group.bench_function(BenchmarkId::new("sum", "tiny"), |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        group.finish();
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn iter_custom_is_supported() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(3u64.pow(7));
+                }
+                start.elapsed()
+            })
+        });
+        assert_eq!(c.ran, 1);
+    }
+}

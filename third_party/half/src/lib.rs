@@ -1,0 +1,445 @@
+//! Minimal, dependency-free stand-in for the `half` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the subset of `half` it actually uses: the [`f16`]
+//! binary16 type with correctly rounded (round-to-nearest-even) conversions
+//! to and from `f32`/`f64`, basic arithmetic carried out through `f32`
+//! intermediates (matching the semantics of the real crate's software
+//! fallback), and the handful of associated constants the solvers query.
+//!
+//! The bit-level conversion routines are standard IEEE 754 binary16 ↔
+//! binary32 algorithms covering normals, subnormals, infinities and NaN.
+
+#![warn(missing_docs)]
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+/// An IEEE 754 binary16 ("half-precision") floating-point number.
+///
+/// Stored as its raw bit pattern; all arithmetic widens to `f32`, operates
+/// there, and rounds back, which is what fp16 hardware with fp32 accumulate
+/// units (and the real `half` crate without hardware support) effectively do.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct f16(u16);
+
+/// Convert binary16 bits to the exactly equal binary32 value.
+///
+/// Uses the branchless magic-multiply rebias: the 15-bit magnitude is shifted
+/// into f32 field positions and scaled by 2^112, which fixes up the exponent
+/// bias for normals *and* renormalises subnormals exactly (the product of a
+/// binary32 subnormal in [2^-136, 2^-126) with 2^112 is exactly
+/// representable).  Only the infinity/NaN case needs a (predictable,
+/// select-lowerable) branch, so hot widening loops autovectorise.
+#[inline(always)]
+const fn f16_bits_to_f32_bits(h: u16) -> u32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let magnitude = ((h & 0x7FFF) as u32) << 13;
+    // 0x7780_0000 is 2^112 as binary32.
+    let scaled = f32::from_bits(magnitude) * f32::from_bits(0x7780_0000);
+    let bits = if (h & 0x7C00) == 0x7C00 {
+        // Infinity (payload 0) or NaN (payload preserved, forced quiet).
+        0x7F80_0000 | (0x0040_0000 * ((h & 0x03FF) != 0) as u32) | (((h & 0x03FF) as u32) << 13)
+    } else {
+        scaled.to_bits()
+    };
+    sign | bits
+}
+
+/// Round a binary32 value to binary16 (round-to-nearest, ties-to-even).
+///
+/// Branch-free scale-based rounding (the standard trick used by software
+/// fp16 libraries): the magnitude is scaled so that the binary32 addition
+/// `bias + base` performs the round-to-nearest-even at exactly the binary16
+/// precision boundary, for normals and subnormals alike.  Overflow falls out
+/// as the exponent saturating to the infinity encoding; only NaN needs a
+/// (select-lowerable) conditional, so hot narrowing loops autovectorise.
+#[inline(always)]
+const fn f32_bits_to_f16_bits(x: u32) -> u16 {
+    let sign = x & 0x8000_0000;
+    let shl1 = x.wrapping_add(x); // drops the sign, doubles the exponent field
+    // |x| * 2^112 * 2^-110: saturates overflowing values to infinity while
+    // keeping everything else exact (= |x| * 4).
+    let scale_to_inf = f32::from_bits(0x7780_0000); // 2^112
+    let scale_to_zero = f32::from_bits(0x0880_0000); // 2^-110
+    let base = (f32::from_bits(x & 0x7FFF_FFFF) * scale_to_inf) * scale_to_zero;
+    // The bias positions |x|'s significand so that float addition rounds it
+    // to 10 fraction bits (clamped for the subnormal range).
+    let mut bias = shl1 & 0xFF00_0000;
+    if bias < 0x7100_0000 {
+        bias = 0x7100_0000;
+    }
+    let rounded = f32::from_bits((bias >> 1) + 0x0780_0000) + base;
+    let bits = rounded.to_bits();
+    let exp_bits = (bits >> 13) & 0x7C00;
+    let man_bits = bits & 0x0FFF;
+    let nonsign = exp_bits + man_bits;
+    // NaN input (exponent all ones, nonzero mantissa): force a quiet NaN.
+    let magnitude = if shl1 > 0xFF00_0000 { 0x7E00 } else { nonsign };
+    ((sign >> 16) | magnitude) as u16
+}
+
+/// Round a binary64 value to binary16 (round-to-nearest, ties-to-even),
+/// avoiding the double rounding of going through `f32` first.
+#[inline]
+fn f64_to_f16_bits(v: f64) -> u16 {
+    let x = v.to_bits();
+    let sign = ((x >> 48) & 0x8000) as u16;
+    let abs = x & 0x7FFF_FFFF_FFFF_FFFF;
+    if abs >= 0x7FF0_0000_0000_0000 {
+        return if abs > 0x7FF0_0000_0000_0000 { sign | 0x7E00 } else { sign | 0x7C00 };
+    }
+    let e64 = (abs >> 52) as i32;
+    let man_full = (abs & 0x000F_FFFF_FFFF_FFFF) | if e64 == 0 { 0 } else { 0x0010_0000_0000_0000 };
+    let e16 = e64 - 1023 + 15;
+    if e16 >= 0x1F {
+        return sign | 0x7C00;
+    }
+    if e16 <= 0 {
+        let shift = (43 - e16) as u32;
+        if shift > 54 {
+            return sign;
+        }
+        let kept = man_full >> shift;
+        let rem = man_full & ((1u64 << shift) - 1);
+        let half = 1u64 << (shift - 1);
+        let round_up = rem > half || (rem == half && (kept & 1) == 1);
+        return sign | (kept + round_up as u64) as u16;
+    }
+    let base = ((e16 as u64) << 10) | ((man_full >> 42) & 0x03FF);
+    let rem = man_full & 0x3FF_FFFF_FFFF;
+    let half = 0x200_0000_0000u64;
+    let round_up = rem > half || (rem == half && (base & 1) == 1);
+    sign | (base + round_up as u64) as u16
+}
+
+impl f16 {
+    /// Machine epsilon: 2⁻¹⁰, the distance between 1.0 and the next value.
+    pub const EPSILON: f16 = f16(0x1400);
+    /// Largest finite value: 65504.
+    pub const MAX: f16 = f16(0x7BFF);
+    /// Smallest finite value: −65504.
+    pub const MIN: f16 = f16(0xFBFF);
+    /// Smallest positive normal value: 2⁻¹⁴.
+    pub const MIN_POSITIVE: f16 = f16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: f16 = f16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: f16 = f16(0xFC00);
+    /// Not a number.
+    pub const NAN: f16 = f16(0x7E00);
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0x0000);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+
+    /// Round an `f32` into binary16 (round-to-nearest-even).
+    #[inline]
+    #[must_use]
+    pub const fn from_f32(value: f32) -> Self {
+        f16(f32_bits_to_f16_bits(value.to_bits()))
+    }
+
+    /// Round an `f64` into binary16 (round-to-nearest-even, single rounding).
+    #[inline]
+    #[must_use]
+    pub fn from_f64(value: f64) -> Self {
+        f16(f64_to_f16_bits(value))
+    }
+
+    /// Widen to `f32` (exact).
+    #[inline]
+    #[must_use]
+    pub const fn to_f32(self) -> f32 {
+        f32::from_bits(f16_bits_to_f32_bits(self.0))
+    }
+
+    /// Widen to `f64` (exact).
+    #[inline]
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// Construct from the raw bit pattern.
+    #[inline]
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        f16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// `true` if the value is neither infinite nor NaN.
+    #[inline]
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// `true` if the value is NaN.
+    #[inline]
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// `true` if the sign bit is set (including −0 and NaN with sign).
+    #[inline]
+    #[must_use]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & 0x8000) != 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    #[must_use]
+    pub fn abs(self) -> Self {
+        f16(self.0 & 0x7FFF)
+    }
+}
+
+impl From<f16> for f32 {
+    #[inline]
+    fn from(v: f16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl From<f16> for f64 {
+    #[inline]
+    fn from(v: f16) -> f64 {
+        v.to_f64()
+    }
+}
+
+impl PartialEq for f16 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for f16 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! arith_via_f32 {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for f16 {
+            type Output = f16;
+            #[inline]
+            fn $method(self, rhs: f16) -> f16 {
+                f16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for f16 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: f16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+arith_via_f32!(Add, add, AddAssign, add_assign, +);
+arith_via_f32!(Sub, sub, SubAssign, sub_assign, -);
+arith_via_f32!(Mul, mul, MulAssign, mul_assign, *);
+arith_via_f32!(Div, div, DivAssign, div_assign, /);
+arith_via_f32!(Rem, rem, RemAssign, rem_assign, %);
+
+use core::ops::RemAssign;
+
+impl Neg for f16 {
+    type Output = f16;
+    #[inline]
+    fn neg(self) -> f16 {
+        f16(self.0 ^ 0x8000)
+    }
+}
+
+impl fmt::Debug for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.to_f32(), f)
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -0.25, 5.9604645e-8] {
+            let h = f16::from_f32(v);
+            assert_eq!(h.to_f32(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn constants_match_ieee() {
+        assert_eq!(f16::EPSILON.to_f64(), 2.0_f64.powi(-10));
+        assert_eq!(f16::MAX.to_f64(), 65504.0);
+        assert_eq!(f16::MIN_POSITIVE.to_f64(), 2.0_f64.powi(-14));
+        assert_eq!(f16::ONE.to_f32(), 1.0);
+        assert_eq!(f16::ZERO.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1 and 1 + 2^-10: ties-to-even
+        // keeps 1.0.
+        assert_eq!(f16::from_f32(1.0 + 2.0_f32.powi(-11)).to_f32(), 1.0);
+        assert_eq!(f16::from_f64(1.0 + 2.0_f64.powi(-11)).to_f64(), 1.0);
+        // 1 + 3*2^-11 is halfway between 1 + 2^-10 and 1 + 2^-9: ties-to-even
+        // rounds up to the even mantissa.
+        assert_eq!(
+            f16::from_f64(1.0 + 3.0 * 2.0_f64.powi(-11)).to_f64(),
+            1.0 + 2.0 * 2.0_f64.powi(-10)
+        );
+    }
+
+    #[test]
+    fn overflow_and_specials() {
+        assert_eq!(f16::from_f32(1e6), f16::INFINITY);
+        assert_eq!(f16::from_f32(-1e6), f16::NEG_INFINITY);
+        assert!(f16::from_f32(f32::NAN).is_nan());
+        assert!(!f16::INFINITY.is_finite());
+        assert!(f16::MAX.is_finite());
+        // 65520 is the rounding boundary to infinity; 65519 rounds to 65504.
+        assert_eq!(f16::from_f64(65519.0).to_f64(), 65504.0);
+        assert_eq!(f16::from_f64(65520.0), f16::INFINITY);
+    }
+
+    #[test]
+    fn subnormals() {
+        let smallest = 2.0_f64.powi(-24);
+        assert_eq!(f16::from_f64(smallest).to_f64(), smallest);
+        // Half the smallest subnormal ties to zero (even).
+        assert_eq!(f16::from_f64(smallest / 2.0).to_f64(), 0.0);
+        // Slightly above half rounds up to the smallest subnormal.
+        assert_eq!(f16::from_f64(smallest * 0.51).to_f64(), smallest);
+        // A subnormal f32 survives the conversion chain.
+        let sub = 3.0 * 2.0_f64.powi(-24);
+        assert_eq!(f16::from_f64(sub).to_f64(), sub);
+    }
+
+    #[test]
+    fn arithmetic_goes_through_f32() {
+        let a = f16::from_f32(0.1);
+        let b = f16::from_f32(0.2);
+        let c = a + b;
+        assert!((c.to_f32() - 0.3).abs() < 1e-3);
+        assert_eq!((-f16::ONE).to_f32(), -1.0);
+        let mut d = f16::ONE;
+        d += f16::ONE;
+        assert_eq!(d.to_f32(), 2.0);
+    }
+
+    /// Slow, obviously-correct round-to-nearest-even f32 → f16 used to
+    /// validate the branch-free production conversion.
+    fn narrow_reference(v: f32) -> u16 {
+        let x = v.to_bits();
+        let sign = ((x >> 16) & 0x8000) as u16;
+        let abs = x & 0x7FFF_FFFF;
+        if abs > 0x7F80_0000 {
+            return sign | 0x7E00; // NaN
+        }
+        if abs == 0x7F80_0000 {
+            return sign | 0x7C00; // infinity
+        }
+        let e32 = (abs >> 23) as i32;
+        let man_full = (abs & 0x007F_FFFF) | if e32 == 0 { 0 } else { 0x0080_0000 };
+        let e16 = e32 - 127 + 15;
+        if e16 >= 0x1F {
+            return sign | 0x7C00;
+        }
+        if e16 <= 0 {
+            let shift = (14 - e16) as u32;
+            if shift > 25 {
+                return sign;
+            }
+            let kept = man_full >> shift;
+            let rem = u64::from(man_full) & ((1u64 << shift) - 1);
+            let half = 1u64 << (shift - 1);
+            let round_up = rem > half || (rem == half && (kept & 1) == 1);
+            return sign | (kept + u32::from(round_up)) as u16;
+        }
+        let base = ((e16 as u32) << 10) | ((man_full >> 13) & 0x03FF);
+        let rem = man_full & 0x1FFF;
+        let round_up = rem > 0x1000 || (rem == 0x1000 && (base & 1) == 1);
+        sign | (base + u32::from(round_up)) as u16
+    }
+
+    #[test]
+    fn branch_free_narrow_matches_reference_across_f32_sweep() {
+        // Dense sweep of the whole f32 bit space (prime stride so every
+        // exponent and many mantissa/rounding patterns are hit) plus the
+        // neighbourhood of every f16-relevant boundary.
+        let mut bits = 0u32;
+        loop {
+            let v = f32::from_bits(bits);
+            let expect = narrow_reference(v);
+            let got = f16::from_f32(v).to_bits();
+            if v.is_nan() {
+                assert!(got & 0x7C00 == 0x7C00 && got & 0x03FF != 0, "NaN for {bits:#010x}");
+            } else {
+                assert_eq!(got, expect, "bits {bits:#010x} ({v:e})");
+            }
+            let (next, overflow) = bits.overflowing_add(0x0001_0007);
+            if overflow {
+                break;
+            }
+            bits = next;
+        }
+        // Every finite f16 value ± a few ulps of f32 around it.
+        for h in 0..=0xFFFFu16 {
+            let f = f16::from_bits(h);
+            if !f.is_finite() {
+                continue;
+            }
+            let fb = f.to_f32().to_bits();
+            for delta in -3i32..=3 {
+                let nb = fb.wrapping_add(delta as u32);
+                let v = f32::from_bits(nb);
+                if v.is_nan() {
+                    continue;
+                }
+                assert_eq!(
+                    f16::from_f32(v).to_bits(),
+                    narrow_reference(v),
+                    "near {h:#06x} delta {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_f32_round_trip_is_identity_on_finite_f16() {
+        // Every finite binary16 bit pattern must survive widening + rounding.
+        for bits in 0..=0xFFFFu16 {
+            let h = f16::from_bits(bits);
+            if h.is_finite() {
+                assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(f16::from_f64(h.to_f64()).to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+}

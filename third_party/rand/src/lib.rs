@@ -1,0 +1,166 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the subset of `rand` it uses: [`rngs::StdRng`] seeded
+//! via [`SeedableRng::seed_from_u64`] and sampled via
+//! [`Rng::gen_range`] over integer and float ranges.
+//!
+//! [`rngs::StdRng`] is a xoshiro256++ generator seeded through SplitMix64 —
+//! not the ChaCha12 generator of the real crate, but deterministic,
+//! well-distributed and more than adequate for the reproducible test-problem
+//! generation this workspace needs.  Streams differ from the real `rand`, so
+//! seeds produce different (but still reproducible) matrices.
+
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Random number generators.
+pub mod rngs {
+    /// The workspace's standard seeded generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed (expanded with SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the canonical way to seed xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for usize {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, low: usize, high: usize) -> usize {
+        assert!(low < high, "gen_range: empty range");
+        let span = (high - low) as u64;
+        // Multiply-shift range reduction (Lemire); bias is negligible for the
+        // test-problem sizes used here.
+        let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+        low + hi as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, low: u64, high: u64) -> u64 {
+        assert!(low < high, "gen_range: empty range");
+        let span = high - low;
+        let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+        low + hi
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, low: f64, high: f64) -> f64 {
+        assert!(low < high, "gen_range: empty range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, low: f32, high: f32) -> f32 {
+        f64::sample_range(rng, f64::from(low), f64::from(high)) as f32
+    }
+}
+
+/// The sampling interface used by the workspace's problem generators.
+pub trait Rng {
+    /// Sample uniformly from the half-open range `low..high`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_and_seed_dependent() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let xc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds_and_look_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        assert!(samples.iter().all(|&v| (0.0..1.0).contains(&v)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let signed: Vec<f64> = (0..10_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        assert!(signed.iter().all(|&v| (-1.0..1.0).contains(&v)));
+        assert!(signed.iter().any(|&v| v < -0.5) && signed.iter().any(|&v| v > 0.5));
+    }
+
+    #[test]
+    fn integer_ranges_cover_their_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10usize);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
