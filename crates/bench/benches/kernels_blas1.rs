@@ -18,6 +18,10 @@ fn vectors<T: Scalar>(n: usize) -> (Vec<T>, Vec<T>) {
     (x, y)
 }
 
+fn meta(_c: &mut Criterion) {
+    f3r_bench::emit_parallel_meta();
+}
+
 fn bench_blas1(c: &mut Criterion) {
     let n = 1 << 16;
     let mut group = c.benchmark_group("blas1");
@@ -94,5 +98,5 @@ fn bench_blas1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_blas1);
+criterion_group!(benches, meta, bench_blas1);
 criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Worker-pool dispatch overhead and the mid-size kernel sweep.
+//!
+//! Two questions, both introduced by replacing the per-call scoped-thread
+//! spawn with the persistent `f3r-parallel` worker pool:
+//!
+//! 1. **`dispatch` group** — what does one parallel helper call cost when
+//!    the body is empty?  `pool/empty` times a full pool round trip
+//!    (enqueue, execute, unpark); `scoped_spawn/empty` times what the
+//!    previous layer paid, an OS thread spawn + join per call.  The pool
+//!    must be at least an order of magnitude cheaper — that gap is what
+//!    lets the dispatch thresholds sit at the seed values.
+//!
+//! 2. **`*_sweep` groups** — across the paper's mid-size range
+//!    (n = 2^13…2^18, plus a 2^20 guard against large-size regressions),
+//!    how do the size-dispatching kernels (`dot`, `axpy`, CSR `spmv`)
+//!    compare against their forced-sequential twins (`dot_seq`,
+//!    `axpy_seq`, `spmv_seq`) in fp16 and fp32?  Below the thresholds the
+//!    pair must coincide; above, the pool path must win on a multi-core
+//!    machine.
+//!
+//! On a single-core machine the pool is forced to two threads (see
+//! `force_pool`) so the dispatch path is exercised rather than silently
+//! reduced to the inline fallback; interpret the sweep medians there as an
+//! upper bound on pool overhead, not as a speedup (the `meta` JSON record
+//! carries both the pool size and the machine parallelism so baselines
+//! stay comparable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_precision::Scalar;
+use f3r_sparse::spmv::{spmv, spmv_seq};
+use f3r_sparse::{blas1, CooMatrix, CsrMatrix};
+use half::f16;
+use std::hint::black_box;
+
+/// Sizes of the mid-size sweep: 2^13 … 2^18 (the Figure 1/3/4 problem
+/// range), plus 2^20 to guard the large-problem path against regressions.
+const SWEEP: [usize; 7] = [1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 20];
+
+/// Make sure the pool actually dispatches: on single-core machines (and
+/// single-core CI runners) default configuration resolves to one thread and
+/// every helper runs inline, which would turn the dispatch benches into
+/// no-ops.  Multi-core machines keep their natural size.
+fn force_pool() -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if hw < 2 {
+        f3r_parallel::set_num_threads(2)
+    } else {
+        f3r_parallel::current_num_threads()
+    }
+}
+
+fn meta(_c: &mut Criterion) {
+    force_pool();
+    f3r_bench::emit_parallel_meta();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let threads = force_pool();
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(20);
+
+    // One full pool round trip with nothing to compute: enqueue the batch,
+    // run the caller's chunk, park until workers drain the rest.
+    group.bench_function(BenchmarkId::new("pool", "empty"), |b| {
+        b.iter(|| {
+            let parts = f3r_parallel::par_map_ranges(black_box(threads), 1, |r| r.len());
+            black_box(parts.into_iter().sum::<usize>())
+        })
+    });
+
+    // What the previous scoped-thread layer paid on every above-threshold
+    // call: spawn `threads - 1` OS threads, join them in the scope.
+    group.bench_function(BenchmarkId::new("scoped_spawn", "empty"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    (0..threads - 1).map(|i| s.spawn(move || black_box(i))).collect();
+                total += handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>();
+            });
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn sweep_vectors<T: Scalar>(n: usize) -> (Vec<T>, Vec<T>) {
+    let x: Vec<T> = (0..n).map(|i| T::from_f64(((i % 17) as f64 - 8.0) / 17.0)).collect();
+    let y: Vec<T> = (0..n).map(|i| T::from_f64(((i % 13) as f64 - 6.0) / 13.0)).collect();
+    (x, y)
+}
+
+fn bench_dot_sweep<T: Scalar>(c: &mut Criterion, precision: &str) {
+    force_pool();
+    let mut group = c.benchmark_group("dot_sweep");
+    group.sample_size(12);
+    for n in SWEEP {
+        let (x, y) = sweep_vectors::<T>(n);
+        group.bench_function(BenchmarkId::new(format!("pool_{precision}"), n), |b| {
+            b.iter(|| black_box(blas1::dot(black_box(&x), black_box(&y))))
+        });
+        group.bench_function(BenchmarkId::new(format!("seq_{precision}"), n), |b| {
+            b.iter(|| black_box(blas1::dot_seq(black_box(&x), black_box(&y))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_axpy_sweep<T: Scalar>(c: &mut Criterion, precision: &str) {
+    force_pool();
+    let mut group = c.benchmark_group("axpy_sweep");
+    group.sample_size(12);
+    for n in SWEEP {
+        let (x, y) = sweep_vectors::<T>(n);
+        let mut z = y.clone();
+        group.bench_function(BenchmarkId::new(format!("pool_{precision}"), n), |b| {
+            b.iter(|| blas1::axpy(black_box(0.5), black_box(&x), black_box(&mut z)))
+        });
+        let mut zs = y.clone();
+        group.bench_function(BenchmarkId::new(format!("seq_{precision}"), n), |b| {
+            b.iter(|| blas1::axpy_seq(black_box(0.5), black_box(&x), black_box(&mut zs)))
+        });
+    }
+    group.finish();
+}
+
+/// Tridiagonal test matrix (the 1-D Laplacian): ~3 nnz/row at any size, so
+/// the sweep isolates row-count scaling from fill-in effects.
+fn tridiag(n: usize) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        coo.push(i, i, 2.0);
+        if i > 0 {
+            coo.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+fn bench_spmv_sweep<TA: Scalar>(c: &mut Criterion, precision: &str) {
+    force_pool();
+    let mut group = c.benchmark_group("spmv_sweep");
+    group.sample_size(12);
+    for n in SWEEP {
+        let a: CsrMatrix<TA> = tridiag(n).to_precision();
+        let x: Vec<f32> = (0..n).map(|i| ((i % 17) as f32 - 8.0) / 17.0).collect();
+        let mut y = vec![0.0f32; n];
+        group.bench_function(BenchmarkId::new(format!("pool_{precision}"), n), |b| {
+            b.iter(|| spmv(black_box(&a), black_box(&x), black_box(&mut y)))
+        });
+        let mut ys = vec![0.0f32; n];
+        group.bench_function(BenchmarkId::new(format!("seq_{precision}"), n), |b| {
+            b.iter(|| spmv_seq(black_box(&a), black_box(&x), black_box(&mut ys)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    bench_dot_sweep::<f32>(c, "fp32");
+    bench_dot_sweep::<f16>(c, "fp16");
+    bench_axpy_sweep::<f32>(c, "fp32");
+    bench_axpy_sweep::<f16>(c, "fp16");
+    bench_spmv_sweep::<f32>(c, "fp32");
+    bench_spmv_sweep::<f16>(c, "fp16");
+}
+
+criterion_group!(benches, meta, bench_dispatch, bench_sweeps);
+criterion_main!(benches);

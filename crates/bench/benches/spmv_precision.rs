@@ -15,6 +15,10 @@ use f3r_sparse::spmv::{spmv_dot2, spmv_seq, spmv_sell_seq};
 use f3r_sparse::{blas1, reference, SellMatrix};
 use std::hint::black_box;
 
+fn meta(_c: &mut Criterion) {
+    f3r_bench::emit_parallel_meta();
+}
+
 fn bench_spmv(c: &mut Criterion) {
     let p = BenchProblem::hpcg();
     let a64 = &p.matrix_csr;
@@ -81,5 +85,5 @@ fn bench_spmv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmv);
+criterion_group!(benches, meta, bench_spmv);
 criterion_main!(benches);

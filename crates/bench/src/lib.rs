@@ -25,6 +25,30 @@ pub fn bench_grid() -> usize {
         .unwrap_or(12)
 }
 
+/// Record the parallel environment a bench run executed in: the effective
+/// worker-pool size ([`f3r_parallel::current_num_threads`]) and the
+/// machine's available parallelism.
+///
+/// Printed to stdout and, when `F3R_BENCH_JSON` names a file, appended to it
+/// as a `{"group":"meta","bench":"parallel_pool",…}` record — kernel medians
+/// depend directly on the pool size, so `BENCH_*.json` baselines carry it to
+/// stay comparable across machines.  Kernel bench targets call this once,
+/// before their measurements.
+pub fn emit_parallel_meta() {
+    let threads = f3r_parallel::current_num_threads();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("bench-meta: worker-pool threads = {threads}, available parallelism = {hw}");
+    if let Ok(path) = std::env::var("F3R_BENCH_JSON") {
+        use std::io::Write as _;
+        let line = format!(
+            "{{\"group\":\"meta\",\"bench\":\"parallel_pool\",\"threads\":{threads},\"available_parallelism\":{hw}}}"
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
 /// A benchmark problem: scaled matrix, shared multi-precision handle, rhs.
 pub struct BenchProblem {
     /// Problem label.

@@ -1,33 +1,334 @@
-//! Scoped-thread data parallelism for the F3R kernel layer.
+//! Persistent worker-pool data parallelism for the F3R kernel layer.
 //!
-//! The sparse kernels previously used rayon's parallel iterators; this crate
-//! replaces that external dependency with a small set of first-party helpers
-//! built on [`std::thread::scope`].  The helpers are deliberately shaped
-//! around how the kernels actually parallelise:
+//! The sparse kernels previously used rayon's parallel iterators, then a
+//! first-party scoped-thread layer that spawned OS threads on *every* kernel
+//! call.  That per-call spawn cost (tens of microseconds) forced the kernel
+//! thresholds an order of magnitude above where parallelism starts paying
+//! off, so the paper-scale mid-size problems (2^14–2^18 unknowns) ran
+//! entirely single-core.  This crate now keeps a **global, lazily
+//! initialised pool of parked worker threads** and dispatches each helper
+//! call as a batch of chunk tasks:
+//!
+//! * the pool is created on the first above-threshold call and holds
+//!   `current_num_threads() - 1` workers parked on a condition variable,
+//! * each helper call enqueues its chunk tasks, executes the **last chunk on
+//!   the calling thread** (as the scoped layer did), helps drain its own
+//!   remaining tasks, and parks only until its batch completes,
+//! * dispatch costs two mutex acquisitions and a wake — roughly a
+//!   microsecond — instead of a thread spawn + join per call, which is what
+//!   lets the `thresholds` below sit at the seed values again.
+//!
+//! The helpers are deliberately shaped around how the kernels parallelise:
 //!
 //! * [`par_chunks_mut`] — split an output slice into contiguous chunks and
-//!   process each chunk on its own thread (SpMV rows, axpy-style updates),
+//!   process each chunk on its own task (SpMV rows, axpy-style updates),
+//! * [`par_map_chunks_mut`] — like [`par_chunks_mut`] but each chunk also
+//!   yields a value, collected in chunk order (fused update + norm kernels),
 //! * [`par_map_ranges`] — map disjoint index ranges to per-chunk results and
 //!   collect them in order (chunked reductions: dot products, norms),
 //! * [`par_for_each_mut`] / [`par_map`] — parallelise over a small list of
 //!   unevenly sized items (block-Jacobi blocks).
 //!
-//! Threads are spawned per call, so callers must gate on a problem-size
-//! threshold (the kernels use `PAR_*_THRESHOLD` constants an order of
-//! magnitude above the spawn cost).  All helpers fall back to inline
-//! sequential execution when a single worker would be used, so small inputs
-//! and single-CPU machines never pay for a spawn.
+//! # Worker count
+//!
+//! The pool size is resolved once, at the first parallel dispatch, from (in
+//! priority order) [`set_num_threads`], the `F3R_NUM_THREADS` environment
+//! variable, and [`std::thread::available_parallelism`].  A count of 1
+//! disables the pool entirely: every helper runs inline, no threads are ever
+//! spawned, and single-CPU machines never pay for synchronisation.
+//!
+//! # Re-entrancy
+//!
+//! Helpers may be called from inside tasks.  A helper invoked **on a pool
+//! worker** (see [`is_worker_thread`]) runs its whole input inline as a
+//! single chunk — workers never enqueue work or block on other workers, so
+//! nested kernel calls (e.g. a preconditioner apply inside a parallel sweep)
+//! cannot deadlock the pool.  A helper invoked on a *non-worker* thread
+//! (including the caller thread while it executes its own chunk) dispatches
+//! normally; any number of caller threads may use the pool concurrently, and
+//! every caller helps execute its own batch, so progress never depends on a
+//! worker being free.
+//!
+//! Panics in a task are caught, forwarded to the calling thread after the
+//! batch completes, and resumed there; the pool itself survives.
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::{self, Thread};
 
-/// Number of worker threads the helpers will use at most: the machine's
-/// available parallelism (1 if it cannot be queried).
+pub mod thresholds;
+
+// ---------------------------------------------------------------------------
+// Worker-count configuration
+// ---------------------------------------------------------------------------
+
+/// Thread count requested via [`set_num_threads`]; 0 means "not set".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker-pool size (total compute threads, callers included).
+///
+/// Takes effect only if called **before the first parallel dispatch** — the
+/// pool is created lazily and its size is latched when the first
+/// above-threshold helper call arrives.  Later calls are ignored (the pool
+/// does not resize).  A programmatic setting takes priority over the
+/// `F3R_NUM_THREADS` environment variable; `n` is clamped to at least 1, and
+/// `1` means "run everything inline, never spawn a worker".
+///
+/// Returns the count in effect as far as this call can observe: `n` if the
+/// pool has not started yet, otherwise the already-latched pool size.  Call
+/// it during startup, before other threads issue parallel work — racing it
+/// against a concurrent first dispatch can latch the previous configuration
+/// even though `n` is returned.
+pub fn set_num_threads(n: usize) -> usize {
+    let n = n.max(1);
+    CONFIGURED_THREADS.store(n, Ordering::Relaxed);
+    POOL.get().map_or(n, |p| p.threads)
+}
+
+/// Resolve the thread count from configuration without touching the pool:
+/// [`set_num_threads`] > `F3R_NUM_THREADS` > available parallelism.
+fn configured_threads() -> usize {
+    let set = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if set != 0 {
+        return set;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    if let Some(n) = *ENV.get_or_init(|| {
+        std::env::var("F3R_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    }) {
+        return n;
+    }
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Number of compute threads the helpers will use at most (callers included).
+///
+/// Once the pool has started this is its latched size; before that it
+/// reflects the current configuration (see [`set_num_threads`]).
 #[must_use]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    POOL.get().map_or_else(configured_threads, |p| p.threads)
 }
+
+/// Whether the current thread is one of the pool's worker threads.
+///
+/// Helpers called on a worker run inline as a single chunk (see the module
+/// docs on re-entrancy); exposed so tests and diagnostics can observe it.
+#[must_use]
+pub fn is_worker_thread() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// One enqueued chunk task: a pointer to its batch plus the chunk index.
+struct Task {
+    batch: *const BatchState,
+    index: usize,
+}
+
+// SAFETY: `Task` carries a raw pointer to a `BatchState` that lives on the
+// stack of a thread currently blocked in `run_batch`.  The dispatch protocol
+// guarantees the pointee outlives the task: the caller does not return until
+// `remaining` reaches zero, and `remaining` is decremented only after a task
+// finishes executing.
+unsafe impl Send for Task {}
+
+/// Shared per-dispatch state, allocated on the calling thread's stack.
+struct BatchState {
+    /// Type-erased pointer to the caller's `Fn(usize)` chunk closure.
+    job: *const (),
+    /// Monomorphised trampoline invoking `job` with a chunk index.
+    call: unsafe fn(*const (), usize),
+    /// Tasks not yet completed (executed by workers or the caller).
+    remaining: AtomicUsize,
+    /// Handle used to unpark the caller when the batch completes.
+    caller: Thread,
+    /// First panic payload raised by any task, forwarded to the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct Pool {
+    /// Latched total thread count (workers + one caller).
+    threads: usize,
+    /// FIFO of pending chunk tasks across all in-flight batches.
+    queue: Mutex<VecDeque<Task>>,
+    /// Signalled when tasks are pushed; workers park here when idle.
+    available: Condvar,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+/// Get the global pool, creating it (and spawning its parked workers) on
+/// first use.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            threads,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for id in 0..threads.saturating_sub(1) {
+            thread::Builder::new()
+                .name(format!("f3r-worker-{id}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn f3r worker thread");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut queue = pool.queue.lock().expect("pool queue poisoned");
+    loop {
+        if let Some(task) = queue.pop_front() {
+            drop(queue);
+            execute(task);
+            queue = pool.queue.lock().expect("pool queue poisoned");
+        } else {
+            queue = pool.available.wait(queue).expect("pool queue poisoned");
+        }
+    }
+}
+
+/// Execute one task and mark it complete, unparking the caller if it was the
+/// batch's last.  Panics in the task body are captured into the batch.
+fn execute(task: Task) {
+    // SAFETY: the batch outlives the task (see the `Send` impl on `Task`);
+    // this task has not been counted out of `remaining` yet.
+    let batch = unsafe { &*task.batch };
+    // Clone the caller handle *before* the decrement: after this task's
+    // decrement the batch may complete and the caller's stack frame vanish.
+    let caller = batch.caller.clone();
+    // SAFETY: `job`/`call` were built from a closure reference that
+    // `run_batch` keeps alive until `remaining` reaches zero.
+    let result = catch_unwind(AssertUnwindSafe(|| unsafe { (batch.call)(batch.job, task.index) }));
+    if let Err(payload) = result {
+        let mut slot = batch.panic.lock().expect("panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        caller.unpark();
+    }
+}
+
+impl Pool {
+    /// Pop a not-yet-started task belonging to `batch`, if any is queued
+    /// (the caller uses this to help drain its own batch).
+    fn pop_own(&self, batch: *const BatchState) -> Option<Task> {
+        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        let pos = queue.iter().position(|t| std::ptr::eq(t.batch, batch))?;
+        queue.remove(pos)
+    }
+}
+
+/// Run `count` chunk tasks `f(0), …, f(count-1)` across the pool and the
+/// calling thread, returning when all of them have completed.
+///
+/// The caller executes chunk `count - 1` itself, then helps execute any of
+/// its own chunks still queued, then parks until workers finish the rest.
+/// Runs everything inline when the batch is trivial, the pool is configured
+/// for a single thread, or the current thread is itself a pool worker
+/// (re-entrant call — see the module docs).
+fn run_batch<F: Fn(usize) + Sync>(count: usize, f: &F) {
+    if count <= 1 || is_worker_thread() {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    if pool.threads <= 1 {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+
+    /// Monomorphised trampoline: recover the closure and run chunk `index`.
+    unsafe fn call_task<F: Fn(usize)>(job: *const (), index: usize) {
+        // SAFETY: `job` points at the live `F` borrowed by `run_batch`.
+        unsafe { (*job.cast::<F>())(index) }
+    }
+
+    let batch = BatchState {
+        job: std::ptr::from_ref(f).cast(),
+        call: call_task::<F>,
+        remaining: AtomicUsize::new(count),
+        caller: thread::current(),
+        panic: Mutex::new(None),
+    };
+    {
+        let mut queue = pool.queue.lock().expect("pool queue poisoned");
+        for index in 0..count - 1 {
+            queue.push_back(Task { batch: &batch, index });
+        }
+    }
+    // Wake exactly as many workers as there are queued tasks (capped at the
+    // worker count): notify_all would stampede every parked worker through
+    // the queue mutex on each kernel call, inflating the dispatch cost the
+    // thresholds are tuned against.
+    for _ in 0..(count - 1).min(pool.threads - 1) {
+        pool.available.notify_one();
+    }
+    // The caller takes the last chunk itself (saving one handoff per call,
+    // exactly as the scoped-thread layer did) …
+    execute(Task { batch: &batch, index: count - 1 });
+    // … then helps drain its own batch instead of blocking, so completion
+    // never depends on workers being free (they may be busy with another
+    // caller's batch — or not exist at all).
+    while let Some(task) = pool.pop_own(&batch) {
+        execute(task);
+    }
+    // Park until the last in-flight task unparks us.  `park` may wake
+    // spuriously (or from a stale token left by our own last-task unpark),
+    // so re-check the counter each time.
+    while batch.remaining.load(Ordering::Acquire) > 0 {
+        thread::park();
+    }
+    let payload = batch.panic.lock().expect("panic slot poisoned").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Shareable raw pointer used to hand disjoint sub-slices / result slots to
+/// chunk tasks.
+struct SyncPtr<T>(*mut T);
+
+impl<T> SyncPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: `SyncPtr` is only used inside the dispatch helpers below, where
+// every task derives a *disjoint* region from the shared base pointer, and
+// the underlying allocation outlives the batch (it is borrowed by the
+// enclosing helper call, which does not return until the batch completes).
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+// SAFETY: see above — concurrent tasks never touch overlapping regions.
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
 /// Number of workers for `items` work items at granularity `grain`.
 fn workers(items: usize, grain: usize) -> usize {
@@ -37,34 +338,36 @@ fn workers(items: usize, grain: usize) -> usize {
     (items / grain.max(1)).clamp(1, current_num_threads())
 }
 
+// ---------------------------------------------------------------------------
+// Public helpers (signatures unchanged from the scoped-thread layer)
+// ---------------------------------------------------------------------------
+
 /// Process contiguous chunks of `data` in parallel.
 ///
 /// `data` is split into roughly equal contiguous chunks of at least `grain`
 /// elements; `f` is called with each chunk's start offset in `data` and the
-/// mutable chunk itself.  Runs inline when one worker suffices.
+/// mutable chunk itself.  Runs inline when one worker suffices or when
+/// called from a pool worker (re-entrant call).
 pub fn par_chunks_mut<T: Send, F>(data: &mut [T], grain: usize, f: F)
 where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let n = data.len();
     let nw = workers(n, grain);
-    if nw <= 1 {
+    if nw <= 1 || is_worker_thread() {
         f(0, data);
         return;
     }
     let per = n.div_ceil(nw);
-    std::thread::scope(|s| {
-        let mut chunks = data.chunks_mut(per).enumerate();
-        let last = chunks.next_back();
-        for (i, chunk) in chunks {
-            let f = &f;
-            s.spawn(move || f(i * per, chunk));
-        }
-        // The caller would otherwise idle in the scope; give it the last
-        // chunk, saving one spawn per call.
-        if let Some((i, chunk)) = last {
-            f(i * per, chunk);
-        }
+    let count = n.div_ceil(per);
+    let base = SyncPtr(data.as_mut_ptr());
+    run_batch(count, &|i: usize| {
+        let start = i * per;
+        let len = per.min(n - start);
+        // SAFETY: tasks receive disjoint index ranges of `data`, which the
+        // enclosing call keeps borrowed until the batch completes.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        f(start, chunk);
     });
 }
 
@@ -81,23 +384,28 @@ where
 {
     let n = data.len();
     let nw = workers(n, grain);
-    if nw <= 1 {
+    if nw <= 1 || is_worker_thread() {
         return vec![f(0, data)];
     }
     let per = n.div_ceil(nw);
-    let mut out: Vec<Option<R>> = (0..n.div_ceil(per)).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut work: Vec<_> = data.chunks_mut(per).enumerate().zip(out.iter_mut()).collect();
-        let last = work.pop();
-        for ((i, chunk), slot) in work {
-            let f = &f;
-            s.spawn(move || *slot = Some(f(i * per, chunk)));
-        }
-        if let Some(((i, chunk), slot)) = last {
-            *slot = Some(f(i * per, chunk));
-        }
+    let count = n.div_ceil(per);
+    let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let base = SyncPtr(data.as_mut_ptr());
+    let slots = SyncPtr(out.as_mut_ptr());
+    run_batch(count, &|i: usize| {
+        let start = i * per;
+        let len = per.min(n - start);
+        // SAFETY: disjoint chunk of `data` per task (see par_chunks_mut).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        let r = f(start, chunk);
+        // SAFETY: slot `i` is written by exactly one task; overwriting the
+        // initial `None` without dropping it is fine (dropping `None` is a
+        // no-op for any `R`).
+        unsafe { slots.get().add(i).write(Some(r)) };
     });
-    out.into_iter().map(|r| r.expect("worker produced a result")).collect()
+    out.into_iter()
+        .map(|r| r.expect("pool task produced a result"))
+        .collect()
 }
 
 /// Map disjoint index ranges of `0..len` to per-range results, in order.
@@ -105,63 +413,58 @@ where
 /// The index space is split into roughly equal ranges of at least `grain`
 /// indices; `f` maps each range to a result, and the results are returned in
 /// range order (so reductions stay deterministic for a fixed worker count —
-/// combine them with a fold on the caller side).
+/// combine them with a fold on the caller side).  Called from a pool worker
+/// it returns a single range covering `0..len` (inline re-entrant path).
 #[must_use]
 pub fn par_map_ranges<R: Send, F>(len: usize, grain: usize, f: F) -> Vec<R>
 where
     F: Fn(Range<usize>) -> R + Sync,
 {
     let nw = workers(len, grain);
-    if nw <= 1 {
+    if nw <= 1 || is_worker_thread() {
         return vec![f(0..len)];
     }
     let per = len.div_ceil(nw);
-    let mut out: Vec<Option<R>> = (0..len.div_ceil(per)).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let count = out.len();
-        let mut slots = out.iter_mut().enumerate();
-        let last = slots.next_back();
-        debug_assert!(count >= 1);
-        for (i, slot) in slots {
-            let f = &f;
-            s.spawn(move || {
-                let start = i * per;
-                let end = (start + per).min(len);
-                *slot = Some(f(start..end));
-            });
-        }
-        if let Some((i, slot)) = last {
-            let start = i * per;
-            let end = (start + per).min(len);
-            *slot = Some(f(start..end));
-        }
+    let count = len.div_ceil(per);
+    let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let slots = SyncPtr(out.as_mut_ptr());
+    run_batch(count, &|i: usize| {
+        let start = i * per;
+        let end = (start + per).min(len);
+        let r = f(start..end);
+        // SAFETY: slot `i` is written by exactly one task (see
+        // par_map_chunks_mut).
+        unsafe { slots.get().add(i).write(Some(r)) };
     });
-    out.into_iter().map(|r| r.expect("worker produced a result")).collect()
+    out.into_iter()
+        .map(|r| r.expect("pool task produced a result"))
+        .collect()
 }
 
 /// Apply `f` to every item of `items` in parallel (uneven item costs are
-/// fine; items are dealt round-robin-free as contiguous groups).
+/// fine; items are dealt as contiguous groups).
 pub fn par_for_each_mut<I: Send, F>(items: &mut [I], f: F)
 where
     F: Fn(usize, &mut I) + Sync,
 {
     let n = items.len();
     let nw = n.clamp(1, current_num_threads());
-    if nw <= 1 || n <= 1 {
+    if nw <= 1 || n <= 1 || is_worker_thread() {
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
         }
         return;
     }
     let per = n.div_ceil(nw);
-    std::thread::scope(|s| {
-        for (g, group) in items.chunks_mut(per).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (j, item) in group.iter_mut().enumerate() {
-                    f(g * per + j, item);
-                }
-            });
+    let count = n.div_ceil(per);
+    let base = SyncPtr(items.as_mut_ptr());
+    run_batch(count, &|g: usize| {
+        let start = g * per;
+        let len = per.min(n - start);
+        // SAFETY: disjoint group of `items` per task (see par_chunks_mut).
+        let group = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        for (j, item) in group.iter_mut().enumerate() {
+            f(start + j, item);
         }
     });
 }
@@ -174,31 +477,43 @@ where
 {
     let n = items.len();
     let nw = n.clamp(1, current_num_threads());
-    if nw <= 1 || n <= 1 {
+    if nw <= 1 || n <= 1 || is_worker_thread() {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let per = n.div_ceil(nw);
+    let count = n.div_ceil(per);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (g, slots) in out.chunks_mut(per).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (j, slot) in slots.iter_mut().enumerate() {
-                    let idx = g * per + j;
-                    *slot = Some(f(idx, &items[idx]));
-                }
-            });
+    let slots = SyncPtr(out.as_mut_ptr());
+    run_batch(count, &|g: usize| {
+        let start = g * per;
+        let end = (start + per).min(n);
+        for (off, item) in items[start..end].iter().enumerate() {
+            let idx = start + off;
+            let r = f(idx, item);
+            // SAFETY: slot `idx` belongs to exactly one task's group.
+            unsafe { slots.get().add(idx).write(Some(r)) };
         }
     });
-    out.into_iter().map(|r| r.expect("worker produced a result")).collect()
+    out.into_iter()
+        .map(|r| r.expect("pool task produced a result"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Every pool-touching test requests the same multi-thread configuration
+    /// before its first dispatch, so whichever test initialises the pool
+    /// first latches a size > 1 and the pool path is actually exercised even
+    /// on single-core machines.
+    fn use_test_pool() {
+        set_num_threads(4);
+    }
+
     #[test]
     fn chunks_cover_every_element_exactly_once() {
+        use_test_pool();
         let mut data = vec![0u32; 10_000];
         par_chunks_mut(&mut data, 16, |offset, chunk| {
             for (i, v) in chunk.iter_mut().enumerate() {
@@ -212,6 +527,7 @@ mod tests {
 
     #[test]
     fn small_input_runs_inline() {
+        use_test_pool();
         let mut data = vec![1u8; 3];
         par_chunks_mut(&mut data, 1024, |offset, chunk| {
             assert_eq!(offset, 0);
@@ -221,6 +537,7 @@ mod tests {
 
     #[test]
     fn ranges_partition_and_preserve_order() {
+        use_test_pool();
         let sums = par_map_ranges(100_000, 1_000, |r| r.map(|i| i as u64).sum::<u64>());
         let total: u64 = sums.iter().sum();
         assert_eq!(total, 99_999 * 100_000 / 2);
@@ -229,12 +546,33 @@ mod tests {
 
     #[test]
     fn zero_length_range_map() {
+        use_test_pool();
         let sums = par_map_ranges(0, 64, |r| r.len());
         assert_eq!(sums, vec![0]);
     }
 
     #[test]
+    fn map_chunks_results_in_chunk_order() {
+        use_test_pool();
+        let mut data: Vec<u64> = (0..10_000).collect();
+        let sums = par_map_chunks_mut(&mut data, 100, |offset, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+            offset as u64
+        });
+        let mut prev = None;
+        for s in &sums {
+            assert!(prev.is_none_or(|p| p < *s), "offsets must be increasing");
+            prev = Some(*s);
+        }
+        assert_eq!(data[0], 1);
+        assert_eq!(data[9999], 10_000);
+    }
+
+    #[test]
     fn uneven_items_all_processed() {
+        use_test_pool();
         let mut items: Vec<Vec<u8>> = (0..7).map(|i| vec![0u8; i + 1]).collect();
         par_for_each_mut(&mut items, |idx, item| {
             for v in item.iter_mut() {
@@ -248,11 +586,18 @@ mod tests {
 
     #[test]
     fn map_preserves_order() {
+        use_test_pool();
         let items: Vec<usize> = (0..133).collect();
         let doubled = par_map(&items, |i, &v| {
             assert_eq!(i, v);
             v * 2
         });
         assert_eq!(doubled, (0..133).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        use_test_pool();
+        assert!(current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,38 @@
+//! Shared problem-size thresholds above which the kernel layers dispatch to
+//! the worker pool.
+//!
+//! One definition instead of per-crate copies: `f3r_sparse::spmv`,
+//! `f3r_sparse::blas1` and `f3r_precond::block_jacobi` all re-export these
+//! constants, so the dispatch policy of the whole kernel layer is tuned in
+//! one place.
+//!
+//! The values are the seed values of the repository: with the persistent
+//! worker pool a dispatch costs roughly a microsecond (two mutex
+//! acquisitions and a wake), so parallelism starts paying off as soon as a
+//! kernel call itself takes a few microseconds.  The previous scoped-thread
+//! layer spawned OS threads per call and needed thresholds an order of
+//! magnitude higher (2^16 rows / 2^20 elements), which left the paper's
+//! mid-size problems (2^14–2^18 unknowns, most of the Figure 1/3/4 suite)
+//! entirely single-core.
+
+/// Matrix row count at or above which SpMV-shaped kernels go parallel
+/// (CSR / sliced-ELLPACK products, fused residual and SpMV+dot kernels).
+///
+/// An SpMV touches several memory streams per row (values, column indices,
+/// gathered `x`, streamed `y`), so per-row work is high enough to amortise a
+/// pool dispatch well before the BLAS-1 element threshold is reached.
+pub const PAR_ROW_THRESHOLD: usize = 1 << 14;
+
+/// Vector length at or above which BLAS-1 kernels (dot, axpy, fused
+/// update+norm variants) go parallel.
+///
+/// A 2^15-element fp32 dot reads 256 KiB and takes a handful of
+/// microseconds on one core — several times the pool's dispatch cost.
+pub const PAR_LEN_THRESHOLD: usize = 1 << 15;
+
+/// Total row count at or above which block-Jacobi preconditioner
+/// applications solve their blocks in parallel.
+///
+/// Per-block triangular solves are heavier per row than an SpMV row (two
+/// sweeps, data dependencies), so this matches [`PAR_ROW_THRESHOLD`].
+pub const PAR_BLOCK_ROW_THRESHOLD: usize = 1 << 14;

@@ -1,0 +1,17 @@
+//! `F3R_NUM_THREADS` environment override, in its own integration-test
+//! binary so this process's pool is guaranteed to initialise from the
+//! environment (the other test binaries latch a programmatic size first).
+
+use f3r_parallel::{current_num_threads, par_map_ranges};
+
+#[test]
+fn env_var_sets_pool_size() {
+    // Must happen before the first parallel dispatch in this process; the
+    // value is read once and latched at pool initialisation.
+    std::env::set_var("F3R_NUM_THREADS", "3");
+    assert_eq!(current_num_threads(), 3);
+    let sums = par_map_ranges(1 << 16, 16, |r| r.map(|i| i as u64).sum::<u64>());
+    let n = 1u64 << 16;
+    assert_eq!(sums.into_iter().sum::<u64>(), n * (n - 1) / 2);
+    assert_eq!(current_num_threads(), 3, "size latched at first dispatch");
+}

@@ -5,7 +5,7 @@
 //! (Table 3) and, implicitly through its Section 4.1 model, the amount of
 //! memory traffic per solve.  [`KernelCounters`] collects both, plus a
 //! breakdown of SpMV/BLAS-1 calls per precision, using relaxed atomics so the
-//! counters can be bumped from rayon-parallel kernels without contention
+//! counters can be bumped from pool-parallel kernels without contention
 //! concerns.
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -5,7 +5,8 @@
 //! hardware thread (112 blocks on the Camphor 3 node).  The same structure is
 //! reproduced here: the row range is split into `n_blocks` contiguous blocks,
 //! each diagonal block is factorised independently, and applications run the
-//! per-block triangular solves in parallel with rayon.
+//! per-block triangular solves as parallel tasks on the persistent
+//! `f3r-parallel` worker pool.
 
 use f3r_precision::Scalar;
 use f3r_sparse::CsrMatrix;
@@ -94,16 +95,17 @@ impl<P> BlockJacobiPrecond<P> {
     }
 }
 
-/// Total rows below which block applications run sequentially: scoped
-/// threads are spawned per call, so small systems (where a triangular solve
-/// is microseconds) must not pay the spawn cost on every `M` application.
-const PAR_APPLY_ROW_THRESHOLD: usize = 1 << 15;
+/// Total rows below which block applications run sequentially, shared with
+/// the kernel layer's threshold table: small systems (where a triangular
+/// solve is microseconds) must not pay even the pool's dispatch cost on
+/// every `M` application.
+use f3r_parallel::thresholds::PAR_BLOCK_ROW_THRESHOLD;
 
 impl<T: Scalar, P: Preconditioner<T>> Preconditioner<T> for BlockJacobiPrecond<P> {
     fn apply(&self, r: &[T], z: &mut [T]) {
         assert_eq!(r.len(), self.n, "block-Jacobi: length mismatch");
         assert_eq!(z.len(), self.n, "block-Jacobi: length mismatch");
-        if self.n < PAR_APPLY_ROW_THRESHOLD {
+        if self.n < PAR_BLOCK_ROW_THRESHOLD {
             for (b, w) in self.offsets.windows(2).enumerate() {
                 self.blocks[b].apply(&r[w[0]..w[1]], &mut z[w[0]..w[1]]);
             }

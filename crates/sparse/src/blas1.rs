@@ -19,16 +19,22 @@
 //! patterns of the CG / BiCGStab / FGMRES / Richardson iteration loops.
 //!
 //! Each kernel has a sequential and a thread-parallel variant plus a
-//! size-dispatching wrapper, mirroring the SpMV module.
+//! size-dispatching wrapper, mirroring the SpMV module.  Parallel variants
+//! dispatch chunk tasks to the persistent `f3r-parallel` worker pool; the
+//! dispatch threshold is the shared
+//! [`f3r_parallel::thresholds::PAR_LEN_THRESHOLD`].
 
 use f3r_precision::Scalar;
 
-/// Vector length above which the dispatching wrappers go parallel.  Scoped
-/// threads are spawned per call, so this sits far above the spawn cost.
-pub const PAR_LEN_THRESHOLD: usize = 1 << 20;
+/// Vector length at or above which the dispatching wrappers go parallel
+/// (re-exported from the shared threshold table in `f3r-parallel`).
+pub use f3r_parallel::thresholds::PAR_LEN_THRESHOLD;
 
-/// Minimum elements per worker.
-const MIN_LEN_PER_TASK: usize = 1 << 17;
+/// Minimum elements per pool task.  A 2^14-element chunk streams 64–256 KiB
+/// depending on precision — several microseconds of memory traffic against
+/// the pool's ~1 µs dispatch cost, and small enough that vectors just above
+/// [`PAR_LEN_THRESHOLD`] still split across workers.
+const MIN_LEN_PER_TASK: usize = 1 << 14;
 
 /// Elements accumulated in `T::Accum` before the partial sum is folded into
 /// `f64`.  This bounds every accumulation-precision chain at
@@ -76,6 +82,15 @@ fn dot_chunk<T: Scalar>(x: &[T], y: &[T]) -> f64 {
         total += ((p0 + p1) + tail).to_f64();
     });
     total
+}
+
+/// Forced-sequential dot product `xᵀ y` (no pool dispatch regardless of
+/// length) — the single-core baseline the dispatch benchmarks compare
+/// against; solvers use the size-dispatching [`dot`].
+#[must_use]
+pub fn dot_seq<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    dot_chunk(x, y)
 }
 
 /// Dot product `xᵀ y`, accumulated in `T::Accum` and returned as `f64`.
@@ -191,20 +206,32 @@ pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
     dot(x, x).sqrt()
 }
 
+/// One contiguous chunk of an axpy update (`chunk ← chunk + a * xs`).
+#[inline]
+fn axpy_chunk<T: Scalar>(a: T::Accum, xs: &[T], chunk: &mut [T]) {
+    for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
+        *yi = T::narrow(xi.widen() * a + yi.widen());
+    }
+}
+
+/// Forced-sequential `y ← y + alpha * x` (no pool dispatch regardless of
+/// length) — the single-core baseline the dispatch benchmarks compare
+/// against; solvers use the size-dispatching [`axpy`].
+pub fn axpy_seq<T: Scalar>(alpha: f64, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    axpy_chunk(<T::Accum as Scalar>::from_f64(alpha), x, y);
+}
+
 /// `y ← y + alpha * x`.
 pub fn axpy<T: Scalar>(alpha: f64, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     let a = <T::Accum as Scalar>::from_f64(alpha);
-    let body = |base: usize, chunk: &mut [T]| {
-        let xs = &x[base..base + chunk.len()];
-        for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
-            *yi = T::narrow(xi.widen() * a + yi.widen());
-        }
-    };
     if x.len() >= PAR_LEN_THRESHOLD {
-        f3r_parallel::par_chunks_mut(y, MIN_LEN_PER_TASK, body);
+        f3r_parallel::par_chunks_mut(y, MIN_LEN_PER_TASK, |base, chunk| {
+            axpy_chunk(a, &x[base..base + chunk.len()], chunk);
+        });
     } else {
-        body(0, y);
+        axpy_chunk(a, x, y);
     }
 }
 

@@ -6,7 +6,8 @@
 //! HPGMP benchmark matrices plus synthetic analogues of the SuiteSparse test
 //! set.  This crate provides all of them, generic over the working precision
 //! via [`f3r_precision::Scalar`], with sequential and thread-parallel
-//! implementations (scoped threads from `f3r-parallel`).
+//! implementations (chunk tasks on the persistent `f3r-parallel` worker
+//! pool, dispatched above the shared `f3r_parallel::thresholds`).
 //!
 //! # The direct-widening convention
 //!

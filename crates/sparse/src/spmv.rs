@@ -29,22 +29,26 @@
 //! so LLVM can keep several chains in flight; results are reduced pairwise
 //! and rounded back once per row with [`Scalar::narrow`].
 //!
-//! Every kernel has a sequential and a thread-parallel variant (scoped
-//! threads from `f3r-parallel`); the un-suffixed entry points dispatch on
-//! problem size so small systems do not pay the spawn overhead.
+//! Every kernel has a sequential and a thread-parallel variant (chunk tasks
+//! on the persistent `f3r-parallel` worker pool); the un-suffixed entry
+//! points dispatch on problem size so small systems do not pay even the
+//! pool's (small) dispatch overhead.
 
 use f3r_precision::{FromScalar, Scalar};
 
 use crate::csr::CsrMatrix;
 use crate::sell::SellMatrix;
 
-/// Row count above which the dispatching wrappers switch to the parallel
-/// kernels.  Scoped threads are spawned per call, so the threshold sits well
-/// above the spawn cost.
-pub const PAR_ROW_THRESHOLD: usize = 1 << 16;
+/// Row count at or above which the dispatching wrappers switch to the
+/// parallel kernels (re-exported from the shared threshold table in
+/// `f3r-parallel`).
+pub use f3r_parallel::thresholds::PAR_ROW_THRESHOLD;
 
-/// Minimum rows handled per worker, to bound scheduling overhead.
-const MIN_ROWS_PER_TASK: usize = 1 << 13;
+/// Minimum rows handled per pool task.  A 2^12-row chunk of a typical
+/// stencil matrix moves a few hundred KiB of values/indices/vector traffic —
+/// comfortably above the pool's ~1 µs dispatch cost — while letting systems
+/// just past [`PAR_ROW_THRESHOLD`] still split across workers.
+const MIN_ROWS_PER_TASK: usize = 1 << 12;
 
 /// One CSR row: unrolled multi-accumulator dot of the row against `x`,
 /// returned in the accumulation precision (callers narrow once).
