@@ -1,0 +1,112 @@
+//! Orthogonalisation-sweep benchmark for compressed Krylov-basis storage.
+//!
+//! Times one classical Gram–Schmidt orthogonalisation against an `m = 30`
+//! vector basis — the dominant BLAS-1 stream of an FGMRES cycle (the
+//! `(5/2)m²` term of the paper's Section 4.1 model) — with the basis stored
+//! in fp64, fp32 and fp16 (`CompressedBasis<S>`), for n = 2^14 … 2^18.  The
+//! working precision is fp64 throughout, so the rows isolate the effect of
+//! the *storage* width: the projection dots (`dot2_compressed`) and the
+//! update axpys (`axpy_scaled_from`) stream the basis at the storage
+//! precision's bandwidth.  A `compress` row times the compress-on-write
+//! (`narrow_scaled_into` via `CompressedBasis::compress_scaled`), which each
+//! iteration pays once per new basis vector.
+//!
+//! Methodology and recorded baselines: see `crates/bench/README.md` and
+//! `BENCH_pr3.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_core::basis::CompressedBasis;
+use f3r_precision::Scalar;
+use f3r_sparse::blas1;
+use half::f16;
+use std::hint::black_box;
+
+/// Basis length of the sweep (the paper's mid-level restart scale).
+const M: usize = 30;
+
+fn sizes() -> Vec<usize> {
+    // n = 2^14 .. 2^18; override the upper bound via F3R_BENCH_MAX_LOG2N to
+    // shorten smoke runs.
+    let max_log2 = std::env::var("F3R_BENCH_MAX_LOG2N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(18usize);
+    (14..=max_log2.clamp(14, 22)).map(|p| 1usize << p).collect()
+}
+
+/// Deterministic pseudo-random working-precision vector.
+fn filled(n: usize, seed: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (((i * 2654435761) ^ (seed * 40503)) % 8191) as f64 / 8191.0 - 0.5)
+        .collect()
+}
+
+/// Build an `M`-vector compressed basis in storage precision `S`.
+fn build_basis<S: Scalar>(n: usize) -> CompressedBasis<S> {
+    let mut basis = CompressedBasis::<S>::new(n, M);
+    for j in 0..M {
+        basis.compress_scaled(j, 1.0, &filled(n, j + 1));
+    }
+    basis
+}
+
+/// One classical Gram–Schmidt orthogonalisation of `w` against the whole
+/// basis: M projection dots (fused in pairs) followed by M axpy updates,
+/// exactly the sweep FGMRES issues at iteration j = M-1.
+fn orth_sweep<S: Scalar>(basis: &CompressedBasis<S>, w: &mut [f64], h: &mut [f64; M]) {
+    let mut i = 0;
+    while i + 1 < M {
+        let (vi, si) = basis.vector(i);
+        let (vi1, si1) = basis.vector(i + 1);
+        let (a, b) = blas1::dot2_compressed(w, vi, si, vi1, si1);
+        h[i] = a;
+        h[i + 1] = b;
+        i += 2;
+    }
+    if i < M {
+        let (vi, si) = basis.vector(i);
+        h[i] = blas1::dot_compressed(w, vi, si);
+    }
+    for (i, hi) in h.iter().enumerate() {
+        let (vi, si) = basis.vector(i);
+        blas1::axpy_scaled_from(-hi * 1e-3, vi, si, w);
+    }
+}
+
+fn bench_storage<S: Scalar>(c: &mut Criterion, label: &str) {
+    let mut group = c.benchmark_group("basis_compression");
+    group.sample_size(10);
+    for n in sizes() {
+        let basis = build_basis::<S>(n);
+        let mut w = filled(n, 777);
+        let mut h = [0.0f64; M];
+        group.bench_function(BenchmarkId::new(format!("orth_m30/{label}"), n), |b| {
+            b.iter(|| {
+                orth_sweep(black_box(&basis), black_box(&mut w), &mut h);
+                black_box(h[M - 1])
+            })
+        });
+        let src = filled(n, 3);
+        let mut target = CompressedBasis::<S>::new(n, 1);
+        group.bench_function(BenchmarkId::new(format!("compress/{label}"), n), |b| {
+            b.iter(|| {
+                target.compress_scaled(0, 1.0, black_box(&src));
+                black_box(target.vector(0).1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn meta(_c: &mut Criterion) {
+    f3r_bench::emit_parallel_meta();
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_storage::<f64>(c, "fp64");
+    bench_storage::<f32>(c, "fp32");
+    bench_storage::<f16>(c, "fp16");
+}
+
+criterion_group!(benches, meta, bench_all);
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! (Section 6.2, Table 4).
 //!
 //! Every preset returns a [`NestedSpec`]; build it with
-//! [`crate::nested::NestedSolver::new`] for a given [`ProblemMatrix`].
+//! [`crate::nested::NestedSolver::new`] for a given
+//! [`ProblemMatrix`](crate::operator::ProblemMatrix).
 
 use f3r_precision::Precision;
 use f3r_precond::PrecondKind;
@@ -130,21 +131,9 @@ pub fn f3r_spec(params: F3rParams, scheme: F3rScheme, settings: &SolverSettings)
     };
     NestedSpec {
         levels: vec![
-            LevelSpec::Fgmres {
-                m: params.m1,
-                matrix_prec: Precision::Fp64,
-                vector_prec: Precision::Fp64,
-            },
-            LevelSpec::Fgmres {
-                m: params.m2,
-                matrix_prec: l2_mat,
-                vector_prec: l2_vec,
-            },
-            LevelSpec::Fgmres {
-                m: params.m3,
-                matrix_prec: l3_mat,
-                vector_prec: l3_vec,
-            },
+            LevelSpec::fgmres(params.m1, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres(params.m2, l2_mat, l2_vec),
+            LevelSpec::fgmres(params.m3, l3_mat, l3_vec),
             LevelSpec::Richardson {
                 m: params.m4,
                 matrix_prec: l4_prec,
@@ -202,16 +191,8 @@ fn two_level_spec(
 ) -> NestedSpec {
     NestedSpec {
         levels: vec![
-            LevelSpec::Fgmres {
-                m: 100,
-                matrix_prec: Precision::Fp64,
-                vector_prec: Precision::Fp64,
-            },
-            LevelSpec::Fgmres {
-                m: 64,
-                matrix_prec: inner_mat,
-                vector_prec: inner_vec,
-            },
+            LevelSpec::fgmres(100, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres(64, inner_mat, inner_vec),
         ],
         precond: settings.precond,
         precond_prec: Precision::Fp16,
@@ -238,21 +219,9 @@ pub fn fp16_f3_spec(settings: &SolverSettings) -> NestedSpec {
 fn three_level_spec(name: &str, inner_vec: Precision, settings: &SolverSettings) -> NestedSpec {
     NestedSpec {
         levels: vec![
-            LevelSpec::Fgmres {
-                m: 100,
-                matrix_prec: Precision::Fp64,
-                vector_prec: Precision::Fp64,
-            },
-            LevelSpec::Fgmres {
-                m: 8,
-                matrix_prec: Precision::Fp32,
-                vector_prec: Precision::Fp32,
-            },
-            LevelSpec::Fgmres {
-                m: 8,
-                matrix_prec: Precision::Fp16,
-                vector_prec: inner_vec,
-            },
+            LevelSpec::fgmres(100, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres(8, Precision::Fp32, Precision::Fp32),
+            LevelSpec::fgmres(8, Precision::Fp16, inner_vec),
         ],
         precond: settings.precond,
         precond_prec: Precision::Fp16,
@@ -268,26 +237,10 @@ fn three_level_spec(name: &str, inner_vec: Precision, settings: &SolverSettings)
 pub fn f4_spec(settings: &SolverSettings) -> NestedSpec {
     NestedSpec {
         levels: vec![
-            LevelSpec::Fgmres {
-                m: 100,
-                matrix_prec: Precision::Fp64,
-                vector_prec: Precision::Fp64,
-            },
-            LevelSpec::Fgmres {
-                m: 8,
-                matrix_prec: Precision::Fp32,
-                vector_prec: Precision::Fp32,
-            },
-            LevelSpec::Fgmres {
-                m: 4,
-                matrix_prec: Precision::Fp16,
-                vector_prec: Precision::Fp32,
-            },
-            LevelSpec::Fgmres {
-                m: 2,
-                matrix_prec: Precision::Fp16,
-                vector_prec: Precision::Fp16,
-            },
+            LevelSpec::fgmres(100, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres(8, Precision::Fp32, Precision::Fp32),
+            LevelSpec::fgmres(4, Precision::Fp16, Precision::Fp32),
+            LevelSpec::fgmres(2, Precision::Fp16, Precision::Fp16),
         ],
         precond: settings.precond,
         precond_prec: Precision::Fp16,
@@ -375,5 +328,33 @@ mod tests {
     fn best_params_constructor() {
         let p = F3rParams::with_inner(9, 4, 2);
         assert_eq!((p.m1, p.m2, p.m3, p.m4), (100, 9, 4, 2));
+    }
+
+    #[test]
+    fn presets_default_to_uncompressed_basis_storage() {
+        for spec in [
+            f3r_spec(F3rParams::default(), F3rScheme::Fp16, &SolverSettings::default()),
+            f2_spec(&SolverSettings::default()),
+            f4_spec(&SolverSettings::default()),
+        ] {
+            for level in &spec.levels {
+                if let Some(basis) = level.basis_precision() {
+                    assert_eq!(basis, level.vector_precision(), "{}", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basis_storage_axis_composes_with_presets() {
+        let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &SolverSettings::default())
+            .with_basis_storage(Precision::Fp16);
+        // Outermost stays uncompressed; fp32-vector inner levels compress to
+        // fp16; the fp16-vector Richardson level has no basis.
+        assert_eq!(spec.levels[0].basis_precision(), Some(Precision::Fp64));
+        assert_eq!(spec.levels[1].basis_precision(), Some(Precision::Fp16));
+        assert_eq!(spec.levels[2].basis_precision(), Some(Precision::Fp16));
+        assert_eq!(spec.levels[3].basis_precision(), None);
+        spec.validate();
     }
 }

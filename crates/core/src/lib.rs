@@ -7,6 +7,12 @@
 //! * the nested-solver framework ([`nested`]): declarative [`NestedSpec`]s
 //!   built from FGMRES and Richardson levels with per-level matrix/vector
 //!   precisions, compiled into a running [`NestedSolver`],
+//! * compressed Krylov-basis storage ([`basis`]): the Arnoldi and flexible
+//!   bases of every FGMRES level can be stored below the level's working
+//!   precision (one amplitude scale per vector, see
+//!   [`basis::CompressedBasis`]); pick the storage axis per level via the
+//!   `basis_prec` field of [`LevelSpec`] or spec-wide via
+//!   [`NestedSpec::with_basis_storage`],
 //! * the paper's solver presets ([`f3r`]): fp64-/fp32-/fp16-F3R (Table 1) and
 //!   the nesting-depth references F2, fp16-F2, F3, fp16-F3, F4 (Table 4),
 //! * the innermost Richardson solver with adaptive weight updating
@@ -49,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod basis;
 pub mod convergence;
 pub mod cost_model;
 pub mod f3r;
@@ -62,6 +69,7 @@ pub mod richardson;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::baseline::{BaselineConfig, BiCgStabSolver, CgSolver, RestartedFgmresSolver};
+    pub use crate::basis::CompressedBasis;
     pub use crate::convergence::{SolveResult, SparseSolver, StopReason};
     pub use crate::f3r::{
         f2_spec, f3_spec, f3r_spec, f3r_spec_fixed_weight, f4_spec, fp16_f2_spec, fp16_f3_spec,

@@ -34,6 +34,11 @@ pub enum LevelSpec {
         matrix_prec: Precision,
         /// Working (vector) precision of this level.
         vector_prec: Precision,
+        /// Storage precision of the Arnoldi/flexible bases (compressed with
+        /// one amplitude scale per vector when below `vector_prec`; equal to
+        /// `vector_prec` for classic uncompressed storage).  Build specs
+        /// with [`LevelSpec::fgmres`] for the uncompressed default.
+        basis_prec: Precision,
     },
     /// A Richardson level `R^m` (always the innermost iterative level).
     Richardson {
@@ -49,6 +54,28 @@ pub enum LevelSpec {
 }
 
 impl LevelSpec {
+    /// An FGMRES level with classic uncompressed basis storage
+    /// (`basis_prec = vector_prec`).
+    #[must_use]
+    pub fn fgmres(m: usize, matrix_prec: Precision, vector_prec: Precision) -> Self {
+        LevelSpec::Fgmres {
+            m,
+            matrix_prec,
+            vector_prec,
+            basis_prec: vector_prec,
+        }
+    }
+
+    /// The basis storage precision (`None` for Richardson levels, which keep
+    /// no basis).
+    #[must_use]
+    pub fn basis_precision(&self) -> Option<Precision> {
+        match *self {
+            LevelSpec::Fgmres { basis_prec, .. } => Some(basis_prec),
+            LevelSpec::Richardson { .. } => None,
+        }
+    }
+
     /// The working (vector) precision of the level.
     #[must_use]
     pub fn vector_precision(&self) -> Precision {
@@ -131,6 +158,17 @@ impl NestedSpec {
                     "Richardson may only appear as the innermost level"
                 );
             }
+            if let LevelSpec::Fgmres {
+                vector_prec,
+                basis_prec,
+                ..
+            } = level
+            {
+                assert!(
+                    basis_prec <= vector_prec,
+                    "basis storage precision must not exceed the working precision"
+                );
+            }
             assert!(level.iterations() >= 1, "every level needs at least one iteration");
         }
         assert!(self.tol > 0.0, "tolerance must be positive");
@@ -149,6 +187,35 @@ impl NestedSpec {
         let mut parts: Vec<String> = self.levels.iter().map(LevelSpec::label).collect();
         parts.push("M".to_string());
         format!("({})", parts.join(", "))
+    }
+
+    /// Store the Arnoldi/flexible bases of every *inner* FGMRES level in
+    /// precision `p` (clamped per level so storage never exceeds the level's
+    /// working precision), making storage precision an axis independent of
+    /// the per-level working precisions.
+    ///
+    /// The outermost level keeps uncompressed storage: it drives convergence
+    /// to the final tolerance, and its solution update `x += Z y` must not
+    /// be limited by the storage roundoff.  Inner levels run a fixed number
+    /// of iterations as *flexible preconditioners* of their parent, so a
+    /// slightly perturbed basis only perturbs the preconditioner — the
+    /// regime in which compressed-basis GMRES (Aliaga et al.) shows
+    /// low-precision storage costs next to nothing in iterations.  Callers
+    /// who want a compressed outermost basis can set the `basis_prec` field
+    /// of [`LevelSpec::Fgmres`] directly.
+    #[must_use]
+    pub fn with_basis_storage(mut self, p: Precision) -> Self {
+        for level in self.levels.iter_mut().skip(1) {
+            if let LevelSpec::Fgmres {
+                vector_prec,
+                basis_prec,
+                ..
+            } = level
+            {
+                *basis_prec = p.min(*vector_prec);
+            }
+        }
+        self
     }
 }
 
@@ -180,7 +247,12 @@ fn build_chain<T: Scalar>(
             depth,
             Arc::clone(counters),
         )),
-        LevelSpec::Fgmres { m, matrix_prec, .. } => {
+        LevelSpec::Fgmres {
+            m,
+            matrix_prec,
+            basis_prec,
+            ..
+        } => {
             let inner: Box<dyn InnerSolver<T>> = if levels.len() == 1 {
                 // This FGMRES level is the innermost iterative level: its
                 // flexible preconditioner is the primary preconditioner M.
@@ -192,14 +264,34 @@ fn build_chain<T: Scalar>(
             } else {
                 build_child::<T>(&levels[1..], depth + 1, matrix, precond, counters)
             };
-            Box::new(FgmresLevel::<T>::new(
-                Arc::clone(matrix),
-                matrix_prec,
-                m,
-                inner,
-                depth,
-                Arc::clone(counters),
-            ))
+            // Instantiate the level for the requested basis *storage*
+            // precision — the second type parameter of `FgmresLevel`.
+            match basis_prec {
+                Precision::Fp64 => Box::new(FgmresLevel::<T, f64>::new(
+                    Arc::clone(matrix),
+                    matrix_prec,
+                    m,
+                    inner,
+                    depth,
+                    Arc::clone(counters),
+                )),
+                Precision::Fp32 => Box::new(FgmresLevel::<T, f32>::new(
+                    Arc::clone(matrix),
+                    matrix_prec,
+                    m,
+                    inner,
+                    depth,
+                    Arc::clone(counters),
+                )),
+                Precision::Fp16 => Box::new(FgmresLevel::<T, f16>::new(
+                    Arc::clone(matrix),
+                    matrix_prec,
+                    m,
+                    inner,
+                    depth,
+                    Arc::clone(counters),
+                )),
+            }
         }
     }
 }
@@ -234,6 +326,40 @@ fn build_child<TP: Scalar>(
     }
 }
 
+/// Outermost FGMRES workspace, instantiated for the spec's basis storage
+/// precision (the working precision is always fp64 at depth 1).
+enum OuterWorkspace {
+    /// Uncompressed fp64 basis storage.
+    F64(FgmresWorkspace<f64, f64>),
+    /// fp32-compressed basis storage.
+    F32(FgmresWorkspace<f64, f32>),
+    /// fp16-compressed basis storage.
+    F16(FgmresWorkspace<f64, f16>),
+}
+
+impl OuterWorkspace {
+    fn new(basis_prec: Precision, n: usize, m: usize) -> Self {
+        match basis_prec {
+            Precision::Fp64 => OuterWorkspace::F64(FgmresWorkspace::new(n, m)),
+            Precision::Fp32 => OuterWorkspace::F32(FgmresWorkspace::new(n, m)),
+            Precision::Fp16 => OuterWorkspace::F16(FgmresWorkspace::new(n, m)),
+        }
+    }
+
+    fn run_cycle(
+        &mut self,
+        params: CycleParams<'_, f64>,
+        x: &mut [f64],
+        b: &[f64],
+    ) -> crate::fgmres::CycleOutcome {
+        match self {
+            OuterWorkspace::F64(ws) => fgmres_cycle(params, x, b, ws),
+            OuterWorkspace::F32(ws) => fgmres_cycle(params, x, b, ws),
+            OuterWorkspace::F16(ws) => fgmres_cycle(params, x, b, ws),
+        }
+    }
+}
+
 /// A fully constructed nested Krylov solver (the paper's F3R and all of its
 /// F2/F3/F4 relatives), driven by an outermost fp64 FGMRES with restarting.
 pub struct NestedSolver {
@@ -243,7 +369,7 @@ pub struct NestedSolver {
     counters: Arc<KernelCounters>,
     spec: NestedSpec,
     inner: Box<dyn InnerSolver<f64>>,
-    ws: FgmresWorkspace<f64>,
+    ws: OuterWorkspace,
 }
 
 impl NestedSolver {
@@ -271,13 +397,16 @@ impl NestedSolver {
             build_child::<f64>(&spec.levels[1..], 2, &matrix, &precond, &counters)
         };
         let n = matrix.dim();
+        let outer_basis = spec.levels[0]
+            .basis_precision()
+            .unwrap_or(Precision::Fp64);
         Self {
             matrix,
             precond,
             counters,
             spec,
             inner,
-            ws: FgmresWorkspace::new(n, m1),
+            ws: OuterWorkspace::new(outer_basis, n, m1),
         }
     }
 
@@ -317,7 +446,7 @@ impl SparseSolver for NestedSolver {
         } else {
             let abs_tol = self.spec.tol * bnorm;
             'outer: for cycle in 0..self.spec.max_outer_cycles {
-                let outcome = fgmres_cycle(
+                let outcome = self.ws.run_cycle(
                     CycleParams {
                         matrix: &self.matrix,
                         mat_prec: self.spec.levels[0].matrix_precision(),
@@ -329,7 +458,6 @@ impl SparseSolver for NestedSolver {
                     },
                     x,
                     b,
-                    &mut self.ws,
                 );
                 outer_iterations += outcome.iterations;
                 let true_rel = self.matrix.true_relative_residual(x, b);
@@ -395,16 +523,8 @@ mod tests {
         let spec = simple_spec(
             "F(30)-F(5)",
             vec![
-                LevelSpec::Fgmres {
-                    m: 30,
-                    matrix_prec: Precision::Fp64,
-                    vector_prec: Precision::Fp64,
-                },
-                LevelSpec::Fgmres {
-                    m: 5,
-                    matrix_prec: Precision::Fp64,
-                    vector_prec: Precision::Fp64,
-                },
+                LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(5, Precision::Fp64, Precision::Fp64),
             ],
         );
         let mut solver = NestedSolver::new(pm, spec);
@@ -425,21 +545,9 @@ mod tests {
         let pm = Arc::new(ProblemMatrix::from_csr(a));
         let spec = NestedSpec {
             levels: vec![
-                LevelSpec::Fgmres {
-                    m: 40,
-                    matrix_prec: Precision::Fp64,
-                    vector_prec: Precision::Fp64,
-                },
-                LevelSpec::Fgmres {
-                    m: 8,
-                    matrix_prec: Precision::Fp32,
-                    vector_prec: Precision::Fp32,
-                },
-                LevelSpec::Fgmres {
-                    m: 4,
-                    matrix_prec: Precision::Fp16,
-                    vector_prec: Precision::Fp32,
-                },
+                LevelSpec::fgmres(40, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(8, Precision::Fp32, Precision::Fp32),
+                LevelSpec::fgmres(4, Precision::Fp16, Precision::Fp32),
                 LevelSpec::Richardson {
                     m: 2,
                     matrix_prec: Precision::Fp16,
@@ -466,16 +574,88 @@ mod tests {
     }
 
     #[test]
+    fn with_basis_storage_compresses_inner_levels_only() {
+        let spec = simple_spec(
+            "storage",
+            vec![
+                LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(20, Precision::Fp32, Precision::Fp32),
+            ],
+        )
+        .with_basis_storage(Precision::Fp16);
+        assert_eq!(spec.levels[0].basis_precision(), Some(Precision::Fp64));
+        assert_eq!(spec.levels[1].basis_precision(), Some(Precision::Fp16));
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "basis storage precision must not exceed")]
+    fn basis_wider_than_vectors_is_rejected() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = simple_spec(
+            "bad-basis",
+            vec![
+                LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
+                LevelSpec::Fgmres {
+                    m: 4,
+                    matrix_prec: Precision::Fp16,
+                    vector_prec: Precision::Fp16,
+                    basis_prec: Precision::Fp32,
+                },
+            ],
+        );
+        let _ = NestedSolver::new(pm, spec);
+    }
+
+    #[test]
+    fn compressed_inner_basis_attributes_traffic_to_fp16_storage() {
+        // A solver with fp16-compressed inner bases must converge to the
+        // same tolerance and report its inner basis traffic at the fp16
+        // storage width, with only the (uncompressed) outermost level left
+        // in fp64 basis bytes.  The quantitative acceptance thresholds —
+        // outer iterations within 10% of full storage, ≥ 40% basis byte
+        // cut — live in the end-to-end suite (tests/compressed_basis.rs).
+        let a = jacobi_scale(&poisson2d_5pt(32, 32));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = NestedSpec {
+            levels: vec![
+                LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(20, Precision::Fp32, Precision::Fp32),
+            ],
+            precond: PrecondKind::Jacobi,
+            precond_prec: Precision::Fp64,
+            tol: 1e-8,
+            max_outer_cycles: 5,
+            name: "fp16-basis".to_string(),
+        }
+        .with_basis_storage(Precision::Fp16);
+        let n = pm.dim();
+        let b = random_rhs(n, 23);
+        let mut solver = NestedSolver::new(pm, spec);
+        let mut x = vec![0.0; n];
+        let r = solver.solve(&b, &mut x);
+        assert!(r.converged, "residual {}", r.final_relative_residual);
+        // Inner bases stream in fp16; no fp32 basis bytes remain; the
+        // outer fp64 basis is the only other contributor and the inner
+        // (5/2)m² term dominates it.
+        let fp16 = r.counters.basis_bytes_in(Precision::Fp16);
+        let fp32 = r.counters.basis_bytes_in(Precision::Fp32);
+        let fp64 = r.counters.basis_bytes_in(Precision::Fp64);
+        assert!(fp16 > 0);
+        assert_eq!(fp32, 0);
+        assert!(fp64 > 0);
+        assert!(fp16 > fp64, "inner basis traffic should dominate: {fp16} vs {fp64}");
+        assert_eq!(r.counters.basis_bytes_total(), fp16 + fp64);
+    }
+
+    #[test]
     fn zero_rhs_is_trivially_converged() {
         let a = jacobi_scale(&poisson2d_5pt(8, 8));
         let pm = Arc::new(ProblemMatrix::from_csr(a));
         let spec = simple_spec(
             "trivial",
-            vec![LevelSpec::Fgmres {
-                m: 10,
-                matrix_prec: Precision::Fp64,
-                vector_prec: Precision::Fp64,
-            }],
+            vec![LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64)],
         );
         let mut solver = NestedSolver::new(pm, spec);
         let b = vec![0.0; 64];
@@ -493,11 +673,7 @@ mod tests {
         let pm = Arc::new(ProblemMatrix::from_csr(a));
         let spec = simple_spec(
             "bad",
-            vec![LevelSpec::Fgmres {
-                m: 10,
-                matrix_prec: Precision::Fp32,
-                vector_prec: Precision::Fp32,
-            }],
+            vec![LevelSpec::fgmres(10, Precision::Fp32, Precision::Fp32)],
         );
         let _ = NestedSolver::new(pm, spec);
     }
@@ -510,22 +686,14 @@ mod tests {
         let spec = simple_spec(
             "bad",
             vec![
-                LevelSpec::Fgmres {
-                    m: 10,
-                    matrix_prec: Precision::Fp64,
-                    vector_prec: Precision::Fp64,
-                },
+                LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
                 LevelSpec::Richardson {
                     m: 2,
                     matrix_prec: Precision::Fp64,
                     vector_prec: Precision::Fp64,
                     weight: WeightStrategy::Fixed(1.0),
                 },
-                LevelSpec::Fgmres {
-                    m: 4,
-                    matrix_prec: Precision::Fp64,
-                    vector_prec: Precision::Fp64,
-                },
+                LevelSpec::fgmres(4, Precision::Fp64, Precision::Fp64),
             ],
         );
         let _ = NestedSolver::new(pm, spec);

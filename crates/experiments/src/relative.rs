@@ -80,20 +80,41 @@ impl ProblemResults {
         Some(self.baseline.result.seconds / outcome.result.seconds.max(1e-12))
     }
 
-    /// Speedup of `outcome` over the fp64-F3R baseline in modeled memory
-    /// traffic.
-    #[must_use]
-    pub fn speedup_traffic(&self, outcome: &SolverOutcome) -> Option<f64> {
+    /// Ratio `metric(baseline) / metric(outcome)` guarded against diverged
+    /// runs and degenerate (non-positive) metric values — the shared shape
+    /// of every "speedup over fp64-F3R" column.
+    fn metric_ratio(
+        &self,
+        outcome: &SolverOutcome,
+        metric: impl Fn(&SolveResult) -> f64,
+    ) -> Option<f64> {
         if !outcome.result.converged || !self.baseline.result.converged {
             return None;
         }
-        let base = self.baseline.result.modeled_bytes() as f64;
-        let own = outcome.result.modeled_bytes() as f64;
-        if own <= 0.0 {
+        let base = metric(&self.baseline.result);
+        let own = metric(&outcome.result);
+        if own <= 0.0 || base <= 0.0 {
             None
         } else {
             Some(base / own)
         }
+    }
+
+    /// Speedup of `outcome` over the fp64-F3R baseline in modeled memory
+    /// traffic.
+    #[must_use]
+    pub fn speedup_traffic(&self, outcome: &SolverOutcome) -> Option<f64> {
+        self.metric_ratio(outcome, |r| r.modeled_bytes() as f64)
+    }
+
+    /// Reduction factor of `outcome`'s Krylov-basis traffic (bytes read from
+    /// and written to stored basis vectors) relative to the fp64-F3R
+    /// baseline — the quantity compressed basis storage
+    /// (`NestedSpec::with_basis_storage`) shrinks.  `None` when either run
+    /// diverged or moved no basis bytes.
+    #[must_use]
+    pub fn speedup_basis_traffic(&self, outcome: &SolverOutcome) -> Option<f64> {
+        self.metric_ratio(outcome, |r| r.counters.basis_bytes_total() as f64)
     }
 }
 
@@ -289,6 +310,11 @@ mod tests {
             speedup_traffic > 1.0,
             "fp16-F3R should reduce modeled traffic, got {speedup_traffic}"
         );
+        // The basis-traffic attribution flows through every solve: fp16-F3R
+        // keeps fp32 vectors on the middle levels, so its basis bytes are
+        // below the all-fp64 baseline's even without compressed storage.
+        let basis = pr.speedup_basis_traffic(fp16).unwrap();
+        assert!(basis > 1.0, "fp16-F3R basis traffic ratio {basis}");
         let table = to_table("test", std::slice::from_ref(&pr));
         assert_eq!(table.n_rows(), 9);
     }

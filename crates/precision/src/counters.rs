@@ -29,6 +29,14 @@ pub struct KernelCounters {
     /// Modeled bytes moved, indexed by precision of the data that dominated
     /// the kernel (matrix values for SpMV, vector precision for BLAS-1).
     bytes_moved: [AtomicU64; 3],
+    /// Bytes read from stored Krylov/flexible basis vectors, indexed by the
+    /// *storage* precision of the basis (which may differ from the working
+    /// precision when the basis is compressed).  Also counted in
+    /// `bytes_moved`.
+    basis_bytes_read: [AtomicU64; 3],
+    /// Bytes written to stored Krylov/flexible basis vectors, indexed by the
+    /// storage precision.  Also counted in `bytes_moved`.
+    basis_bytes_written: [AtomicU64; 3],
     /// Total inner-solver iterations executed, by nesting depth (1-based,
     /// capped at depth 8).
     level_iterations: [AtomicU64; 8],
@@ -75,6 +83,21 @@ impl KernelCounters {
         self.bytes_moved[precision_index(p)].fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record one sweep over stored basis vectors: `read_bytes` read from and
+    /// `write_bytes` written to basis storage held in precision `p`.
+    ///
+    /// Basis traffic also accumulates into the total `bytes_moved` for `p`,
+    /// so `total_bytes` keeps counting every modeled byte; the separate
+    /// basis read/write counters exist so experiments can attribute how much
+    /// of a solve's traffic is Krylov-basis streaming — the quantity basis
+    /// compression reduces.
+    pub fn record_basis_traffic(&self, p: Precision, read_bytes: u64, write_bytes: u64) {
+        let i = precision_index(p);
+        self.basis_bytes_read[i].fetch_add(read_bytes, Ordering::Relaxed);
+        self.basis_bytes_written[i].fetch_add(write_bytes, Ordering::Relaxed);
+        self.bytes_moved[i].fetch_add(read_bytes + write_bytes, Ordering::Relaxed);
+    }
+
     /// Record `iters` iterations executed by the solver at nesting `depth`
     /// (1 = outermost).
     pub fn record_level_iterations(&self, depth: usize, iters: u64) {
@@ -100,6 +123,12 @@ impl KernelCounters {
         for c in &self.bytes_moved {
             c.store(0, Ordering::Relaxed);
         }
+        for c in &self.basis_bytes_read {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.basis_bytes_written {
+            c.store(0, Ordering::Relaxed);
+        }
         for c in &self.level_iterations {
             c.store(0, Ordering::Relaxed);
         }
@@ -120,6 +149,8 @@ impl KernelCounters {
             spmv_calls: load3(&self.spmv_calls),
             blas1_calls: load3(&self.blas1_calls),
             bytes_moved: load3(&self.bytes_moved),
+            basis_bytes_read: load3(&self.basis_bytes_read),
+            basis_bytes_written: load3(&self.basis_bytes_written),
             level_iterations: {
                 let mut out = [0u64; 8];
                 for (o, c) in out.iter_mut().zip(self.level_iterations.iter()) {
@@ -143,6 +174,12 @@ pub struct CounterSnapshot {
     pub blas1_calls: [u64; 3],
     /// Modeled bytes moved per precision, ordered `[fp16, fp32, fp64]`.
     pub bytes_moved: [u64; 3],
+    /// Bytes read from stored basis vectors per *storage* precision,
+    /// ordered `[fp16, fp32, fp64]` (a subset of `bytes_moved`).
+    pub basis_bytes_read: [u64; 3],
+    /// Bytes written to stored basis vectors per storage precision,
+    /// ordered `[fp16, fp32, fp64]` (a subset of `bytes_moved`).
+    pub basis_bytes_written: [u64; 3],
     /// Iterations executed per nesting depth (index 0 = outermost).
     pub level_iterations: [u64; 8],
     /// Number of adaptive Richardson weight updates performed.
@@ -160,6 +197,20 @@ impl CounterSnapshot {
     #[must_use]
     pub fn total_spmv(&self) -> u64 {
         self.spmv_calls.iter().sum()
+    }
+
+    /// Total bytes moved through stored basis vectors (reads + writes, all
+    /// storage precisions) — the traffic basis compression shrinks.
+    #[must_use]
+    pub fn basis_bytes_total(&self) -> u64 {
+        self.basis_bytes_read.iter().sum::<u64>() + self.basis_bytes_written.iter().sum::<u64>()
+    }
+
+    /// Basis bytes (reads + writes) held in a given storage precision.
+    #[must_use]
+    pub fn basis_bytes_in(&self, p: Precision) -> u64 {
+        let i = precision_index(p);
+        self.basis_bytes_read[i] + self.basis_bytes_written[i]
     }
 
     /// Fraction of the modeled traffic carried in a given precision
@@ -210,6 +261,8 @@ impl CounterSnapshot {
             spmv_calls: sub3(self.spmv_calls, earlier.spmv_calls),
             blas1_calls: sub3(self.blas1_calls, earlier.blas1_calls),
             bytes_moved: sub3(self.bytes_moved, earlier.bytes_moved),
+            basis_bytes_read: sub3(self.basis_bytes_read, earlier.basis_bytes_read),
+            basis_bytes_written: sub3(self.basis_bytes_written, earlier.basis_bytes_written),
             level_iterations,
             weight_updates: self.weight_updates.saturating_sub(earlier.weight_updates),
         }
@@ -297,6 +350,34 @@ mod tests {
         assert_eq!(s.precond_applies, 4000);
         assert_eq!(s.blas1_calls[0], 4000);
         assert_eq!(s.bytes_in(Precision::Fp16), 32_000);
+    }
+
+    #[test]
+    fn basis_traffic_is_attributed_and_counted_in_totals() {
+        let c = KernelCounters::new_shared();
+        c.record_basis_traffic(Precision::Fp16, 200, 100);
+        c.record_basis_traffic(Precision::Fp64, 800, 0);
+        c.record_blas1(Precision::Fp64, 50);
+        let s = c.snapshot();
+        assert_eq!(s.basis_bytes_in(Precision::Fp16), 300);
+        assert_eq!(s.basis_bytes_in(Precision::Fp64), 800);
+        assert_eq!(s.basis_bytes_total(), 1100);
+        assert_eq!(s.basis_bytes_read, [200, 0, 800]);
+        assert_eq!(s.basis_bytes_written, [100, 0, 0]);
+        // Basis traffic is a subset of the overall byte totals.
+        assert_eq!(s.total_bytes(), 1150);
+        c.reset();
+        assert_eq!(c.snapshot().basis_bytes_total(), 0);
+    }
+
+    #[test]
+    fn basis_traffic_survives_snapshot_difference() {
+        let c = KernelCounters::new_shared();
+        c.record_basis_traffic(Precision::Fp32, 10, 20);
+        let first = c.snapshot();
+        c.record_basis_traffic(Precision::Fp32, 5, 5);
+        let diff = c.snapshot().since(&first);
+        assert_eq!(diff.basis_bytes_in(Precision::Fp32), 10);
     }
 
     #[test]

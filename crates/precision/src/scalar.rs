@@ -104,6 +104,30 @@ impl Display for Precision {
 /// conversions and numeric queries the nested solver levels need; heavier
 /// numeric work (accumulation, inner products) should be done in
 /// [`Scalar::Accum`].
+///
+/// # Example
+///
+/// Kernels written once against `Scalar` run in any precision; long
+/// reductions accumulate in [`Scalar::Accum`], which each element enters
+/// through a single exact [`Scalar::widen`] conversion:
+///
+/// ```
+/// use f3r_precision::{f16, Scalar};
+///
+/// fn sum_of_squares<T: Scalar>(xs: &[T]) -> f64 {
+///     let mut acc = <T::Accum as Scalar>::zero();
+///     for &x in xs {
+///         let w = x.widen(); // exact; f16 → f32 for half precision
+///         acc += w * w;
+///     }
+///     acc.to_f64()
+/// }
+///
+/// // 4096 fp16 ones: a pure fp16 accumulation would saturate at 2048, the
+/// // fp32 accumulator is exact.
+/// let ones = vec![f16::from_f32(1.0); 4096];
+/// assert_eq!(sum_of_squares(&ones), 4096.0);
+/// ```
 pub trait Scalar:
     Copy
     + Send
@@ -203,6 +227,15 @@ pub trait FromScalar: Scalar {
     /// Widen (or round, when the source is wider) `s` into this precision
     /// with a single conversion.
     fn from_scalar<S: Scalar>(s: S) -> Self;
+
+    /// Round this accumulator value into any stored precision with a single
+    /// conversion — the write-side mirror of [`FromScalar::from_scalar`].
+    ///
+    /// Compress-on-write kernels (e.g. `narrow_scaled_into`, which stores a
+    /// working-precision vector as a scaled fp16 basis vector) use this to
+    /// leave the accumulator exactly once per element, the same
+    /// single-conversion discipline the read side gets from `from_scalar`.
+    fn into_scalar<S: Scalar>(self) -> S;
 }
 
 impl FromScalar for f32 {
@@ -210,12 +243,22 @@ impl FromScalar for f32 {
     fn from_scalar<S: Scalar>(s: S) -> f32 {
         s.to_f32()
     }
+
+    #[inline(always)]
+    fn into_scalar<S: Scalar>(self) -> S {
+        S::from_f32(self)
+    }
 }
 
 impl FromScalar for f64 {
     #[inline(always)]
     fn from_scalar<S: Scalar>(s: S) -> f64 {
         s.to_f64()
+    }
+
+    #[inline(always)]
+    fn into_scalar<S: Scalar>(self) -> S {
+        S::from_f64(self)
     }
 }
 

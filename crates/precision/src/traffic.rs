@@ -87,6 +87,20 @@ impl TrafficModel {
         (n as u64) * (reads + writes) as u64 * v.bytes() as u64
     }
 
+    /// Bytes moved through stored Krylov/flexible basis vectors by one sweep
+    /// touching `vectors` basis vectors of length `n` held in storage
+    /// precision `s`.
+    ///
+    /// Basis vectors may be stored in a lower precision than the level's
+    /// working precision (compressed-basis storage with one amplitude scale
+    /// per vector); this helper prices a sweep at the *storage* width, which
+    /// is exactly the traffic the compression saves.  The per-vector `f64`
+    /// scale is a scalar and is not counted.
+    #[must_use]
+    pub fn basis_bytes(n: usize, vectors: usize, s: Precision) -> u64 {
+        (n as u64) * (vectors as u64) * s.bytes() as u64
+    }
+
     /// Bytes moved by one application of a triangular-solve style
     /// preconditioner (e.g. ILU(0)) with `nnz` stored nonzeros and vectors of
     /// length `n` in precision `v` (values stored in precision `m`).
@@ -205,6 +219,15 @@ mod tests {
         assert_eq!(words_per_row(30.0, Precision::Fp64), 45.0);
         // fp16 values: (2+4)/8 * 30 = 22.5 words.
         assert_eq!(words_per_row(30.0, Precision::Fp16), 22.5);
+    }
+
+    #[test]
+    fn basis_bytes_scale_with_storage_precision() {
+        // fp16 basis storage moves a quarter of the bytes of fp64 storage.
+        let b64 = TrafficModel::basis_bytes(1000, 30, Precision::Fp64);
+        let b16 = TrafficModel::basis_bytes(1000, 30, Precision::Fp16);
+        assert_eq!(b64, 1000 * 30 * 8);
+        assert_eq!(b16 * 4, b64);
     }
 
     #[test]

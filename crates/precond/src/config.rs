@@ -1,7 +1,8 @@
 //! Declarative preconditioner configuration and factory.
 //!
 //! The experiment harness describes the primary preconditioner of each test
-//! case as a [`PrecondKind`] value plus a storage [`Precision`]; the
+//! case as a [`PrecondKind`] value plus a storage
+//! [`Precision`](f3r_precision::Precision); the
 //! [`build_preconditioner`] factory turns that description into a boxed
 //! [`Preconditioner`] object of the requested precision, constructing in
 //! fp64 and casting (the paper's recipe).

@@ -24,7 +24,7 @@
 //! dispatch threshold is the shared
 //! [`f3r_parallel::thresholds::PAR_LEN_THRESHOLD`].
 
-use f3r_precision::Scalar;
+use f3r_precision::{FromScalar, Scalar};
 
 /// Vector length at or above which the dispatching wrappers go parallel
 /// (re-exported from the shared threshold table in `f3r-parallel`).
@@ -387,6 +387,373 @@ pub fn scale_into<T: Scalar>(alpha: f64, src: &[T], dst: &mut [T]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Compressed-basis kernels
+//
+// A compressed basis vector is a pair `(stored, scale)`: elements held in a
+// storage precision `S` (typically fp16 or fp32) plus one `f64` amplitude
+// scale per vector, representing `scale * stored`.  When `S` is narrower
+// than the working precision the scale is a power of two chosen so
+// `|stored| <= 1`, which keeps fp16 storage inside its narrow exponent
+// range; same-precision storage skips the normalisation and stores values
+// verbatim (bit-lossless, no extra reduction pass on the default path).
+//
+// Every kernel below follows the direct-widening convention: each stored
+// element enters the working accumulator `T::Accum` through exactly one
+// conversion (`FromScalar::from_scalar`) and results leave through one
+// rounding (`Scalar::narrow` / `FromScalar::into_scalar`); the per-vector
+// scale is folded into the scalar coefficient outside the loop.  All kernels
+// dispatch to the worker pool above [`PAR_LEN_THRESHOLD`], like their
+// uncompressed counterparts.
+// ---------------------------------------------------------------------------
+
+/// Pick the power-of-two scale for [`narrow_scaled_into`]: the smallest
+/// `2^k >= amax` (`0.0` for a zero vector, non-finite propagated).
+#[inline]
+fn pow2_scale(amax: f64) -> f64 {
+    if amax == 0.0 {
+        0.0
+    } else {
+        amax.log2().ceil().exp2()
+    }
+}
+
+/// True when the `f64` coefficient `c` survives conversion into the
+/// accumulator `A` (finite, and nonzero unless `c` itself is zero).
+///
+/// The fast compressed-kernel loops pre-convert their scalar coefficient
+/// (`alpha * scale` or `1/scale`) into the accumulation precision once per
+/// call; for an `f32` accumulator that conversion silently saturates to
+/// `inf`/`0` outside roughly `2^±149` even though the per-element *product*
+/// `c * stored` may be perfectly representable.  Kernels fall back to a
+/// per-element `f64` path (cold, extreme-amplitude vectors only) when this
+/// returns false, so compression stays amplitude-independent as documented.
+#[inline]
+fn coeff_fits<A: FromScalar>(c: f64) -> bool {
+    let a = A::from_f64(c);
+    a.is_finite() && (c == 0.0 || a.to_f64() != 0.0)
+}
+
+/// Compress-on-write: store `alpha * src` into `dst` as a scaled
+/// storage-precision vector, returning the amplitude scale.
+///
+/// When `S` is narrower than `T`, the stored elements are `src / 2^k` with
+/// `2^k` the smallest power of two at least `max|src|`, so `|dst| <= 1`
+/// (inside fp16's exponent range whatever the amplitude); the returned
+/// scale is `alpha * 2^k` and the represented vector is
+/// `scale * dst == alpha * src`.  Division by a power of two is exact, so
+/// the only per-element rounding is the single
+/// [`FromScalar::into_scalar`] narrowing.  A zero `src` stores zeros and
+/// returns scale `0.0`; non-finite input propagates a non-finite scale or
+/// stored values, so downstream norm/dot breakdown checks still fire.
+///
+/// When `S` has the same precision as `T` (uncompressed storage), the
+/// normalisation is unnecessary — the storage has the source's full
+/// exponent range — so the values are stored verbatim (lossless), `alpha`
+/// is returned as the scale, and the amplitude reduction pass is skipped
+/// entirely, keeping the default path at the cost of a plain fused
+/// copy.
+pub fn narrow_scaled_into<T: Scalar, S: Scalar>(alpha: f64, src: &[T], dst: &mut [S]) -> f64 {
+    assert_eq!(src.len(), dst.len(), "narrow_scaled_into: length mismatch");
+    if S::PRECISION == T::PRECISION {
+        // Same-precision storage needs no |stored| <= 1 normalisation (the
+        // storage has the full exponent range of the source), so skip the
+        // amplitude reduction and the per-element division: store the values
+        // as-is and carry `alpha` in the scale.  This keeps the uncompressed
+        // default path at the cost of the pre-compression `scale_into`
+        // (one read + one write sweep, no extra max-reduction pass).
+        let body = |base: usize, chunk: &mut [S]| {
+            let xs = &src[base..base + chunk.len()];
+            for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
+                *di = si.widen().into_scalar();
+            }
+        };
+        if src.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_chunks_mut(dst, MIN_LEN_PER_TASK, body);
+        } else {
+            body(0, dst);
+        }
+        return alpha;
+    }
+    let amax = if src.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_map_ranges(src.len(), MIN_LEN_PER_TASK, |r| norm_inf(&src[r]))
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    } else {
+        norm_inf(src)
+    };
+    let s = pow2_scale(amax);
+    if s == 0.0 {
+        set_zero(dst);
+        return 0.0;
+    }
+    let inv_f64 = 1.0 / s;
+    if coeff_fits::<T::Accum>(inv_f64) {
+        let inv = <T::Accum as Scalar>::from_f64(inv_f64);
+        let body = |base: usize, chunk: &mut [S]| {
+            let xs = &src[base..base + chunk.len()];
+            for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
+                *di = (si.widen() * inv).into_scalar();
+            }
+        };
+        if src.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_chunks_mut(dst, MIN_LEN_PER_TASK, body);
+        } else {
+            body(0, dst);
+        }
+    } else {
+        // 1/s overflows/underflows the accumulator (amplitude near the edge
+        // of the working precision's range): scale each element in f64.
+        let body = |base: usize, chunk: &mut [S]| {
+            let xs = &src[base..base + chunk.len()];
+            for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
+                *di = S::from_f64(si.to_f64() * inv_f64);
+            }
+        };
+        if src.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_chunks_mut(dst, MIN_LEN_PER_TASK, body);
+        } else {
+            body(0, dst);
+        }
+    }
+    alpha * s
+}
+
+/// Decompress: `dst ← scale * src`, widening each stored element once into
+/// the destination's accumulation precision (the read-side inverse of
+/// [`narrow_scaled_into`]).
+pub fn widen_scaled_into<S: Scalar, T: Scalar>(scale: f64, src: &[S], dst: &mut [T]) {
+    assert_eq!(src.len(), dst.len(), "widen_scaled_into: length mismatch");
+    if coeff_fits::<T::Accum>(scale) {
+        let a = <T::Accum as Scalar>::from_f64(scale);
+        let body = |base: usize, chunk: &mut [T]| {
+            let xs = &src[base..base + chunk.len()];
+            for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
+                *di = T::narrow(<T::Accum as FromScalar>::from_scalar(si) * a);
+            }
+        };
+        if src.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_chunks_mut(dst, MIN_LEN_PER_TASK, body);
+        } else {
+            body(0, dst);
+        }
+    } else {
+        let body = |base: usize, chunk: &mut [T]| {
+            let xs = &src[base..base + chunk.len()];
+            for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
+                *di = T::from_f64(si.to_f64() * scale);
+            }
+        };
+        if src.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_chunks_mut(dst, MIN_LEN_PER_TASK, body);
+        } else {
+            body(0, dst);
+        }
+    }
+}
+
+/// Unrolled mixed-precision dot over one contiguous chunk: `x` in the working
+/// precision, `v` stored, result in `f64` *without* the amplitude scale.
+#[inline]
+fn dot_stored_chunk<T: Scalar, S: Scalar>(x: &[T], v: &[S]) -> f64 {
+    let mut total = 0.0f64;
+    for_cascade_blocks(x.len(), |start, end| {
+        let (xb, vb) = (&x[start..end], &v[start..end]);
+        let mut acc = [<T::Accum as Scalar>::zero(); 8];
+        let mut x8 = xb.chunks_exact(8);
+        let mut v8 = vb.chunks_exact(8);
+        for (xc, vc) in (&mut x8).zip(&mut v8) {
+            for k in 0..8 {
+                acc[k] += xc[k].widen() * <T::Accum as FromScalar>::from_scalar(vc[k]);
+            }
+        }
+        let mut tail = <T::Accum as Scalar>::zero();
+        for (&a, &b) in x8.remainder().iter().zip(v8.remainder().iter()) {
+            tail += a.widen() * <T::Accum as FromScalar>::from_scalar(b);
+        }
+        let p0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        let p1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+        total += ((p0 + p1) + tail).to_f64();
+    });
+    total
+}
+
+/// Dot product `xᵀ (scale · v)` of a working-precision vector against a
+/// compressed basis vector.
+#[must_use]
+pub fn dot_compressed<T: Scalar, S: Scalar>(x: &[T], v: &[S], scale: f64) -> f64 {
+    assert_eq!(x.len(), v.len(), "dot_compressed: length mismatch");
+    let raw = if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_map_ranges(x.len(), MIN_LEN_PER_TASK, |r| {
+            dot_stored_chunk(&x[r.clone()], &v[r])
+        })
+        .into_iter()
+        .sum()
+    } else {
+        dot_stored_chunk(x, v)
+    };
+    raw * scale
+}
+
+/// Two dots of the same working-precision vector against two compressed
+/// basis vectors in one fused sweep over `x`:
+/// `(xᵀ (s1 · v1), xᵀ (s2 · v2))`.
+///
+/// This is the compressed counterpart of [`dot2`] for the FGMRES classical
+/// Gram–Schmidt projections — `x` (the new Krylov direction) streams once per
+/// *pair* of basis vectors instead of once per vector.
+#[must_use]
+pub fn dot2_compressed<T: Scalar, S: Scalar>(
+    x: &[T],
+    v1: &[S],
+    s1: f64,
+    v2: &[S],
+    s2: f64,
+) -> (f64, f64) {
+    assert_eq!(x.len(), v1.len(), "dot2_compressed: length mismatch");
+    assert_eq!(x.len(), v2.len(), "dot2_compressed: length mismatch");
+    let body = |x: &[T], v1: &[S], v2: &[S]| -> (f64, f64) {
+        let mut t1 = 0.0f64;
+        let mut t2 = 0.0f64;
+        for_cascade_blocks(x.len(), |start, end| {
+            let mut a = [<T::Accum as Scalar>::zero(); 4];
+            let mut b = [<T::Accum as Scalar>::zero(); 4];
+            let n4 = start + ((end - start) & !3);
+            let mut i = start;
+            while i < n4 {
+                for k in 0..4 {
+                    let xv = x[i + k].widen();
+                    a[k] += xv * <T::Accum as FromScalar>::from_scalar(v1[i + k]);
+                    b[k] += xv * <T::Accum as FromScalar>::from_scalar(v2[i + k]);
+                }
+                i += 4;
+            }
+            let mut ta = <T::Accum as Scalar>::zero();
+            let mut tb = <T::Accum as Scalar>::zero();
+            for j in n4..end {
+                let xv = x[j].widen();
+                ta += xv * <T::Accum as FromScalar>::from_scalar(v1[j]);
+                tb += xv * <T::Accum as FromScalar>::from_scalar(v2[j]);
+            }
+            t1 += (((a[0] + a[1]) + (a[2] + a[3])) + ta).to_f64();
+            t2 += (((b[0] + b[1]) + (b[2] + b[3])) + tb).to_f64();
+        });
+        (t1, t2)
+    };
+    let (r1, r2) = if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_map_ranges(x.len(), MIN_LEN_PER_TASK, |r| {
+            body(&x[r.clone()], &v1[r.clone()], &v2[r])
+        })
+        .into_iter()
+        .fold((0.0, 0.0), |(s0, s1), (p0, p1)| (s0 + p0, s1 + p1))
+    } else {
+        body(x, v1, v2)
+    };
+    (r1 * s1, r2 * s2)
+}
+
+/// `y ← y + alpha * (scale · v)` with `v` a compressed basis vector: the
+/// coefficient and the amplitude scale fold into one scalar, so the loop is
+/// exactly an [`axpy`] whose source widens from the storage precision.
+pub fn axpy_scaled_from<T: Scalar, S: Scalar>(alpha: f64, v: &[S], scale: f64, y: &mut [T]) {
+    assert_eq!(v.len(), y.len(), "axpy_scaled_from: length mismatch");
+    let c = alpha * scale;
+    if coeff_fits::<T::Accum>(c) {
+        let a = <T::Accum as Scalar>::from_f64(c);
+        let body = |base: usize, chunk: &mut [T]| {
+            let xs = &v[base..base + chunk.len()];
+            for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
+                *yi = T::narrow(<T::Accum as FromScalar>::from_scalar(xi) * a + yi.widen());
+            }
+        };
+        if v.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_chunks_mut(y, MIN_LEN_PER_TASK, body);
+        } else {
+            body(0, y);
+        }
+    } else {
+        let body = |base: usize, chunk: &mut [T]| {
+            let xs = &v[base..base + chunk.len()];
+            for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
+                *yi = T::from_f64(xi.to_f64() * c + yi.to_f64());
+            }
+        };
+        if v.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_chunks_mut(y, MIN_LEN_PER_TASK, body);
+        } else {
+            body(0, y);
+        }
+    }
+}
+
+/// Fused `y ← y + alpha * (scale · v)` returning `‖y_new‖²` from the same
+/// sweep — the compressed counterpart of [`axpy_norm2`], used for the last
+/// FGMRES orthogonalisation update so `y` is not swept again for
+/// `h_{j+1,j}`.
+#[must_use]
+pub fn axpy_scaled_norm2<T: Scalar, S: Scalar>(
+    alpha: f64,
+    v: &[S],
+    scale: f64,
+    y: &mut [T],
+) -> f64 {
+    assert_eq!(v.len(), y.len(), "axpy_scaled_norm2: length mismatch");
+    let c = alpha * scale;
+    if coeff_fits::<T::Accum>(c) {
+        let a = <T::Accum as Scalar>::from_f64(c);
+        let body = |base: usize, chunk: &mut [T]| -> f64 {
+            let xs = &v[base..base + chunk.len()];
+            let mut total = 0.0f64;
+            for_cascade_blocks(chunk.len(), |start, end| {
+                let mut s = <T::Accum as Scalar>::zero();
+                for i in start..end {
+                    let val = T::narrow(
+                        <T::Accum as FromScalar>::from_scalar(xs[i]) * a + chunk[i].widen(),
+                    );
+                    chunk[i] = val;
+                    let w = val.widen();
+                    s += w * w;
+                }
+                total += s.to_f64();
+            });
+            total
+        };
+        if v.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_map_chunks_mut(y, MIN_LEN_PER_TASK, body)
+                .into_iter()
+                .sum()
+        } else {
+            body(0, y)
+        }
+    } else {
+        let body = |base: usize, chunk: &mut [T]| -> f64 {
+            let xs = &v[base..base + chunk.len()];
+            let mut total = 0.0f64;
+            for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
+                let val = T::from_f64(xi.to_f64() * c + yi.to_f64());
+                *yi = val;
+                let w = val.to_f64();
+                total += w * w;
+            }
+            total
+        };
+        if v.len() >= PAR_LEN_THRESHOLD {
+            f3r_parallel::par_map_chunks_mut(y, MIN_LEN_PER_TASK, body)
+                .into_iter()
+                .sum()
+        } else {
+            body(0, y)
+        }
+    }
+}
+
+/// Euclidean norm `‖scale · v‖₂` of a compressed basis vector, accumulated
+/// in the storage precision's accumulator with the usual `f64` cascade.
+#[must_use]
+pub fn norm2_compressed<S: Scalar>(v: &[S], scale: f64) -> f64 {
+    dot(v, v).sqrt() * scale.abs()
+}
+
 /// Set every element of `x` to zero.
 pub fn set_zero<T: Scalar>(x: &mut [T]) {
     for xi in x.iter_mut() {
@@ -592,5 +959,206 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_dot_panics() {
         let _ = dot(&[1.0f64, 2.0], &[1.0f64]);
+    }
+
+    // --- compressed-basis kernels -----------------------------------------
+
+    #[test]
+    fn narrow_scaled_round_trip_is_exact_in_same_precision() {
+        // Same-precision storage takes the fast path: values stored as-is,
+        // alpha carried entirely in the scale, no amplitude reduction.
+        let src: Vec<f64> = (0..257).map(|i| ((i * 37) % 101) as f64 / 7.0 - 6.0).collect();
+        let mut stored = vec![0.0f64; src.len()];
+        let scale = narrow_scaled_into(0.5, &src, &mut stored);
+        assert_eq!(scale, 0.5);
+        assert_eq!(stored, src);
+        let mut back = vec![0.0f64; src.len()];
+        widen_scaled_into(scale, &stored, &mut back);
+        for (&b, &s) in back.iter().zip(src.iter()) {
+            assert_eq!(b, 0.5 * s);
+        }
+    }
+
+    #[test]
+    fn narrow_scaled_cross_precision_bounds_stored_magnitudes() {
+        // The compressing path normalises into |stored| <= 1 so fp16 storage
+        // stays inside its exponent range.
+        let src: Vec<f32> = (0..257).map(|i| ((i * 37) % 101) as f32 / 7.0 - 6.0).collect();
+        let mut stored = vec![f16::from_f32(0.0); src.len()];
+        let _ = narrow_scaled_into(1.0, &src, &mut stored);
+        assert!(stored.iter().all(|v| v.to_f64().abs() <= 1.0));
+    }
+
+    #[test]
+    fn narrow_scaled_fp16_error_is_bounded_by_storage_eps() {
+        // |scale·stored − src| <= 2^-11 · 2^k <= 2^-10 · max|src| element-wise
+        // (one round-to-nearest in fp16 on values scaled into [-1, 1]).
+        let src: Vec<f64> = (0..1000).map(|i| (((i * 29) % 211) as f64 - 105.0) * 0.37).collect();
+        let amax = src.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let mut stored = vec![f16::from_f32(0.0); src.len()];
+        let scale = narrow_scaled_into(1.0, &src, &mut stored);
+        let bound = amax * f64::from(f16::EPSILON);
+        for (&s, &x) in stored.iter().zip(src.iter()) {
+            assert!((scale * s.to_f64() - x).abs() <= bound, "{s} vs {x}");
+        }
+    }
+
+    #[test]
+    fn narrow_scaled_applies_alpha_through_the_scale() {
+        let src = vec![2.0f64, -4.0, 8.0];
+        let mut stored = vec![f16::from_f32(0.0); 3];
+        let scale = narrow_scaled_into(0.25, &src, &mut stored);
+        // amax = 8 -> 2^3; scale = 0.25 * 8 = 2; represented = src / 4.
+        assert_eq!(scale, 2.0);
+        let rep: Vec<f64> = stored.iter().map(|s| scale * s.to_f64()).collect();
+        assert_eq!(rep, vec![0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn narrow_scaled_zero_vector_gives_zero_scale() {
+        let src = vec![0.0f32; 16];
+        let mut stored = vec![f16::from_f32(7.0); 16];
+        assert_eq!(narrow_scaled_into(3.0, &src, &mut stored), 0.0);
+        assert!(stored.iter().all(|v| v.to_f64() == 0.0));
+        assert_eq!(norm2_compressed(&stored, 0.0), 0.0);
+    }
+
+    #[test]
+    fn narrow_scaled_survives_fp16_dynamic_range() {
+        // Values far outside fp16's representable range (max 65504) and far
+        // below its subnormal floor survive compression because the scale
+        // carries the magnitude.
+        for huge in [1e9f64, 1e-9f64] {
+            let src = vec![huge, -0.5 * huge, 0.25 * huge];
+            let mut stored = vec![f16::from_f32(0.0); 3];
+            let scale = narrow_scaled_into(1.0, &src, &mut stored);
+            for (&s, &x) in stored.iter().zip(src.iter()) {
+                let err = (scale * s.to_f64() - x).abs();
+                assert!(err <= huge * f64::from(f16::EPSILON), "{err} for {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_amplitudes_survive_fp32_working_precision() {
+        // Amplitudes near the edges of f32's range: the scale (or its
+        // reciprocal) does not fit an f32 accumulator even though every
+        // element-wise product is representable.  The kernels must fall back
+        // to the f64 path instead of producing inf/NaN.
+        for amp in [1.0e-41f64, 3.0e38f64] {
+            let src: Vec<f32> = (0..64)
+                .map(|i| ((i % 7) as f64 / 7.0 * amp) as f32)
+                .collect();
+            let mut stored = vec![f16::from_f32(0.0); src.len()];
+            let scale = narrow_scaled_into(1.0, &src, &mut stored);
+            assert!(scale.is_finite(), "amp {amp}: scale {scale}");
+            assert!(stored.iter().all(|v| v.is_finite()), "amp {amp}");
+            let mut back = vec![0.0f32; src.len()];
+            widen_scaled_into(scale, &stored, &mut back);
+            for (&b, &s) in back.iter().zip(src.iter()) {
+                assert!(b.is_finite(), "amp {amp}");
+                let err = (f64::from(b) - f64::from(s)).abs();
+                assert!(err <= amp * f64::from(f16::EPSILON), "amp {amp}: {b} vs {s}");
+            }
+            let mut y = vec![0.0f32; src.len()];
+            axpy_scaled_from(1.0, &stored, scale, &mut y);
+            assert!(y.iter().all(|v| v.is_finite()), "amp {amp}");
+            let mut y2 = vec![0.0f32; src.len()];
+            let nn = axpy_scaled_norm2(1.0, &stored, scale, &mut y2);
+            assert!(nn.is_finite(), "amp {amp}");
+            assert_eq!(y, y2, "amp {amp}");
+        }
+    }
+
+    #[test]
+    fn dot_compressed_matches_reference_dot_on_widened_copy() {
+        let n = 1003;
+        let x: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 23.0).collect();
+        let v: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 19.0).collect();
+        let mut stored = vec![f16::from_f32(0.0); n];
+        let scale = narrow_scaled_into(1.0, &v, &mut stored);
+        // Reference: decompress into f64 and use the plain dot.
+        let mut widened = vec![0.0f64; n];
+        widen_scaled_into(scale, &stored, &mut widened);
+        let reference = dot(&x, &widened);
+        let got = dot_compressed(&x, &stored, scale);
+        assert!((got - reference).abs() < 1e-12 * n as f64, "{got} vs {reference}");
+        // And both sit within the fp16 storage error of the exact dot.
+        let exact = dot(&x, &v);
+        assert!((got - exact).abs() < n as f64 * f64::from(f16::EPSILON));
+    }
+
+    #[test]
+    fn dot2_compressed_matches_two_single_dots() {
+        let n = 513;
+        let x: Vec<f32> = (0..n).map(|i| ((i % 17) as f32 - 8.0) / 17.0).collect();
+        let v1: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) / 13.0).collect();
+        let v2: Vec<f32> = (0..n).map(|i| ((i % 11) as f32 - 5.0) / 11.0).collect();
+        let mut s1 = vec![f16::from_f32(0.0); n];
+        let mut s2 = vec![f16::from_f32(0.0); n];
+        let sc1 = narrow_scaled_into(1.0, &v1, &mut s1);
+        let sc2 = narrow_scaled_into(1.0, &v2, &mut s2);
+        let (d1, d2) = dot2_compressed(&x, &s1, sc1, &s2, sc2);
+        let tol = 4.0 * n as f64 * f64::from(f32::EPSILON);
+        assert!((d1 - dot_compressed(&x, &s1, sc1)).abs() < tol);
+        assert!((d2 - dot_compressed(&x, &s2, sc2)).abs() < tol);
+    }
+
+    #[test]
+    fn axpy_scaled_from_matches_decompress_then_axpy() {
+        for n in [5usize, 64, 1003] {
+            let v: Vec<f64> = (0..n).map(|i| ((i % 31) as f64 - 15.0) * 0.8).collect();
+            let mut stored = vec![f16::from_f32(0.0); n];
+            let scale = narrow_scaled_into(1.0, &v, &mut stored);
+            let mut widened = vec![0.0f64; n];
+            widen_scaled_into(scale, &stored, &mut widened);
+
+            let mut y1: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+            let mut y2 = y1.clone();
+            axpy(-0.37, &widened, &mut y1);
+            axpy_scaled_from(-0.37, &stored, scale, &mut y2);
+            assert_eq!(y1, y2, "n={n}");
+
+            let mut y3: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+            let nn = axpy_scaled_norm2(-0.37, &stored, scale, &mut y3);
+            assert_eq!(y1, y3, "n={n}");
+            assert!((nn.sqrt() - norm2(&y1)).abs() < 1e-9 * (1.0 + norm2(&y1)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn norm2_compressed_matches_widened_norm() {
+        let v: Vec<f32> = (0..777).map(|i| ((i % 41) as f32 - 20.0) * 3.0).collect();
+        let mut stored = vec![f16::from_f32(0.0); v.len()];
+        let scale = narrow_scaled_into(1.0, &v, &mut stored);
+        let mut widened = vec![0.0f32; v.len()];
+        widen_scaled_into(scale, &stored, &mut widened);
+        let got = norm2_compressed(&stored, scale);
+        assert!((got - norm2(&widened)).abs() < 1e-3 * got);
+    }
+
+    #[test]
+    fn compressed_kernels_parallel_match_serial() {
+        // Above PAR_LEN_THRESHOLD the pool dispatch path must agree with the
+        // sequential path.
+        let n = PAR_LEN_THRESHOLD + 321;
+        let v: Vec<f64> = (0..n).map(|i| ((i % 97) as f64 - 48.0) * 1e-2).collect();
+        let x: Vec<f64> = (0..n).map(|i| ((i % 89) as f64 - 44.0) * 1e-2).collect();
+        let mut stored = vec![f16::from_f32(0.0); n];
+        let scale = narrow_scaled_into(1.0, &v, &mut stored);
+        let serial_dot: f64 = dot_stored_chunk(&x, &stored) * scale;
+        let par_dot = dot_compressed(&x, &stored, scale);
+        assert!((serial_dot - par_dot).abs() < 1e-9 * serial_dot.abs().max(1.0));
+        let mut y1 = x.clone();
+        let mut y2 = x.clone();
+        axpy_chunk(<f64 as Scalar>::from_f64(0.5 * scale), &{
+            let mut w = vec![0.0f64; n];
+            widen_scaled_into(1.0, &stored, &mut w);
+            w
+        }, &mut y1);
+        axpy_scaled_from(0.5, &stored, scale, &mut y2);
+        for (a, b) in y1.iter().zip(y2.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 }

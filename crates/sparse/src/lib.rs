@@ -49,6 +49,21 @@
 //! * [`blas1::axpy_norm2`] — vector update plus the updated vector's norm²,
 //! * [`blas1::scale_into`] — fused copy + scale (basis normalisation).
 //!
+//! ## Compressed-basis kernels
+//!
+//! On top of the storage/compute split for matrices, the kernel layer
+//! supports *basis* vectors stored below the working precision: a compressed
+//! basis vector is `(stored, scale)` with elements in a storage precision
+//! (fp16/fp32) and one power-of-two `f64` amplitude scale per vector.
+//! [`blas1::narrow_scaled_into`] compresses on write,
+//! [`blas1::widen_scaled_into`] decompresses, and
+//! [`blas1::dot_compressed`] / [`blas1::dot2_compressed`] /
+//! [`blas1::axpy_scaled_from`] / [`blas1::axpy_scaled_norm2`] /
+//! [`blas1::norm2_compressed`] operate on the compressed form directly,
+//! widening each stored element exactly once.  `f3r-core`'s
+//! `CompressedBasis` wraps these into the Krylov-basis storage used by
+//! FGMRES.
+//!
 //! See `crates/bench/README.md` for how to benchmark the layer and the
 //! recorded per-PR baselines.
 //!

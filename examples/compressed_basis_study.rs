@@ -1,0 +1,74 @@
+//! Study how the Krylov-basis *storage* precision affects convergence and
+//! basis memory traffic — the storage/compute split of compressed-basis
+//! GMRES applied to the nested solver stack.
+//!
+//! The same system is solved three times with identical working precisions;
+//! only the storage precision of the inner Arnoldi/flexible bases changes
+//! (f64 keeps each level's own working precision, f32/f16 compress).  The
+//! basis traffic columns come from the `f3r_precision` counters, which
+//! attribute basis reads/writes to the storage precision.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example compressed_basis_study
+//! ```
+
+use std::sync::Arc;
+
+use f3r::prelude::*;
+use f3r::sparse::gen::{poisson2d_5pt, random_rhs};
+use f3r::sparse::scaling::jacobi_scale;
+
+fn main() {
+    // The Figure-1 Laplacian scenario at a laptop-friendly size, with a
+    // Jacobi primary preconditioner so the two-level solver does enough
+    // outer iterations for the basis traffic to matter.
+    let a = jacobi_scale(&poisson2d_5pt(64, 64));
+    let n = a.n_rows();
+    let b = random_rhs(n, 23);
+    let matrix = Arc::new(ProblemMatrix::from_csr(a));
+
+    let base_spec = |name: &str| NestedSpec {
+        levels: vec![
+            LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres(20, Precision::Fp64, Precision::Fp64),
+        ],
+        precond: PrecondKind::Jacobi,
+        precond_prec: Precision::Fp64,
+        tol: 1e-8,
+        max_outer_cycles: 10,
+        name: name.to_string(),
+    };
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>16} {:>16} {:>12}",
+        "basis storage", "converged", "outer iters", "rel. res.", "basis [MiB]", "total [MiB]", "basis cut"
+    );
+    let mut baseline_basis = None;
+    for storage in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+        let spec = base_spec(&format!("{}-basis", storage)).with_basis_storage(storage);
+        let mut solver = NestedSolver::new(Arc::clone(&matrix), spec);
+        let mut x = vec![0.0; n];
+        let r = solver.solve(&b, &mut x);
+        let basis_bytes = r.counters.basis_bytes_total();
+        let base = *baseline_basis.get_or_insert(basis_bytes);
+        let mib = |b: u64| b as f64 / (1u64 << 20) as f64;
+        println!(
+            "{:<14} {:>10} {:>12} {:>12.2e} {:>16.2} {:>16.2} {:>11.1}%",
+            solver.name(),
+            r.converged,
+            r.outer_iterations,
+            r.final_relative_residual,
+            mib(basis_bytes),
+            mib(r.modeled_bytes()),
+            100.0 * (1.0 - basis_bytes as f64 / base as f64),
+        );
+    }
+    println!(
+        "\nThe inner FGMRES(20) level re-reads its Arnoldi basis every iteration (the (5/2)m²\n\
+         term of the paper's Section 4.1 model); storing those vectors in fp16 with one\n\
+         amplitude scale per vector quarters that stream relative to fp64 vectors — at, as the\n\
+         iteration column shows, no convergence cost.  The outermost basis stays at full\n\
+         precision so the final accuracy is unaffected (see NestedSpec::with_basis_storage)."
+    );
+}

@@ -24,16 +24,8 @@ fn main() {
     // FGMRES(6) over an fp16 Richardson(3) with a fixed weight.
     let custom = NestedSpec {
         levels: vec![
-            LevelSpec::Fgmres {
-                m: 50,
-                matrix_prec: Precision::Fp64,
-                vector_prec: Precision::Fp64,
-            },
-            LevelSpec::Fgmres {
-                m: 6,
-                matrix_prec: Precision::Fp32,
-                vector_prec: Precision::Fp32,
-            },
+            LevelSpec::fgmres(50, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres(6, Precision::Fp32, Precision::Fp32),
             LevelSpec::Richardson {
                 m: 3,
                 matrix_prec: Precision::Fp16,

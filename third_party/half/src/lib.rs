@@ -1,7 +1,7 @@
 //! Minimal, dependency-free stand-in for the `half` crate.
 //!
 //! The build environment has no access to a crates.io registry, so the
-//! workspace vendors the subset of `half` it actually uses: the [`f16`]
+//! workspace vendors the subset of `half` it actually uses: the [`struct@f16`]
 //! binary16 type with correctly rounded (round-to-nearest-even) conversions
 //! to and from `f32`/`f64`, basic arithmetic carried out through `f32`
 //! intermediates (matching the semantics of the real crate's software
