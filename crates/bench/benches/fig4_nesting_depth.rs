@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use f3r_bench::BenchProblem;
 use f3r_core::prelude::*;
-use std::sync::Arc;
 
 fn bench_fig4(c: &mut Criterion) {
     let problem = BenchProblem::hpcg();
@@ -21,7 +20,7 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     for spec in specs {
         let name = spec.name.clone();
-        let mut solver = NestedSolver::new(Arc::clone(&problem.matrix), spec);
+        let mut solver = problem.prepare(spec).session();
         group.bench_function(BenchmarkId::new(&problem.name, name), |b| {
             b.iter(|| problem.solve_checked(&mut solver))
         });

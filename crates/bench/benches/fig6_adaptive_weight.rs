@@ -3,7 +3,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use f3r_bench::BenchProblem;
 use f3r_core::prelude::*;
-use std::sync::Arc;
 
 fn bench_fig6(c: &mut Criterion) {
     let problem = BenchProblem::hpcg();
@@ -11,18 +10,21 @@ fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_adaptive_weight");
     group.sample_size(10);
 
-    let mut adaptive = NestedSolver::new(
-        Arc::clone(&problem.matrix),
-        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
-    );
+    let mut adaptive = problem
+        .prepare(f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings))
+        .session();
     group.bench_function(BenchmarkId::new(&problem.name, "adaptive c=64"), |b| {
         b.iter(|| problem.solve_checked(&mut adaptive))
     });
     for omega in [0.8, 1.0, 1.2] {
-        let mut fixed = NestedSolver::new(
-            Arc::clone(&problem.matrix),
-            f3r_spec_fixed_weight(F3rParams::default(), F3rScheme::Fp16, &settings, omega),
-        );
+        let mut fixed = problem
+            .prepare(f3r_spec_fixed_weight(
+                F3rParams::default(),
+                F3rScheme::Fp16,
+                &settings,
+                omega,
+            ))
+            .session();
         group.bench_function(BenchmarkId::new(&problem.name, format!("fixed w={omega}")), |b| {
             b.iter(|| problem.solve_checked(&mut fixed))
         });

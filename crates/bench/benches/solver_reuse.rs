@@ -1,0 +1,90 @@
+//! Solver-reuse benchmark: the setup-vs-solve split of the prepared-solver
+//! session API on HPCG 16³.
+//!
+//! The serving question behind the session API is amortisation: how much of
+//! a "solve" is really per-matrix setup (precision copies of `A`, the
+//! block-Jacobi IC(0) factorisation) that a `PreparedSolver` pays once, and
+//! how fast is the amortized steady-state solve once a `SolveSession` has
+//! its workspaces?  Four rows:
+//!
+//! * `setup/matrix_copies` — building the fp64/fp32/fp16 copies of `A`
+//!   (`ProblemMatrix::from_csr`),
+//! * `setup/prepare` — `SolverBuilder::build()`: spec validation plus the
+//!   preconditioner factorisation over an existing matrix handle,
+//! * `solve/first` — a fresh session's first solve (includes allocating the
+//!   level workspaces),
+//! * `solve/amortized_10th` — a steady-state solve on a session warmed by
+//!   nine earlier solves (workspace generation pinned at 1, so the row times
+//!   pure solve work).
+//!
+//! Recorded baseline: `BENCH_pr4.json` at the repo root (see
+//! `crates/bench/README.md` for the how-to).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_core::prelude::*;
+use f3r_precond::PrecondKind;
+use f3r_sparse::gen::{hpcg_matrix, random_rhs};
+use f3r_sparse::scaling::jacobi_scale;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The satellite workload is fixed at HPCG 16³ so recorded baselines stay
+/// comparable (the usual `F3R_BENCH_GRID` knob is deliberately not used).
+const GRID: usize = 16;
+
+fn builder(matrix: &Arc<ProblemMatrix>) -> SolverBuilder {
+    SolverBuilder::new(Arc::clone(matrix))
+        .scheme(F3rScheme::Fp16)
+        .precond(PrecondKind::BlockJacobiIc0 { blocks: 8, alpha: 1.0 })
+}
+
+fn bench_solver_reuse(c: &mut Criterion) {
+    f3r_bench::emit_parallel_meta();
+    let a = jacobi_scale(&hpcg_matrix(GRID, GRID, GRID));
+    let n = a.n_rows();
+    let b = random_rhs(n, 42);
+    let matrix = Arc::new(ProblemMatrix::from_csr(a.clone()));
+    let problem = format!("hpcg_{GRID}^3");
+
+    let mut group = c.benchmark_group("solver_reuse");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("setup_matrix_copies", &problem), |bch| {
+        bch.iter(|| black_box(ProblemMatrix::from_csr(a.clone())))
+    });
+
+    group.bench_function(BenchmarkId::new("setup_prepare", &problem), |bch| {
+        bch.iter(|| black_box(builder(&matrix).build()))
+    });
+
+    let prepared = builder(&matrix).build();
+    group.bench_function(BenchmarkId::new("solve_first", &problem), |bch| {
+        bch.iter(|| {
+            let mut session = prepared.session();
+            let mut x = vec![0.0; n];
+            let r = session.solve(&b, &mut x);
+            assert!(r.converged, "{r}");
+            r.outer_iterations
+        })
+    });
+
+    let mut warm = prepared.session();
+    let mut x = vec![0.0; n];
+    for _ in 0..9 {
+        assert!(warm.solve(&b, &mut x).converged);
+    }
+    assert_eq!(warm.workspace_generation(), 1);
+    group.bench_function(BenchmarkId::new("solve_amortized_10th", &problem), |bch| {
+        bch.iter(|| {
+            let r = warm.solve(&b, &mut x);
+            assert!(r.converged, "{r}");
+            r.outer_iterations
+        })
+    });
+    assert_eq!(warm.workspace_generation(), 1, "steady state must not reallocate");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_reuse);
+criterion_main!(benches);

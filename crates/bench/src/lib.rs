@@ -134,22 +134,25 @@ impl BenchProblem {
         }
     }
 
-    /// Build an F3R solver of the given scheme on this problem.
+    /// Prepare a solver (setup: precision copies + factorisation) for an
+    /// arbitrary spec on this problem's matrix.
     #[must_use]
-    pub fn f3r(&self, scheme: F3rScheme, gpu_node: bool) -> NestedSolver {
-        NestedSolver::new(
-            Arc::clone(&self.matrix),
-            f3r_spec(F3rParams::default(), scheme, &self.settings(gpu_node)),
-        )
+    pub fn prepare(&self, spec: NestedSpec) -> Arc<PreparedSolver> {
+        SolverBuilder::new(Arc::clone(&self.matrix)).spec(spec).build()
     }
 
-    /// Build an F3R solver with explicit parameters.
+    /// Build an F3R solve session of the given scheme on this problem.
     #[must_use]
-    pub fn f3r_with(&self, params: F3rParams, scheme: F3rScheme) -> NestedSolver {
-        NestedSolver::new(
-            Arc::clone(&self.matrix),
-            f3r_spec(params, scheme, &self.settings(false)),
-        )
+    pub fn f3r(&self, scheme: F3rScheme, gpu_node: bool) -> SolveSession {
+        self.prepare(f3r_spec(F3rParams::default(), scheme, &self.settings(gpu_node)))
+            .session()
+    }
+
+    /// Build an F3R solve session with explicit parameters.
+    #[must_use]
+    pub fn f3r_with(&self, params: F3rParams, scheme: F3rScheme) -> SolveSession {
+        self.prepare(f3r_spec(params, scheme, &self.settings(false)))
+            .session()
     }
 
     /// Build the matching fp64 Krylov baseline (CG for symmetric problems,

@@ -92,6 +92,7 @@ impl SparseSolver for RestartedFgmresSolver {
                         x_nonzero: cycle > 0,
                         depth: 1,
                         counters: &self.counters,
+                        progress: None,
                     },
                     x,
                     b,

@@ -1,5 +1,7 @@
 //! Solve results, convergence histories and the common solver interface.
 
+use std::fmt;
+
 use f3r_precision::CounterSnapshot;
 
 /// Why a solver stopped.
@@ -12,6 +14,20 @@ pub enum StopReason {
     /// The iteration broke down (division by a vanishing quantity) or
     /// produced non-finite values.
     Breakdown,
+    /// A [`SolveObserver`](crate::session::SolveObserver) requested an early
+    /// stop before the solve converged.
+    Stopped,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StopReason::Converged => "converged",
+            StopReason::MaxIterations => "iteration budget exhausted",
+            StopReason::Breakdown => "breakdown",
+            StopReason::Stopped => "stopped by observer",
+        })
+    }
 }
 
 /// Outcome of one linear solve.
@@ -63,8 +79,30 @@ impl SolveResult {
     }
 }
 
+impl fmt::Display for SolveResult {
+    /// One-line human-readable summary, e.g.
+    /// `fp16-F3R: converged after 34 outer iterations (2176 M applications), relative residual 5.31e-9 in 0.123 s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} after {} outer iterations ({} M applications), relative residual {:.2e} in {:.3} s",
+            self.solver_name,
+            self.stop_reason,
+            self.outer_iterations,
+            self.precond_applications,
+            self.final_relative_residual,
+            self.seconds
+        )
+    }
+}
+
 /// Common interface implemented by every solver in the workspace (F3R and its
 /// variants, CG, BiCGStab, restarted FGMRES), used by the experiment harness.
+///
+/// New code should prefer the prepared-solver session API
+/// ([`crate::session::SolverBuilder`] → [`crate::session::PreparedSolver`] →
+/// [`crate::session::SolveSession`]); `SolveSession` implements this trait,
+/// so sessions drop into the harness directly.
 pub trait SparseSolver {
     /// Solve `A x = b`, starting from the zero initial guess, overwriting `x`.
     fn solve(&mut self, b: &[f64], x: &mut [f64]) -> SolveResult;
@@ -96,6 +134,18 @@ mod tests {
         let r = dummy(vec![1.0, 1e-4, 1e-8], 1e-8, 80);
         let rate = r.log_reduction_per_precond().unwrap();
         assert!((rate - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_a_one_line_summary() {
+        let r = dummy(vec![1.0, 1e-8], 5.31e-9, 2176);
+        let line = r.to_string();
+        assert!(line.starts_with("dummy: converged after 2 outer iterations"));
+        assert!(line.contains("2176 M applications"));
+        assert!(line.contains("5.31e-9"));
+        assert!(!line.contains('\n'));
+        assert_eq!(StopReason::Stopped.to_string(), "stopped by observer");
+        assert_eq!(StopReason::MaxIterations.to_string(), "iteration budget exhausted");
     }
 
     #[test]

@@ -62,6 +62,7 @@
 //!         x_nonzero: false,
 //!         depth: 1,
 //!         counters: &counters,
+//!         progress: None,
 //!     },
 //!     &mut x,
 //!     &b,
@@ -105,6 +106,9 @@ pub struct FgmresWorkspace<T, S = T> {
     /// Working-precision result of the flexible preconditioner (`z_j` before
     /// compression; also the SpMV input).
     zj: Vec<T>,
+    /// Solution of the least-squares system `R y = g` (reused so a cycle
+    /// allocates nothing in steady state).
+    y: Vec<f64>,
 }
 
 impl<T: Scalar, S: Scalar> FgmresWorkspace<T, S> {
@@ -124,6 +128,7 @@ impl<T: Scalar, S: Scalar> FgmresWorkspace<T, S> {
             w: vec![T::zero(); n],
             vj: vec![T::zero(); n],
             zj: vec![T::zero(); n],
+            y: vec![0.0; m],
         }
     }
 
@@ -152,6 +157,22 @@ pub struct CycleOutcome {
     pub converged: bool,
     /// Whether a (lucky or unlucky) breakdown occurred.
     pub breakdown: bool,
+    /// Whether the [`CycleProgress`] hook requested an early stop.
+    pub stopped: bool,
+}
+
+/// Per-iteration progress hook of a cycle.
+///
+/// The outermost level of a nested solve installs one (the session layer
+/// bridges it to [`SolveObserver`](crate::session::SolveObserver)); inner
+/// levels and baselines pass `None`.
+pub trait CycleProgress {
+    /// Called after each completed Arnoldi iteration with the 0-based
+    /// iteration index within this cycle and the absolute residual-norm
+    /// estimate `|g_{j+1}|`.  Return `false` to stop the cycle early; the
+    /// partial solution update `x += Z y` over the completed iterations is
+    /// still applied.
+    fn on_iteration(&mut self, iteration_in_cycle: usize, residual_estimate: f64) -> bool;
 }
 
 /// Parameters of one FGMRES cycle.
@@ -171,6 +192,9 @@ pub struct CycleParams<'a, T: Scalar> {
     pub depth: usize,
     /// Shared kernel counters.
     pub counters: &'a KernelCounters,
+    /// Optional per-iteration progress hook (outermost level only; inner
+    /// levels pass `None`).
+    pub progress: Option<&'a mut dyn CycleProgress>,
 }
 
 /// Run one FGMRES cycle of at most `ws.cycle_length()` iterations on
@@ -194,6 +218,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
         x_nonzero,
         depth,
         counters,
+        mut progress,
     } = params;
     let n = ws.n;
     let m = ws.m;
@@ -220,6 +245,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
             residual_estimate: f64::NAN,
             converged: false,
             breakdown: true,
+            stopped: false,
         };
     }
     if beta == 0.0 {
@@ -229,6 +255,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
             residual_estimate: 0.0,
             converged: true,
             breakdown: false,
+            stopped: false,
         };
     }
     // v_1 = r0 / beta, compressed on write (the normalisation folds into the
@@ -245,6 +272,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
     let mut iters = 0usize;
     let mut breakdown = false;
     let mut converged = false;
+    let mut stopped = false;
     let mut res_est = beta;
 
     for j in 0..m {
@@ -326,8 +354,16 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
         iters = j + 1;
 
         if !res_est.is_finite() || !hnext.is_finite() {
+            // Breakdown pre-empts the progress hook: observers never see a
+            // non-finite estimate and cannot mask the breakdown flag.
             breakdown = true;
             break;
+        }
+        if let Some(hook) = progress.as_mut() {
+            if !hook.on_iteration(j, res_est) {
+                stopped = true;
+                break;
+            }
         }
         if hnext <= f64::EPSILON * beta {
             // Lucky breakdown: the Krylov space is invariant.
@@ -354,8 +390,8 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
     counters.record_level_iterations(depth, iters as u64);
 
     if iters > 0 {
-        // Solve the upper-triangular system R y = g.
-        let mut y = vec![0.0f64; iters];
+        // Solve the upper-triangular system R y = g into the reused buffer.
+        let y = &mut ws.y[..iters];
         for i in (0..iters).rev() {
             let mut sum = ws.g[i];
             for (hk, &yk) in ws.h[(i + 1)..iters].iter().zip(y[(i + 1)..iters].iter()) {
@@ -381,6 +417,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
         residual_estimate: res_est,
         converged,
         breakdown,
+        stopped,
     }
 }
 
@@ -448,6 +485,7 @@ impl<T: Scalar, S: Scalar> InnerSolver<T> for FgmresLevel<T, S> {
             x_nonzero: false,
             depth: self.depth,
             counters: &self.counters,
+            progress: None,
         };
         let _ = fgmres_cycle(params, z, v, &mut self.ws);
     }
@@ -512,6 +550,7 @@ mod tests {
                 x_nonzero: false,
                 depth: 1,
                 counters: &counters,
+                progress: None,
             },
             &mut x,
             &b,
@@ -540,6 +579,7 @@ mod tests {
                 x_nonzero: false,
                 depth: 1,
                 counters: &counters,
+                progress: None,
             },
             &mut x,
             &b,
@@ -573,6 +613,7 @@ mod tests {
                     x_nonzero: cycle > 0,
                     depth: 1,
                     counters: &counters,
+                    progress: None,
                 },
                 &mut x,
                 &b,
@@ -603,6 +644,7 @@ mod tests {
                 x_nonzero: false,
                 depth: 1,
                 counters: &counters,
+                progress: None,
             },
             &mut x,
             &b,
@@ -653,6 +695,7 @@ mod tests {
                 x_nonzero: false,
                 depth: 1,
                 counters: &counters,
+                progress: None,
             },
             &mut x,
             &b,

@@ -9,6 +9,12 @@
 //! converts vectors at the boundary, and [`PrecondInner`] adapts the primary
 //! preconditioner `M` itself so it can terminate a nesting chain (as in the
 //! two- and three-level reference solvers of Table 4).
+//!
+//! Inner-solver chains are *per-session* state: each
+//! [`SolveSession`](crate::session::SolveSession) builds its own chain (the
+//! workspaces and the Richardson weights are mutable), while the matrix
+//! copies and the factorized `M` the chain borrows live in the shared,
+//! immutable [`PreparedSolver`](crate::session::PreparedSolver).
 
 use std::sync::Arc;
 

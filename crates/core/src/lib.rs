@@ -4,9 +4,14 @@
 //!
 //! The crate provides:
 //!
+//! * the prepared-solver session API ([`session`]): a fluent
+//!   [`SolverBuilder`] compiles problem + spec + preconditioner into an
+//!   immutable, `Arc`-shareable [`PreparedSolver`]; concurrent
+//!   [`SolveSession`]s own the mutable workspaces (warm starts, per-solve
+//!   overrides, `solve_many`, observers),
 //! * the nested-solver framework ([`nested`]): declarative [`NestedSpec`]s
 //!   built from FGMRES and Richardson levels with per-level matrix/vector
-//!   precisions, compiled into a running [`NestedSolver`],
+//!   precisions (the legacy [`NestedSolver`] remains as a deprecated shim),
 //! * compressed Krylov-basis storage ([`basis`]): the Arnoldi and flexible
 //!   bases of every FGMRES level can be stored below the level's working
 //!   precision (one amplitude scale per vector, see
@@ -37,17 +42,18 @@
 //! let n = a.n_rows();
 //! let matrix = Arc::new(ProblemMatrix::from_csr(a));
 //!
-//! // fp16-F3R with the default (100, 8, 4, 2) parameters and IC(0).
-//! let settings = SolverSettings {
-//!     precond: PrecondKind::Ic0 { alpha: 1.0 },
-//!     ..SolverSettings::default()
-//! };
-//! let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings);
-//! let mut solver = NestedSolver::new(matrix, spec);
+//! // fp16-F3R with the default (100, 8, 4, 2) parameters and IC(0):
+//! // setup (precision copies + factorisation) once …
+//! let prepared = SolverBuilder::new(matrix)
+//!     .scheme(F3rScheme::Fp16)
+//!     .precond(PrecondKind::Ic0 { alpha: 1.0 })
+//!     .build();
 //!
+//! // … then any number of (possibly concurrent) solve sessions.
+//! let mut session = prepared.session();
 //! let b = random_rhs(n, 1);
 //! let mut x = vec![0.0; n];
-//! let result = solver.solve(&b, &mut x);
+//! let result = session.solve(&b, &mut x);
 //! assert!(result.converged);
 //! assert!(result.final_relative_residual < 1e-8);
 //! ```
@@ -65,6 +71,7 @@ pub mod nested;
 pub mod operator;
 pub mod precond_any;
 pub mod richardson;
+pub mod session;
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
@@ -75,11 +82,16 @@ pub mod prelude {
         f2_spec, f3_spec, f3r_spec, f3r_spec_fixed_weight, f4_spec, fp16_f2_spec, fp16_f3_spec,
         F3rParams, F3rScheme, SolverSettings,
     };
-    pub use crate::nested::{LevelSpec, NestedSolver, NestedSpec};
+    pub use crate::nested::{LevelSpec, NestedSolver, NestedSpec, SpecError};
     pub use crate::operator::{ProblemMatrix, SpmvBackend};
     pub use crate::richardson::WeightStrategy;
+    pub use crate::session::{
+        CycleEvent, OuterEvent, PreparedSolver, SolveControl, SolveObserver, SolveOptions,
+        SolveSession, SolverBuilder,
+    };
 }
 
 pub use convergence::{SolveResult, SparseSolver, StopReason};
-pub use nested::{LevelSpec, NestedSolver, NestedSpec};
+pub use nested::{LevelSpec, NestedSolver, NestedSpec, SpecError};
 pub use operator::{ProblemMatrix, SpmvBackend};
+pub use session::{PreparedSolver, SolveObserver, SolveOptions, SolveSession, SolverBuilder};

@@ -1,27 +1,28 @@
-//! Declarative description and construction of nested Krylov solvers.
+//! Declarative description of nested Krylov solvers.
 //!
 //! A nested solver `(S⁽¹⁾, …, S⁽ᴰ⁾, M)` is described by a [`NestedSpec`]: an
 //! ordered list of [`LevelSpec`]s (outermost first), the primary
 //! preconditioner kind and its storage precision, the convergence tolerance
-//! and the restart budget.  [`NestedSolver::new`] turns a spec into a running
-//! solver: the outermost FGMRES level is driven directly (it is the only
-//! place convergence is checked, Section 4.2), the remaining levels are built
-//! recursively as a chain of [`InnerSolver`]s with [`PrecisionBridge`]s
-//! inserted wherever the vector precision changes.
+//! and the restart budget.  Specs are compiled by the session layer
+//! ([`crate::session`]): a [`SolverBuilder`] turns one into an immutable,
+//! `Arc`-shareable [`PreparedSolver`], and each [`SolveSession`] builds its
+//! private chain of [`InnerSolver`](crate::inner::InnerSolver)s with
+//! precision bridges inserted wherever the vector precision changes.
+//!
+//! [`NestedSolver`] remains as a thin deprecated shim over the session API
+//! for callers of the historical `NestedSolver::new(matrix, spec)` +
+//! `solve(&mut self, …)` two-step.
 
+use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
-use f3r_precision::{f16, KernelCounters, Precision, Scalar};
-use f3r_sparse::blas1;
+use f3r_precision::{KernelCounters, Precision};
 use f3r_precond::PrecondKind;
 
-use crate::convergence::{SolveResult, SparseSolver, StopReason};
-use crate::fgmres::{fgmres_cycle, CycleParams, FgmresLevel, FgmresWorkspace};
-use crate::inner::{InnerSolver, PrecisionBridge, PrecondInner};
+use crate::convergence::{SolveResult, SparseSolver};
 use crate::operator::ProblemMatrix;
-use crate::precond_any::AnyPrecond;
-use crate::richardson::{RichardsonLevel, WeightStrategy};
+use crate::richardson::WeightStrategy;
+use crate::session::{PreparedSolver, SolveSession, SolverBuilder};
 
 /// One level of a nested solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,6 +115,28 @@ impl LevelSpec {
     }
 }
 
+/// A structural problem in a [`NestedSpec`] or a [`SolverBuilder`]
+/// configuration, reported by [`NestedSpec::check`] and
+/// [`SolverBuilder::try_build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl SpecError {
+    /// Wrap a description of what is wrong with the spec.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        SpecError(message.into())
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// Complete description of a nested Krylov solver.
 #[derive(Debug, Clone)]
 pub struct NestedSpec {
@@ -134,29 +157,34 @@ pub struct NestedSpec {
 }
 
 impl NestedSpec {
-    /// Validate structural invariants, panicking with a descriptive message
-    /// if the spec cannot be built.
-    pub fn validate(&self) {
-        assert!(!self.levels.is_empty(), "nested spec needs at least one level");
+    /// Check the structural invariants, returning a descriptive error if the
+    /// spec cannot be built.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] naming the first violated invariant.
+    pub fn check(&self) -> Result<(), SpecError> {
+        if self.levels.is_empty() {
+            return Err(SpecError::new("nested spec needs at least one level"));
+        }
         match self.levels[0] {
             LevelSpec::Fgmres { vector_prec, .. } => {
-                assert_eq!(
-                    vector_prec,
-                    Precision::Fp64,
-                    "the outermost level must work in fp64 (it checks convergence)"
-                );
+                if vector_prec != Precision::Fp64 {
+                    return Err(SpecError::new(
+                        "the outermost level must work in fp64 (it checks convergence)",
+                    ));
+                }
             }
             LevelSpec::Richardson { .. } => {
-                panic!("the outermost level must be FGMRES");
+                return Err(SpecError::new("the outermost level must be FGMRES"));
             }
         }
         for (d, level) in self.levels.iter().enumerate() {
             if let LevelSpec::Richardson { .. } = level {
-                assert_eq!(
-                    d,
-                    self.levels.len() - 1,
-                    "Richardson may only appear as the innermost level"
-                );
+                if d != self.levels.len() - 1 {
+                    return Err(SpecError::new(
+                        "Richardson may only appear as the innermost level",
+                    ));
+                }
             }
             if let LevelSpec::Fgmres {
                 vector_prec,
@@ -164,15 +192,34 @@ impl NestedSpec {
                 ..
             } = level
             {
-                assert!(
-                    basis_prec <= vector_prec,
-                    "basis storage precision must not exceed the working precision"
-                );
+                if basis_prec > vector_prec {
+                    return Err(SpecError::new(
+                        "basis storage precision must not exceed the working precision",
+                    ));
+                }
             }
-            assert!(level.iterations() >= 1, "every level needs at least one iteration");
+            if level.iterations() < 1 {
+                return Err(SpecError::new("every level needs at least one iteration"));
+            }
         }
-        assert!(self.tol > 0.0, "tolerance must be positive");
-        assert!(self.max_outer_cycles >= 1, "need at least one outer cycle");
+        if self.tol.is_nan() || self.tol <= 0.0 {
+            return Err(SpecError::new("tolerance must be positive"));
+        }
+        if self.max_outer_cycles < 1 {
+            return Err(SpecError::new("need at least one outer cycle"));
+        }
+        Ok(())
+    }
+
+    /// Validate structural invariants, panicking with a descriptive message
+    /// if the spec cannot be built (the fallible form is [`check`](Self::check)).
+    ///
+    /// # Panics
+    /// Panics with the [`SpecError`] message on the first violated invariant.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Depth `D` of the nesting (number of iterative levels).
@@ -219,281 +266,65 @@ impl NestedSpec {
     }
 }
 
-/// Build the inner-solver chain for `levels` (outermost of the *chain* first,
-/// i.e. the level at nesting depth `depth`), working in vector precision `T`.
-///
-/// The caller guarantees `T` matches `levels[0].vector_precision()`.
-fn build_chain<T: Scalar>(
-    levels: &[LevelSpec],
-    depth: usize,
-    matrix: &Arc<ProblemMatrix>,
-    precond: &Arc<AnyPrecond>,
-    counters: &Arc<KernelCounters>,
-) -> Box<dyn InnerSolver<T>> {
-    let level = levels[0];
-    debug_assert_eq!(level.vector_precision(), T::PRECISION);
-    match level {
-        LevelSpec::Richardson {
-            m,
-            matrix_prec,
-            weight,
-            ..
-        } => Box::new(RichardsonLevel::<T>::new(
-            Arc::clone(matrix),
-            matrix_prec,
-            m,
-            Arc::clone(precond),
-            weight,
-            depth,
-            Arc::clone(counters),
-        )),
-        LevelSpec::Fgmres {
-            m,
-            matrix_prec,
-            basis_prec,
-            ..
-        } => {
-            let inner: Box<dyn InnerSolver<T>> = if levels.len() == 1 {
-                // This FGMRES level is the innermost iterative level: its
-                // flexible preconditioner is the primary preconditioner M.
-                Box::new(PrecondInner::<T>::new(
-                    Arc::clone(precond),
-                    Arc::clone(counters),
-                    depth + 1,
-                ))
-            } else {
-                build_child::<T>(&levels[1..], depth + 1, matrix, precond, counters)
-            };
-            // Instantiate the level for the requested basis *storage*
-            // precision — the second type parameter of `FgmresLevel`.
-            match basis_prec {
-                Precision::Fp64 => Box::new(FgmresLevel::<T, f64>::new(
-                    Arc::clone(matrix),
-                    matrix_prec,
-                    m,
-                    inner,
-                    depth,
-                    Arc::clone(counters),
-                )),
-                Precision::Fp32 => Box::new(FgmresLevel::<T, f32>::new(
-                    Arc::clone(matrix),
-                    matrix_prec,
-                    m,
-                    inner,
-                    depth,
-                    Arc::clone(counters),
-                )),
-                Precision::Fp16 => Box::new(FgmresLevel::<T, f16>::new(
-                    Arc::clone(matrix),
-                    matrix_prec,
-                    m,
-                    inner,
-                    depth,
-                    Arc::clone(counters),
-                )),
-            }
-        }
-    }
-}
-
-/// Build the child chain starting at `levels[0]`, bridging from the parent's
-/// vector precision `TP` to the child's vector precision if they differ.
-fn build_child<TP: Scalar>(
-    levels: &[LevelSpec],
-    depth: usize,
-    matrix: &Arc<ProblemMatrix>,
-    precond: &Arc<AnyPrecond>,
-    counters: &Arc<KernelCounters>,
-) -> Box<dyn InnerSolver<TP>> {
-    let child_prec = levels[0].vector_precision();
-    let n = matrix.dim();
-    if child_prec == TP::PRECISION {
-        return build_chain::<TP>(levels, depth, matrix, precond, counters);
-    }
-    match child_prec {
-        Precision::Fp64 => Box::new(PrecisionBridge::<TP, f64>::new(
-            build_chain::<f64>(levels, depth, matrix, precond, counters),
-            n,
-        )),
-        Precision::Fp32 => Box::new(PrecisionBridge::<TP, f32>::new(
-            build_chain::<f32>(levels, depth, matrix, precond, counters),
-            n,
-        )),
-        Precision::Fp16 => Box::new(PrecisionBridge::<TP, f16>::new(
-            build_chain::<f16>(levels, depth, matrix, precond, counters),
-            n,
-        )),
-    }
-}
-
-/// Outermost FGMRES workspace, instantiated for the spec's basis storage
-/// precision (the working precision is always fp64 at depth 1).
-enum OuterWorkspace {
-    /// Uncompressed fp64 basis storage.
-    F64(FgmresWorkspace<f64, f64>),
-    /// fp32-compressed basis storage.
-    F32(FgmresWorkspace<f64, f32>),
-    /// fp16-compressed basis storage.
-    F16(FgmresWorkspace<f64, f16>),
-}
-
-impl OuterWorkspace {
-    fn new(basis_prec: Precision, n: usize, m: usize) -> Self {
-        match basis_prec {
-            Precision::Fp64 => OuterWorkspace::F64(FgmresWorkspace::new(n, m)),
-            Precision::Fp32 => OuterWorkspace::F32(FgmresWorkspace::new(n, m)),
-            Precision::Fp16 => OuterWorkspace::F16(FgmresWorkspace::new(n, m)),
-        }
-    }
-
-    fn run_cycle(
-        &mut self,
-        params: CycleParams<'_, f64>,
-        x: &mut [f64],
-        b: &[f64],
-    ) -> crate::fgmres::CycleOutcome {
-        match self {
-            OuterWorkspace::F64(ws) => fgmres_cycle(params, x, b, ws),
-            OuterWorkspace::F32(ws) => fgmres_cycle(params, x, b, ws),
-            OuterWorkspace::F16(ws) => fgmres_cycle(params, x, b, ws),
-        }
-    }
-}
-
 /// A fully constructed nested Krylov solver (the paper's F3R and all of its
-/// F2/F3/F4 relatives), driven by an outermost fp64 FGMRES with restarting.
+/// F2/F3/F4 relatives) behind the historical one-struct interface.
+///
+/// This is now a thin shim over the session API: internally it is exactly an
+/// `Arc<PreparedSolver>` plus one [`SolveSession`].  New code should use
+/// those types directly — they add shared setup across threads, warm starts,
+/// per-solve overrides, `solve_many` and observers.
 pub struct NestedSolver {
-    matrix: Arc<ProblemMatrix>,
-    #[allow(dead_code)]
-    precond: Arc<AnyPrecond>,
-    counters: Arc<KernelCounters>,
-    spec: NestedSpec,
-    inner: Box<dyn InnerSolver<f64>>,
-    ws: OuterWorkspace,
+    session: SolveSession,
 }
 
 impl NestedSolver {
     /// Build the solver described by `spec` for the matrix `matrix`.
     ///
     /// # Panics
-    /// Panics if the spec fails [`NestedSpec::validate`].
+    /// Panics if the spec fails [`NestedSpec::check`].
+    #[deprecated(
+        note = "use SolverBuilder (e.g. `SolverBuilder::new(matrix).spec(spec).build()`) and open SolveSessions from the shared PreparedSolver"
+    )]
     #[must_use]
     pub fn new(matrix: Arc<ProblemMatrix>, spec: NestedSpec) -> Self {
-        spec.validate();
-        let counters = KernelCounters::new_shared();
-        let precond = Arc::new(AnyPrecond::build(
-            matrix.csr_f64(),
-            &spec.precond,
-            spec.precond_prec,
-        ));
-        let m1 = spec.levels[0].iterations();
-        let inner: Box<dyn InnerSolver<f64>> = if spec.levels.len() == 1 {
-            Box::new(PrecondInner::<f64>::new(
-                Arc::clone(&precond),
-                Arc::clone(&counters),
-                2,
-            ))
-        } else {
-            build_child::<f64>(&spec.levels[1..], 2, &matrix, &precond, &counters)
-        };
-        let n = matrix.dim();
-        let outer_basis = spec.levels[0]
-            .basis_precision()
-            .unwrap_or(Precision::Fp64);
+        Self::from_prepared(&SolverBuilder::new(matrix).spec(spec).build())
+    }
+
+    /// Wrap a prepared solver as a legacy [`SparseSolver`] (one private
+    /// session over the shared setup).
+    #[must_use]
+    pub fn from_prepared(prepared: &Arc<PreparedSolver>) -> Self {
         Self {
-            matrix,
-            precond,
-            counters,
-            spec,
-            inner,
-            ws: OuterWorkspace::new(outer_basis, n, m1),
+            session: prepared.session(),
         }
     }
 
     /// The spec this solver was built from.
     #[must_use]
     pub fn spec(&self) -> &NestedSpec {
-        &self.spec
+        self.session.prepared().spec()
     }
 
     /// Shared kernel counters (reset at the start of every `solve`).
     #[must_use]
     pub fn counters(&self) -> &Arc<KernelCounters> {
-        &self.counters
+        self.session.counters()
+    }
+
+    /// The underlying solve session.
+    #[must_use]
+    pub fn session_mut(&mut self) -> &mut SolveSession {
+        &mut self.session
     }
 }
 
 impl SparseSolver for NestedSolver {
     fn solve(&mut self, b: &[f64], x: &mut [f64]) -> SolveResult {
-        let n = self.matrix.dim();
-        assert_eq!(b.len(), n, "solve: b length mismatch");
-        assert_eq!(x.len(), n, "solve: x length mismatch");
-        let start = Instant::now();
-        self.counters.reset();
-        for xi in x.iter_mut() {
-            *xi = 0.0;
-        }
-        let bnorm = blas1::norm2(b);
-        let mut history = Vec::new();
-        let mut outer_iterations = 0usize;
-        let mut stop_reason = StopReason::MaxIterations;
-        let mut converged = false;
-
-        if bnorm == 0.0 {
-            // x = 0 is the exact solution.
-            converged = true;
-            stop_reason = StopReason::Converged;
-        } else {
-            let abs_tol = self.spec.tol * bnorm;
-            'outer: for cycle in 0..self.spec.max_outer_cycles {
-                let outcome = self.ws.run_cycle(
-                    CycleParams {
-                        matrix: &self.matrix,
-                        mat_prec: self.spec.levels[0].matrix_precision(),
-                        inner: self.inner.as_mut(),
-                        abs_tol: Some(abs_tol),
-                        x_nonzero: cycle > 0,
-                        depth: 1,
-                        counters: &self.counters,
-                    },
-                    x,
-                    b,
-                );
-                outer_iterations += outcome.iterations;
-                let true_rel = self.matrix.true_relative_residual(x, b);
-                history.push(true_rel);
-                if !true_rel.is_finite() {
-                    stop_reason = StopReason::Breakdown;
-                    break 'outer;
-                }
-                if true_rel < self.spec.tol {
-                    converged = true;
-                    stop_reason = StopReason::Converged;
-                    break 'outer;
-                }
-                if outcome.breakdown && outcome.iterations == 0 {
-                    stop_reason = StopReason::Breakdown;
-                    break 'outer;
-                }
-            }
-        }
-
-        let final_rel = self.matrix.true_relative_residual(x, b);
-        SolveResult {
-            converged,
-            stop_reason,
-            outer_iterations,
-            precond_applications: self.counters.snapshot().precond_applies,
-            final_relative_residual: final_rel,
-            seconds: start.elapsed().as_secs_f64(),
-            residual_history: history,
-            counters: self.counters.snapshot(),
-            solver_name: self.spec.name.clone(),
-        }
+        self.session.solve(b, x)
     }
 
     fn name(&self) -> String {
-        self.spec.name.clone()
+        self.spec().name.clone()
     }
 }
 
@@ -527,11 +358,12 @@ mod tests {
                 LevelSpec::fgmres(5, Precision::Fp64, Precision::Fp64),
             ],
         );
-        let mut solver = NestedSolver::new(pm, spec);
+        let prepared = SolverBuilder::new(pm).spec(spec).build();
+        let mut session = prepared.session();
         let n = 256;
         let b = random_rhs(n, 42);
         let mut x = vec![0.0; n];
-        let res = solver.solve(&b, &mut x);
+        let res = session.solve(&b, &mut x);
         assert!(res.converged, "residual {}", res.final_relative_residual);
         assert!(res.final_relative_residual < 1e-8);
         assert!(res.precond_applications > 0);
@@ -563,10 +395,11 @@ mod tests {
         };
         assert_eq!(spec.tuple_notation(), "(F40, F8, F4, R2, M)");
         let n = 8 * 8 * 4;
-        let mut solver = NestedSolver::new(pm, spec);
+        let prepared = SolverBuilder::new(pm).spec(spec).build();
+        let mut session = prepared.session();
         let b = random_rhs(n, 5);
         let mut x = vec![0.0; n];
-        let res = solver.solve(&b, &mut x);
+        let res = session.solve(&b, &mut x);
         assert!(res.converged, "residual {}", res.final_relative_residual);
         // fp16 work must actually have happened
         assert!(res.counters.bytes_in(Precision::Fp16) > 0);
@@ -605,7 +438,7 @@ mod tests {
                 },
             ],
         );
-        let _ = NestedSolver::new(pm, spec);
+        let _ = SolverBuilder::new(pm).spec(spec).build();
     }
 
     #[test]
@@ -632,9 +465,10 @@ mod tests {
         .with_basis_storage(Precision::Fp16);
         let n = pm.dim();
         let b = random_rhs(n, 23);
-        let mut solver = NestedSolver::new(pm, spec);
+        let prepared = SolverBuilder::new(pm).spec(spec).build();
+        let mut session = prepared.session();
         let mut x = vec![0.0; n];
-        let r = solver.solve(&b, &mut x);
+        let r = session.solve(&b, &mut x);
         assert!(r.converged, "residual {}", r.final_relative_residual);
         // Inner bases stream in fp16; no fp32 basis bytes remain; the
         // outer fp64 basis is the only other contributor and the inner
@@ -657,13 +491,50 @@ mod tests {
             "trivial",
             vec![LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64)],
         );
-        let mut solver = NestedSolver::new(pm, spec);
+        let prepared = SolverBuilder::new(pm).spec(spec).build();
+        let mut session = prepared.session();
         let b = vec![0.0; 64];
         let mut x = vec![1.0; 64];
-        let res = solver.solve(&b, &mut x);
+        let res = session.solve(&b, &mut x);
         assert!(res.converged);
         assert_eq!(res.outer_iterations, 0);
         assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_solves_and_exposes_spec() {
+        let a = jacobi_scale(&poisson2d_5pt(12, 12));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = simple_spec(
+            "shim",
+            vec![
+                LevelSpec::fgmres(20, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(5, Precision::Fp32, Precision::Fp32),
+            ],
+        );
+        let mut solver = NestedSolver::new(pm, spec);
+        assert_eq!(solver.name(), "shim");
+        assert_eq!(solver.spec().depth(), 2);
+        let n = 144;
+        let b = random_rhs(n, 8);
+        let mut x = vec![0.0; n];
+        let res = solver.solve(&b, &mut x);
+        assert!(res.converged, "residual {}", res.final_relative_residual);
+        assert!(solver.counters().snapshot().precond_applies > 0);
+        assert_eq!(solver.session_mut().workspace_generation(), 1);
+    }
+
+    #[test]
+    fn check_reports_errors_without_panicking() {
+        let bad = simple_spec(
+            "bad",
+            vec![LevelSpec::fgmres(10, Precision::Fp32, Precision::Fp32)],
+        );
+        let err = bad.check().unwrap_err();
+        assert!(err.to_string().contains("outermost level must work in fp64"));
+        let empty = simple_spec("empty", vec![]);
+        assert!(empty.check().is_err());
     }
 
     #[test]
@@ -675,7 +546,7 @@ mod tests {
             "bad",
             vec![LevelSpec::fgmres(10, Precision::Fp32, Precision::Fp32)],
         );
-        let _ = NestedSolver::new(pm, spec);
+        let _ = SolverBuilder::new(pm).spec(spec).build();
     }
 
     #[test]
@@ -696,6 +567,6 @@ mod tests {
                 LevelSpec::fgmres(4, Precision::Fp64, Precision::Fp64),
             ],
         );
-        let _ = NestedSolver::new(pm, spec);
+        let _ = SolverBuilder::new(pm).spec(spec).build();
     }
 }

@@ -264,15 +264,27 @@ impl ProblemMatrix {
     #[must_use]
     pub fn true_relative_residual(&self, x: &[f64], b: &[f64]) -> f64 {
         let mut r = vec![0.0f64; self.n];
-        spmv(&self.csr64, x, &mut r);
+        self.true_relative_residual_with(x, b, &mut r)
+    }
+
+    /// [`true_relative_residual`](Self::true_relative_residual) into a
+    /// caller-provided scratch buffer `r` (overwritten with `b − A x`), so
+    /// repeated convergence checks allocate nothing.
+    ///
+    /// # Panics
+    /// Panics if `r` is not of the matrix dimension.
+    #[must_use]
+    pub fn true_relative_residual_with(&self, x: &[f64], b: &[f64], r: &mut [f64]) -> f64 {
+        assert_eq!(r.len(), self.n, "residual scratch length mismatch");
+        spmv(&self.csr64, x, r);
         for i in 0..self.n {
             r[i] = b[i] - r[i];
         }
         let bnorm = blas1::norm2(b);
         if bnorm == 0.0 {
-            blas1::norm2(&r)
+            blas1::norm2(r)
         } else {
-            blas1::norm2(&r) / bnorm
+            blas1::norm2(r) / bnorm
         }
     }
 }

@@ -14,7 +14,11 @@
 //! into the running average of Eq. 5; other calls reuse the averaged weight.
 //! The weights are global state that persists across invocations because the
 //! optimal weight depends on the preconditioned operator, not on the
-//! right-hand side (Section 4.3).
+//! right-hand side (Section 4.3).  For the same reason they persist across
+//! *solves* within one [`SolveSession`](crate::session::SolveSession): a
+//! warmed session starts each new right-hand side with already-tuned
+//! weights, which is part of the amortized-solve advantage recorded in
+//! `BENCH_pr4.json`.
 
 use std::sync::Arc;
 

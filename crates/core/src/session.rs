@@ -1,0 +1,1247 @@
+//! The prepared-solver session API: setup split from solve.
+//!
+//! The nested solvers of the paper pay a large one-time cost per matrix —
+//! three precision copies of `A`, an IC(0)/ILU(0)/SD-AINV factorisation of
+//! the primary preconditioner, a validated [`NestedSpec`] — before the first
+//! right-hand side is ever seen.  This module splits that setup from the
+//! per-solve state so one factorisation can serve many concurrent solve
+//! streams:
+//!
+//! ```text
+//! SolverBuilder ──build()──▶ Arc<PreparedSolver> ──session()──▶ SolveSession
+//!  (fluent config:            (immutable, Sync:                 (mutable, per
+//!   scheme/levels/spec,        matrix copies, factorized         solve stream:
+//!   precond, tol, basis        preconditioner, validated         level workspaces,
+//!   storage, …)                spec; shared across threads)      counters, weights)
+//! ```
+//!
+//! * [`SolverBuilder`] replaces the `SolverSettings`-struct-literal +
+//!   `f3r_spec` two-step with one fluent chain.
+//! * [`PreparedSolver`] owns everything that depends only on the matrix and
+//!   the spec.  It is immutable and `Send + Sync`; clone the `Arc` into as
+//!   many threads as you like.
+//! * [`SolveSession`] owns everything mutable: the outer FGMRES workspace,
+//!   the inner-solver chain (including the adaptive Richardson weights,
+//!   which persist across solves by design — the optimal weight depends on
+//!   the preconditioned operator, not the right-hand side), and the kernel
+//!   counters.  Workspaces are allocated on the first solve and reused
+//!   verbatim afterwards ([`SolveSession::workspace_generation`] proves it):
+//!   in steady state, repeated solves and [`SolveSession::solve_many`]
+//!   allocate nothing proportional to the problem size — only the O(cycles)
+//!   result bookkeeping (residual history, counter snapshot) per solve.
+//!
+//! Per-solve behaviour is controlled by [`SolveOptions`] (warm-start `x0`,
+//! tolerance and cycle-budget overrides) and observed through
+//! [`SolveObserver`] (per-outer-iteration residual events with early-stop
+//! control).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use f3r_core::prelude::*;
+//! use f3r_precond::PrecondKind;
+//! use f3r_sparse::gen::hpcg::hpcg_matrix;
+//! use f3r_sparse::gen::rhs::random_rhs;
+//! use f3r_sparse::scaling::jacobi_scale;
+//!
+//! let a = jacobi_scale(&hpcg_matrix(6, 6, 6));
+//! let n = a.n_rows();
+//!
+//! // Setup once: precision copies + IC(0) factorisation + validated spec.
+//! let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+//!     .scheme(F3rScheme::Fp16)
+//!     .precond(PrecondKind::Ic0 { alpha: 1.0 })
+//!     .build();
+//!
+//! // Solve many right-hand sides through one session (workspaces reused).
+//! let mut session = prepared.session();
+//! let mut x = vec![0.0; n];
+//! for seed in 0..3 {
+//!     let b = random_rhs(n, seed);
+//!     let result = session.solve(&b, &mut x);
+//!     assert!(result.converged, "{result}");
+//! }
+//! assert_eq!(session.workspace_generation(), 1);
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use f3r_precision::{f16, KernelCounters, Precision, Scalar};
+use f3r_precond::PrecondKind;
+use f3r_sparse::blas1;
+
+use crate::convergence::{SolveResult, SparseSolver, StopReason};
+use crate::f3r::{f3r_spec, F3rParams, F3rScheme, SolverSettings};
+use crate::fgmres::{fgmres_cycle, CycleOutcome, CycleParams, CycleProgress, FgmresLevel, FgmresWorkspace};
+use crate::inner::{InnerSolver, PrecisionBridge, PrecondInner};
+use crate::nested::{LevelSpec, NestedSpec, SpecError};
+use crate::operator::ProblemMatrix;
+use crate::precond_any::AnyPrecond;
+use crate::richardson::RichardsonLevel;
+
+// ---------------------------------------------------------------------------
+// Inner-solver chain construction (moved here from `nested`; sessions own the
+// mutable chain, the prepared solver owns everything the chain borrows).
+// ---------------------------------------------------------------------------
+
+/// Build the inner-solver chain for `levels` (outermost of the *chain* first,
+/// i.e. the level at nesting depth `depth`), working in vector precision `T`.
+///
+/// The caller guarantees `T` matches `levels[0].vector_precision()`.
+fn build_chain<T: Scalar>(
+    levels: &[LevelSpec],
+    depth: usize,
+    matrix: &Arc<ProblemMatrix>,
+    precond: &Arc<AnyPrecond>,
+    counters: &Arc<KernelCounters>,
+) -> Box<dyn InnerSolver<T>> {
+    let level = levels[0];
+    debug_assert_eq!(level.vector_precision(), T::PRECISION);
+    match level {
+        LevelSpec::Richardson {
+            m,
+            matrix_prec,
+            weight,
+            ..
+        } => Box::new(RichardsonLevel::<T>::new(
+            Arc::clone(matrix),
+            matrix_prec,
+            m,
+            Arc::clone(precond),
+            weight,
+            depth,
+            Arc::clone(counters),
+        )),
+        LevelSpec::Fgmres {
+            m,
+            matrix_prec,
+            basis_prec,
+            ..
+        } => {
+            let inner: Box<dyn InnerSolver<T>> = if levels.len() == 1 {
+                // This FGMRES level is the innermost iterative level: its
+                // flexible preconditioner is the primary preconditioner M.
+                Box::new(PrecondInner::<T>::new(
+                    Arc::clone(precond),
+                    Arc::clone(counters),
+                    depth + 1,
+                ))
+            } else {
+                build_child::<T>(&levels[1..], depth + 1, matrix, precond, counters)
+            };
+            // Instantiate the level for the requested basis *storage*
+            // precision — the second type parameter of `FgmresLevel`.
+            match basis_prec {
+                Precision::Fp64 => Box::new(FgmresLevel::<T, f64>::new(
+                    Arc::clone(matrix),
+                    matrix_prec,
+                    m,
+                    inner,
+                    depth,
+                    Arc::clone(counters),
+                )),
+                Precision::Fp32 => Box::new(FgmresLevel::<T, f32>::new(
+                    Arc::clone(matrix),
+                    matrix_prec,
+                    m,
+                    inner,
+                    depth,
+                    Arc::clone(counters),
+                )),
+                Precision::Fp16 => Box::new(FgmresLevel::<T, f16>::new(
+                    Arc::clone(matrix),
+                    matrix_prec,
+                    m,
+                    inner,
+                    depth,
+                    Arc::clone(counters),
+                )),
+            }
+        }
+    }
+}
+
+/// Build the child chain starting at `levels[0]`, bridging from the parent's
+/// vector precision `TP` to the child's vector precision if they differ.
+fn build_child<TP: Scalar>(
+    levels: &[LevelSpec],
+    depth: usize,
+    matrix: &Arc<ProblemMatrix>,
+    precond: &Arc<AnyPrecond>,
+    counters: &Arc<KernelCounters>,
+) -> Box<dyn InnerSolver<TP>> {
+    let child_prec = levels[0].vector_precision();
+    let n = matrix.dim();
+    if child_prec == TP::PRECISION {
+        return build_chain::<TP>(levels, depth, matrix, precond, counters);
+    }
+    match child_prec {
+        Precision::Fp64 => Box::new(PrecisionBridge::<TP, f64>::new(
+            build_chain::<f64>(levels, depth, matrix, precond, counters),
+            n,
+        )),
+        Precision::Fp32 => Box::new(PrecisionBridge::<TP, f32>::new(
+            build_chain::<f32>(levels, depth, matrix, precond, counters),
+            n,
+        )),
+        Precision::Fp16 => Box::new(PrecisionBridge::<TP, f16>::new(
+            build_chain::<f16>(levels, depth, matrix, precond, counters),
+            n,
+        )),
+    }
+}
+
+/// Outermost FGMRES workspace, instantiated for the spec's basis storage
+/// precision (the working precision is always fp64 at depth 1).
+enum OuterWorkspace {
+    /// Uncompressed fp64 basis storage.
+    F64(FgmresWorkspace<f64, f64>),
+    /// fp32-compressed basis storage.
+    F32(FgmresWorkspace<f64, f32>),
+    /// fp16-compressed basis storage.
+    F16(FgmresWorkspace<f64, f16>),
+}
+
+impl OuterWorkspace {
+    fn new(basis_prec: Precision, n: usize, m: usize) -> Self {
+        match basis_prec {
+            Precision::Fp64 => OuterWorkspace::F64(FgmresWorkspace::new(n, m)),
+            Precision::Fp32 => OuterWorkspace::F32(FgmresWorkspace::new(n, m)),
+            Precision::Fp16 => OuterWorkspace::F16(FgmresWorkspace::new(n, m)),
+        }
+    }
+
+    fn run_cycle(&mut self, params: CycleParams<'_, f64>, x: &mut [f64], b: &[f64]) -> CycleOutcome {
+        match self {
+            OuterWorkspace::F64(ws) => fgmres_cycle(params, x, b, ws),
+            OuterWorkspace::F32(ws) => fgmres_cycle(params, x, b, ws),
+            OuterWorkspace::F16(ws) => fgmres_cycle(params, x, b, ws),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolverBuilder
+// ---------------------------------------------------------------------------
+
+/// Where the builder gets its level structure from.
+enum SpecSource {
+    /// One of the paper's F3R precision schemes (Table 1).
+    Scheme(F3rScheme),
+    /// Hand-rolled levels, outermost first.
+    Levels(Vec<LevelSpec>),
+    /// A complete pre-built spec (explicit overrides still apply on top).
+    Spec(NestedSpec),
+}
+
+/// Fluent configuration of a nested solver: problem + level structure +
+/// preconditioner + tolerances in one chain, replacing the
+/// `SolverSettings`-struct-literal + [`f3r_spec`] two-step.
+///
+/// Terminate the chain with [`build`](SolverBuilder::build) (panics on an
+/// invalid configuration, like `NestedSpec::validate`) or
+/// [`try_build`](SolverBuilder::try_build) (returns a [`SpecError`]).
+/// Both produce an [`Arc<PreparedSolver>`] ready to hand out
+/// [`SolveSession`]s.
+///
+/// ```
+/// use std::sync::Arc;
+/// use f3r_core::prelude::*;
+/// use f3r_precision::Precision;
+/// use f3r_precond::PrecondKind;
+/// use f3r_sparse::gen::laplacian::poisson2d_5pt;
+/// use f3r_sparse::scaling::jacobi_scale;
+///
+/// let a = jacobi_scale(&poisson2d_5pt(8, 8));
+/// let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+///     .levels(vec![
+///         LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+///         LevelSpec::fgmres(5, Precision::Fp32, Precision::Fp32),
+///     ])
+///     .precond(PrecondKind::Jacobi)
+///     .tol(1e-10)
+///     .name("two-level")
+///     .build();
+/// assert_eq!(prepared.spec().tuple_notation(), "(F30, F5, M)");
+/// ```
+pub struct SolverBuilder {
+    matrix: Arc<ProblemMatrix>,
+    source: Option<SpecSource>,
+    params: Option<F3rParams>,
+    precond: Option<PrecondKind>,
+    precond_prec: Option<Precision>,
+    tol: Option<f64>,
+    max_outer_cycles: Option<usize>,
+    name: Option<String>,
+    basis_storage: Option<Precision>,
+}
+
+impl SolverBuilder {
+    /// Start configuring a solver for `matrix`.
+    #[must_use]
+    pub fn new(matrix: Arc<ProblemMatrix>) -> Self {
+        Self {
+            matrix,
+            source: None,
+            params: None,
+            precond: None,
+            precond_prec: None,
+            tol: None,
+            max_outer_cycles: None,
+            name: None,
+            basis_storage: None,
+        }
+    }
+
+    /// Use one of the paper's F3R precision schemes (Table 1) as the level
+    /// structure, with the iteration counts from [`params`](Self::params).
+    #[must_use]
+    pub fn scheme(mut self, scheme: F3rScheme) -> Self {
+        self.source = Some(SpecSource::Scheme(scheme));
+        self
+    }
+
+    /// Iteration counts `(m1, m2, m3, m4)` and weight cycle for the
+    /// [`scheme`](Self::scheme) path (default: the paper's `(100, 8, 4, 2)`,
+    /// `c = 64`).  Only meaningful with `scheme()`; combining it with
+    /// `levels()` or `spec()` — which carry their own iteration counts — is
+    /// rejected by `build`/`try_build` rather than silently ignored.
+    #[must_use]
+    pub fn params(mut self, params: F3rParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Use a hand-rolled level structure, outermost first.
+    #[must_use]
+    pub fn levels(mut self, levels: Vec<LevelSpec>) -> Self {
+        self.source = Some(SpecSource::Levels(levels));
+        self
+    }
+
+    /// Use a complete pre-built [`NestedSpec`] (e.g. from [`f3r_spec`] or one
+    /// of the Table 4 preset functions).  Explicitly set builder fields
+    /// (preconditioner, tolerance, …) still override the spec's values.
+    #[must_use]
+    pub fn spec(mut self, spec: NestedSpec) -> Self {
+        self.source = Some(SpecSource::Spec(spec));
+        self
+    }
+
+    /// Primary preconditioner kind (default: `ILU(0)` with α = 1).
+    #[must_use]
+    pub fn precond(mut self, kind: PrecondKind) -> Self {
+        self.precond = Some(kind);
+        self
+    }
+
+    /// Storage precision of the primary preconditioner (default: the scheme's
+    /// Table 1 precision on the scheme path, fp64 otherwise).
+    #[must_use]
+    pub fn precond_precision(mut self, p: Precision) -> Self {
+        self.precond_prec = Some(p);
+        self
+    }
+
+    /// Convergence tolerance on `‖b − A x‖₂ / ‖b‖₂` (default: the paper's
+    /// `1e-8`).
+    #[must_use]
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = Some(tol);
+        self
+    }
+
+    /// Maximum number of outermost restart cycles (default: the paper's 3).
+    #[must_use]
+    pub fn max_outer_cycles(mut self, cycles: usize) -> Self {
+        self.max_outer_cycles = Some(cycles);
+        self
+    }
+
+    /// Human-readable configuration name (default: the scheme's name, e.g.
+    /// `"fp16-F3R"`, or the tuple notation for hand-rolled levels).
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Store the Arnoldi/flexible bases of every *inner* FGMRES level in
+    /// precision `p` (see [`NestedSpec::with_basis_storage`]).
+    #[must_use]
+    pub fn basis_storage(mut self, p: Precision) -> Self {
+        self.basis_storage = Some(p);
+        self
+    }
+
+    /// Resolve the configuration into a validated spec.
+    fn resolve_spec(self) -> Result<(Arc<ProblemMatrix>, NestedSpec), SpecError> {
+        let source = self.source.ok_or_else(|| {
+            SpecError::new("the builder needs a level structure: call scheme(), levels() or spec()")
+        })?;
+        if self.params.is_some() && !matches!(source, SpecSource::Scheme(_)) {
+            return Err(SpecError::new(
+                "params() only applies to the scheme() path; levels() and spec() carry their own iteration counts",
+            ));
+        }
+        let mut spec = match source {
+            SpecSource::Spec(spec) => spec,
+            SpecSource::Scheme(scheme) => {
+                // Defaults come from SolverSettings; explicitly set builder
+                // fields are applied by the shared override block below.
+                f3r_spec(self.params.unwrap_or_default(), scheme, &SolverSettings::default())
+            }
+            SpecSource::Levels(levels) => {
+                let mut spec = NestedSpec {
+                    levels,
+                    precond: PrecondKind::Ilu0 { alpha: 1.0 },
+                    precond_prec: Precision::Fp64,
+                    tol: 1e-8,
+                    max_outer_cycles: 3,
+                    name: String::new(),
+                };
+                spec.name = spec.tuple_notation();
+                spec
+            }
+        };
+        // Explicitly set builder fields always win.
+        if let Some(kind) = self.precond {
+            spec.precond = kind;
+        }
+        if let Some(p) = self.precond_prec {
+            spec.precond_prec = p;
+        }
+        if let Some(tol) = self.tol {
+            spec.tol = tol;
+        }
+        if let Some(cycles) = self.max_outer_cycles {
+            spec.max_outer_cycles = cycles;
+        }
+        if let Some(name) = self.name {
+            spec.name = name;
+        }
+        if let Some(p) = self.basis_storage {
+            spec = spec.with_basis_storage(p);
+        }
+        spec.check()?;
+        Ok((self.matrix, spec))
+    }
+
+    /// Validate the spec and run the per-matrix setup (preconditioner
+    /// factorisation), returning the shareable prepared solver.
+    ///
+    /// # Errors
+    /// Returns a [`SpecError`] if no level structure was given or the
+    /// resulting spec fails [`NestedSpec::check`].
+    pub fn try_build(self) -> Result<Arc<PreparedSolver>, SpecError> {
+        let (matrix, spec) = self.resolve_spec()?;
+        let precond = Arc::new(AnyPrecond::build(
+            matrix.csr_f64(),
+            &spec.precond,
+            spec.precond_prec,
+        ));
+        Ok(Arc::new(PreparedSolver {
+            matrix,
+            precond,
+            spec,
+        }))
+    }
+
+    /// Like [`try_build`](Self::try_build) but panics on an invalid
+    /// configuration (the historical `NestedSolver::new` behaviour).
+    ///
+    /// # Panics
+    /// Panics with the [`SpecError`] message if the configuration is invalid.
+    #[must_use]
+    pub fn build(self) -> Arc<PreparedSolver> {
+        match self.try_build() {
+            Ok(prepared) => prepared,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PreparedSolver
+// ---------------------------------------------------------------------------
+
+/// Everything per-matrix a nested solver needs, set up once and shared
+/// immutably: the multi-precision matrix copies, the factorized primary
+/// preconditioner and the validated spec.
+///
+/// `PreparedSolver` is `Send + Sync`; wrap it in an `Arc` (as
+/// [`SolverBuilder::build`] already does) and clone the handle into as many
+/// threads as needed — each thread opens its own [`SolveSession`] and the
+/// sessions never alias mutable state.
+pub struct PreparedSolver {
+    matrix: Arc<ProblemMatrix>,
+    precond: Arc<AnyPrecond>,
+    spec: NestedSpec,
+}
+
+impl fmt::Debug for PreparedSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedSolver")
+            .field("name", &self.spec.name)
+            .field("dim", &self.matrix.dim())
+            .field("precond", &self.precond.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedSolver {
+    /// Start a [`SolverBuilder`] for `matrix` (equivalent to
+    /// [`SolverBuilder::new`]).
+    #[must_use]
+    pub fn builder(matrix: Arc<ProblemMatrix>) -> SolverBuilder {
+        SolverBuilder::new(matrix)
+    }
+
+    /// The multi-precision matrix handle.
+    #[must_use]
+    pub fn matrix(&self) -> &Arc<ProblemMatrix> {
+        &self.matrix
+    }
+
+    /// The factorized primary preconditioner `M` (shared by every session).
+    #[must_use]
+    pub fn precond(&self) -> &Arc<AnyPrecond> {
+        &self.precond
+    }
+
+    /// The validated spec this solver was prepared from.
+    #[must_use]
+    pub fn spec(&self) -> &NestedSpec {
+        &self.spec
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    /// Configuration name (e.g. `"fp16-F3R"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Open a new solve session: a private set of mutable level workspaces
+    /// and counters over this shared setup.  Cheap — workspaces are only
+    /// allocated on the session's first solve.
+    #[must_use]
+    pub fn session(self: &Arc<Self>) -> SolveSession {
+        SolveSession {
+            prepared: Arc::clone(self),
+            counters: KernelCounters::new_shared(),
+            work: None,
+            generation: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observers
+// ---------------------------------------------------------------------------
+
+/// Whether a [`SolveObserver`] wants the solve to continue or stop early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveControl {
+    /// Keep iterating.
+    Continue,
+    /// Stop the solve after the current event; the result reports
+    /// [`StopReason::Stopped`] unless the solve already converged.
+    Stop,
+}
+
+/// One outermost Arnoldi iteration, reported as it completes.
+#[derive(Debug, Clone, Copy)]
+pub struct OuterEvent {
+    /// Global outermost iteration count (1-based, across restart cycles).
+    pub outer_iteration: usize,
+    /// Restart cycle index (0-based).
+    pub cycle: usize,
+    /// FGMRES residual-norm estimate `|g_{j+1}|` relative to `‖b‖₂` — the
+    /// cheap by-product of the Givens update, not the true residual.
+    pub relative_residual_estimate: f64,
+}
+
+/// One completed restart cycle, reported after the true residual check.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleEvent {
+    /// Restart cycle index (0-based).
+    pub cycle: usize,
+    /// Total outermost iterations so far.
+    pub outer_iterations: usize,
+    /// True relative residual `‖b − A x‖₂ / ‖b‖₂` (fp64 evaluation).
+    pub true_relative_residual: f64,
+}
+
+/// Callback interface for watching a solve as it progresses.
+///
+/// Both methods default to [`SolveControl::Continue`]; implement whichever
+/// granularity you need.  Returning [`SolveControl::Stop`] ends the solve
+/// after the current event with [`StopReason::Stopped`] (or
+/// [`StopReason::Converged`] if the tolerance was reached in the same
+/// cycle).
+pub trait SolveObserver {
+    /// Called after every outermost Arnoldi iteration with the residual
+    /// *estimate* (no extra kernel work is spent on these events).
+    fn on_outer_iteration(&mut self, event: &OuterEvent) -> SolveControl {
+        let _ = event;
+        SolveControl::Continue
+    }
+
+    /// Called with the *true* relative residual after each restart cycle
+    /// that does not terminate the solve.  A final cycle that converges,
+    /// breaks down or was stopped by [`on_outer_iteration`](Self::on_outer_iteration)
+    /// exits before this event; its residual is reported in
+    /// [`SolveResult::final_relative_residual`] and `residual_history`.
+    fn on_cycle_complete(&mut self, event: &CycleEvent) -> SolveControl {
+        let _ = event;
+        SolveControl::Continue
+    }
+}
+
+/// Bridges the per-iteration [`CycleProgress`] hook of the outermost FGMRES
+/// cycle onto the public [`SolveObserver`] interface.  Whether the observer
+/// stopped the cycle is reported back through `CycleOutcome::stopped`.
+struct ProgressAdapter<'o> {
+    observer: &'o mut dyn SolveObserver,
+    bnorm: f64,
+    cycle: usize,
+    outer_before: usize,
+}
+
+impl CycleProgress for ProgressAdapter<'_> {
+    fn on_iteration(&mut self, iteration_in_cycle: usize, residual_estimate: f64) -> bool {
+        let event = OuterEvent {
+            outer_iteration: self.outer_before + iteration_in_cycle + 1,
+            cycle: self.cycle,
+            relative_residual_estimate: residual_estimate / self.bnorm,
+        };
+        self.observer.on_outer_iteration(&event) == SolveControl::Continue
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolveOptions
+// ---------------------------------------------------------------------------
+
+/// Per-solve overrides; every field defaults to the prepared spec's value.
+///
+/// ```
+/// # use f3r_core::session::SolveOptions;
+/// let x0 = vec![0.5; 4];
+/// let opts = SolveOptions::new().x0(&x0).tol(1e-6).max_outer_cycles(1);
+/// assert_eq!(opts.tol, Some(1e-6));
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolveOptions<'a> {
+    /// Warm-start initial guess (default: the zero vector).
+    pub x0: Option<&'a [f64]>,
+    /// Convergence tolerance override (must be positive, like the spec's).
+    pub tol: Option<f64>,
+    /// Outermost restart-cycle budget override (must be at least 1).
+    pub max_outer_cycles: Option<usize>,
+}
+
+impl<'a> SolveOptions<'a> {
+    /// Defaults: zero initial guess, spec tolerance, spec cycle budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Warm-start from `x0` instead of the zero vector.
+    #[must_use]
+    pub fn x0(mut self, x0: &'a [f64]) -> Self {
+        self.x0 = Some(x0);
+        self
+    }
+
+    /// Override the convergence tolerance for this solve.
+    #[must_use]
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = Some(tol);
+        self
+    }
+
+    /// Override the outermost restart-cycle budget for this solve.
+    #[must_use]
+    pub fn max_outer_cycles(mut self, cycles: usize) -> Self {
+        self.max_outer_cycles = Some(cycles);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolveSession
+// ---------------------------------------------------------------------------
+
+/// Mutable per-session state: the inner-solver chain, the outer workspace
+/// and the scratch vector for true-residual convergence checks.
+struct SessionWork {
+    inner: Box<dyn InnerSolver<f64>>,
+    outer: OuterWorkspace,
+    residual: Vec<f64>,
+}
+
+/// One solve stream over a [`PreparedSolver`]: owns the mutable level
+/// workspaces, the adaptive Richardson weights and the kernel counters.
+///
+/// Sessions are `Send` (move one into a worker thread) but deliberately not
+/// shareable: concurrency is achieved by opening one session per thread over
+/// the same `Arc<PreparedSolver>`.  Workspaces (including the true-residual
+/// scratch vector) are allocated on the first solve and reused for every
+/// later solve — [`workspace_generation`](Self::workspace_generation)
+/// exposes the allocation epoch so tests can assert steady-state reuse; the
+/// only steady-state allocations left are the O(cycles) result bookkeeping
+/// each solve returns.
+pub struct SolveSession {
+    prepared: Arc<PreparedSolver>,
+    counters: Arc<KernelCounters>,
+    work: Option<SessionWork>,
+    generation: u64,
+}
+
+impl SolveSession {
+    /// The shared setup this session solves against.
+    #[must_use]
+    pub fn prepared(&self) -> &Arc<PreparedSolver> {
+        &self.prepared
+    }
+
+    /// Kernel counters of this session (reset at the start of every solve).
+    #[must_use]
+    pub fn counters(&self) -> &Arc<KernelCounters> {
+        &self.counters
+    }
+
+    /// Number of times this session has (re)allocated its workspaces: 0
+    /// before the first solve, 1 from then on.  A steady-state solve never
+    /// bumps this.
+    #[must_use]
+    pub fn workspace_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Allocate the level workspaces if this is the first solve.
+    fn ensure_work(&mut self) {
+        if self.work.is_some() {
+            return;
+        }
+        let spec = &self.prepared.spec;
+        let matrix = &self.prepared.matrix;
+        let inner: Box<dyn InnerSolver<f64>> = if spec.levels.len() == 1 {
+            Box::new(PrecondInner::<f64>::new(
+                Arc::clone(&self.prepared.precond),
+                Arc::clone(&self.counters),
+                2,
+            ))
+        } else {
+            build_child::<f64>(
+                &spec.levels[1..],
+                2,
+                matrix,
+                &self.prepared.precond,
+                &self.counters,
+            )
+        };
+        let outer_basis = spec.levels[0].basis_precision().unwrap_or(Precision::Fp64);
+        let outer = OuterWorkspace::new(outer_basis, matrix.dim(), spec.levels[0].iterations());
+        self.work = Some(SessionWork {
+            inner,
+            outer,
+            residual: vec![0.0; matrix.dim()],
+        });
+        self.generation += 1;
+    }
+
+    /// Solve `A x = b` from the zero initial guess with the spec's tolerance
+    /// and cycle budget, overwriting `x`.
+    pub fn solve(&mut self, b: &[f64], x: &mut [f64]) -> SolveResult {
+        self.solve_impl(b, x, &SolveOptions::default(), None)
+    }
+
+    /// Solve `A x = b` with per-solve overrides (warm start, tolerance,
+    /// cycle budget).
+    pub fn solve_with(&mut self, b: &[f64], x: &mut [f64], opts: &SolveOptions<'_>) -> SolveResult {
+        self.solve_impl(b, x, opts, None)
+    }
+
+    /// Solve `A x = b` while reporting progress to `observer` (which may stop
+    /// the solve early).
+    pub fn solve_observed(
+        &mut self,
+        b: &[f64],
+        x: &mut [f64],
+        opts: &SolveOptions<'_>,
+        observer: &mut dyn SolveObserver,
+    ) -> SolveResult {
+        self.solve_impl(b, x, opts, Some(observer))
+    }
+
+    /// Solve one system per right-hand side, reusing the session workspaces
+    /// across solves (after the first solve, nothing proportional to the
+    /// problem size is allocated — only the per-result bookkeeping).  Each
+    /// `xs[i]` is resized to the matrix dimension and overwritten.
+    ///
+    /// # Panics
+    /// Panics if `bs` and `xs` have different lengths.
+    pub fn solve_many<B: AsRef<[f64]>>(&mut self, bs: &[B], xs: &mut [Vec<f64>]) -> Vec<SolveResult> {
+        assert_eq!(
+            bs.len(),
+            xs.len(),
+            "solve_many: need one solution vector per right-hand side"
+        );
+        let n = self.prepared.dim();
+        bs.iter()
+            .zip(xs.iter_mut())
+            .map(|(b, x)| {
+                x.resize(n, 0.0);
+                self.solve(b.as_ref(), x)
+            })
+            .collect()
+    }
+
+    fn solve_impl(
+        &mut self,
+        b: &[f64],
+        x: &mut [f64],
+        opts: &SolveOptions<'_>,
+        mut observer: Option<&mut dyn SolveObserver>,
+    ) -> SolveResult {
+        let n = self.prepared.dim();
+        assert_eq!(b.len(), n, "solve: b length mismatch");
+        assert_eq!(x.len(), n, "solve: x length mismatch");
+        let start = Instant::now();
+        self.ensure_work();
+        self.counters.reset();
+        // Per-solve overrides must satisfy the same invariants NestedSpec::check
+        // enforces on the spec values they replace.
+        let tol = opts.tol.unwrap_or(self.prepared.spec.tol);
+        assert!(
+            !tol.is_nan() && tol > 0.0,
+            "solve: tolerance override must be positive"
+        );
+        let max_cycles = opts.max_outer_cycles.unwrap_or(self.prepared.spec.max_outer_cycles);
+        assert!(max_cycles >= 1, "solve: need at least one outer cycle");
+        let warm = match opts.x0 {
+            Some(x0) => {
+                assert_eq!(x0.len(), n, "solve: x0 length mismatch");
+                x.copy_from_slice(x0);
+                true
+            }
+            None => {
+                for xi in x.iter_mut() {
+                    *xi = 0.0;
+                }
+                false
+            }
+        };
+
+        let bnorm = blas1::norm2(b);
+        let mut history = Vec::new();
+        let mut outer_iterations = 0usize;
+        let mut stop_reason = StopReason::MaxIterations;
+        let mut converged = false;
+
+        if bnorm == 0.0 {
+            // x = 0 is the exact solution (also under a warm start).
+            for xi in x.iter_mut() {
+                *xi = 0.0;
+            }
+            converged = true;
+            stop_reason = StopReason::Converged;
+        } else {
+            let abs_tol = tol * bnorm;
+            let spec = &self.prepared.spec;
+            let work = self.work.as_mut().expect("workspaces allocated by ensure_work");
+            'outer: for cycle in 0..max_cycles {
+                let mut progress = observer.as_deref_mut().map(|obs| ProgressAdapter {
+                    observer: obs,
+                    bnorm,
+                    cycle,
+                    outer_before: outer_iterations,
+                });
+                let outcome = work.outer.run_cycle(
+                    CycleParams {
+                        matrix: &self.prepared.matrix,
+                        mat_prec: spec.levels[0].matrix_precision(),
+                        inner: work.inner.as_mut(),
+                        abs_tol: Some(abs_tol),
+                        x_nonzero: warm || cycle > 0,
+                        depth: 1,
+                        counters: &self.counters,
+                        progress: progress
+                            .as_mut()
+                            .map(|p| p as &mut dyn CycleProgress),
+                    },
+                    x,
+                    b,
+                );
+                let observer_stopped = outcome.stopped;
+                outer_iterations += outcome.iterations;
+                let true_rel =
+                    self.prepared
+                        .matrix
+                        .true_relative_residual_with(x, b, &mut work.residual);
+                history.push(true_rel);
+                if !true_rel.is_finite() {
+                    stop_reason = StopReason::Breakdown;
+                    break 'outer;
+                }
+                if true_rel < tol {
+                    converged = true;
+                    stop_reason = StopReason::Converged;
+                    break 'outer;
+                }
+                if observer_stopped {
+                    stop_reason = StopReason::Stopped;
+                    break 'outer;
+                }
+                if let Some(obs) = observer.as_deref_mut() {
+                    let event = CycleEvent {
+                        cycle,
+                        outer_iterations,
+                        true_relative_residual: true_rel,
+                    };
+                    if obs.on_cycle_complete(&event) == SolveControl::Stop {
+                        stop_reason = StopReason::Stopped;
+                        break 'outer;
+                    }
+                }
+                if outcome.breakdown && outcome.iterations == 0 {
+                    stop_reason = StopReason::Breakdown;
+                    break 'outer;
+                }
+            }
+        }
+
+        // `x` has not changed since the last in-loop residual evaluation, so
+        // reuse it instead of paying another fp64 SpMV (the zero-rhs path has
+        // no history and is exact by construction).
+        let final_rel = history.last().copied().unwrap_or(0.0);
+        SolveResult {
+            converged,
+            stop_reason,
+            outer_iterations,
+            precond_applications: self.counters.snapshot().precond_applies,
+            final_relative_residual: final_rel,
+            seconds: start.elapsed().as_secs_f64(),
+            residual_history: history,
+            counters: self.counters.snapshot(),
+            solver_name: self.prepared.spec.name.clone(),
+        }
+    }
+}
+
+impl SparseSolver for SolveSession {
+    fn solve(&mut self, b: &[f64], x: &mut [f64]) -> SolveResult {
+        SolveSession::solve(self, b, x)
+    }
+
+    fn name(&self) -> String {
+        self.prepared.spec.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f3r_sparse::gen::hpcg::hpcg_matrix;
+    use f3r_sparse::gen::laplacian::poisson2d_5pt;
+    use f3r_sparse::gen::rhs::random_rhs;
+    use f3r_sparse::scaling::jacobi_scale;
+
+    fn small_prepared() -> Arc<PreparedSolver> {
+        let a = jacobi_scale(&poisson2d_5pt(16, 16));
+        SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .levels(vec![
+                LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(5, Precision::Fp64, Precision::Fp64),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn prepared_solver_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedSolver>();
+        fn assert_send<T: Send>() {}
+        assert_send::<SolveSession>();
+    }
+
+    #[test]
+    fn builder_scheme_path_matches_f3r_spec() {
+        let a = jacobi_scale(&hpcg_matrix(4, 4, 4));
+        let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .scheme(F3rScheme::Fp16)
+            .build();
+        let reference = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &SolverSettings::default());
+        assert_eq!(prepared.spec().name, reference.name);
+        assert_eq!(prepared.spec().levels, reference.levels);
+        assert_eq!(prepared.spec().precond_prec, reference.precond_prec);
+        assert_eq!(prepared.precond().storage_precision(), Precision::Fp16);
+    }
+
+    #[test]
+    fn builder_overrides_win_over_spec() {
+        let a = jacobi_scale(&poisson2d_5pt(8, 8));
+        let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &SolverSettings::default());
+        let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .spec(spec)
+            .precond(PrecondKind::Jacobi)
+            .precond_precision(Precision::Fp64)
+            .tol(1e-6)
+            .max_outer_cycles(7)
+            .name("renamed")
+            .build();
+        let s = prepared.spec();
+        assert_eq!(s.precond, PrecondKind::Jacobi);
+        assert_eq!(s.precond_prec, Precision::Fp64);
+        assert_eq!(s.tol, 1e-6);
+        assert_eq!(s.max_outer_cycles, 7);
+        assert_eq!(s.name, "renamed");
+    }
+
+    #[test]
+    fn builder_params_with_spec_is_rejected_not_ignored() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &SolverSettings::default());
+        let err = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .spec(spec)
+            .params(F3rParams::with_inner(9, 4, 2))
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("params() only applies"));
+    }
+
+    #[test]
+    fn builder_params_drive_the_scheme_path() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .scheme(F3rScheme::Fp16)
+            .params(F3rParams::with_inner(9, 4, 2))
+            .build();
+        assert_eq!(prepared.spec().tuple_notation(), "(F100, F9, F4, R2, M)");
+    }
+
+    #[test]
+    fn builder_without_levels_errors() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let err = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("level structure"));
+    }
+
+    #[test]
+    fn builder_basis_storage_compresses_inner_levels() {
+        let a = jacobi_scale(&poisson2d_5pt(8, 8));
+        let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .levels(vec![
+                LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(5, Precision::Fp32, Precision::Fp32),
+            ])
+            .basis_storage(Precision::Fp16)
+            .build();
+        assert_eq!(prepared.spec().levels[0].basis_precision(), Some(Precision::Fp64));
+        assert_eq!(prepared.spec().levels[1].basis_precision(), Some(Precision::Fp16));
+    }
+
+    #[test]
+    fn session_solves_and_reuses_workspaces() {
+        let prepared = small_prepared();
+        let mut session = prepared.session();
+        assert_eq!(session.workspace_generation(), 0);
+        let n = prepared.dim();
+        let b = random_rhs(n, 42);
+        let mut x = vec![0.0; n];
+        let r1 = session.solve(&b, &mut x);
+        assert!(r1.converged, "{r1}");
+        assert_eq!(session.workspace_generation(), 1);
+        let r2 = session.solve(&b, &mut x);
+        assert!(r2.converged);
+        assert_eq!(session.workspace_generation(), 1);
+    }
+
+    #[test]
+    fn warm_start_from_the_solution_converges_immediately() {
+        let prepared = small_prepared();
+        let mut session = prepared.session();
+        let n = prepared.dim();
+        let b = random_rhs(n, 9);
+        let mut x = vec![0.0; n];
+        assert!(session.solve(&b, &mut x).converged);
+        // Re-solving warm-started from the converged solution takes at most
+        // one cheap cycle; the iteration count must collapse.
+        let cold_iters = session.solve(&b, &mut vec![0.0; n]).outer_iterations;
+        let x0 = x.clone();
+        let warm = session.solve_with(&b, &mut x, &SolveOptions::new().x0(&x0));
+        assert!(warm.converged);
+        assert!(
+            warm.outer_iterations < cold_iters,
+            "warm {} !< cold {}",
+            warm.outer_iterations,
+            cold_iters
+        );
+    }
+
+    #[test]
+    fn per_solve_tol_override_changes_stopping_point() {
+        let prepared = small_prepared();
+        let mut session = prepared.session();
+        let n = prepared.dim();
+        let b = random_rhs(n, 3);
+        let mut x = vec![0.0; n];
+        let loose = session.solve_with(&b, &mut x, &SolveOptions::new().tol(1e-2));
+        assert!(loose.converged);
+        let tight = session.solve(&b, &mut x);
+        assert!(tight.converged);
+        assert!(loose.outer_iterations < tight.outer_iterations);
+        assert!(loose.final_relative_residual > tight.final_relative_residual);
+    }
+
+    #[test]
+    fn observer_sees_every_outer_iteration_and_can_stop() {
+        struct Recorder {
+            events: Vec<OuterEvent>,
+            stop_after: usize,
+        }
+        impl SolveObserver for Recorder {
+            fn on_outer_iteration(&mut self, event: &OuterEvent) -> SolveControl {
+                self.events.push(*event);
+                if self.events.len() >= self.stop_after {
+                    SolveControl::Stop
+                } else {
+                    SolveControl::Continue
+                }
+            }
+        }
+        let prepared = small_prepared();
+        let mut session = prepared.session();
+        let n = prepared.dim();
+        let b = random_rhs(n, 5);
+        let mut x = vec![0.0; n];
+
+        // Unbounded observer: sees exactly the executed iterations, with
+        // monotone global numbering and shrinking residual estimates.
+        let mut all = Recorder { events: Vec::new(), stop_after: usize::MAX };
+        let full = session.solve_observed(&b, &mut x, &SolveOptions::new(), &mut all);
+        assert!(full.converged);
+        assert_eq!(all.events.len(), full.outer_iterations);
+        for (i, ev) in all.events.iter().enumerate() {
+            assert_eq!(ev.outer_iteration, i + 1);
+        }
+        assert!(all.events.last().unwrap().relative_residual_estimate < 1e-8);
+
+        // Early stop: exactly 3 events, reported as Stopped.
+        let mut early = Recorder { events: Vec::new(), stop_after: 3 };
+        let stopped = session.solve_observed(&b, &mut x, &SolveOptions::new(), &mut early);
+        assert_eq!(early.events.len(), 3);
+        assert!(!stopped.converged);
+        assert_eq!(stopped.stop_reason, StopReason::Stopped);
+        assert_eq!(stopped.outer_iterations, 3);
+    }
+
+    #[test]
+    fn observer_cycle_events_report_true_residuals() {
+        struct CycleRecorder(Vec<CycleEvent>);
+        impl SolveObserver for CycleRecorder {
+            fn on_cycle_complete(&mut self, event: &CycleEvent) -> SolveControl {
+                self.0.push(*event);
+                SolveControl::Continue
+            }
+        }
+        let a = jacobi_scale(&poisson2d_5pt(24, 24));
+        let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .levels(vec![
+                LevelSpec::fgmres(5, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(3, Precision::Fp64, Precision::Fp64),
+            ])
+            .precond(PrecondKind::Jacobi)
+            .max_outer_cycles(4)
+            .build();
+        let mut session = prepared.session();
+        let n = prepared.dim();
+        let b = random_rhs(n, 7);
+        let mut x = vec![0.0; n];
+        let mut rec = CycleRecorder(Vec::new());
+        let r = session.solve_observed(&b, &mut x, &SolveOptions::new(), &mut rec);
+        // A converging final cycle breaks before on_cycle_complete, so the
+        // recorder sees every cycle except (if it converged) the last one.
+        assert!(!rec.0.is_empty());
+        assert_eq!(
+            rec.0.len(),
+            r.residual_history.len() - usize::from(r.converged)
+        );
+        for pair in rec.0.windows(2) {
+            assert!(pair[1].true_relative_residual < pair[0].true_relative_residual);
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let prepared = small_prepared();
+        let n = prepared.dim();
+        let bs: Vec<Vec<f64>> = (0..3).map(|s| random_rhs(n, 100 + s)).collect();
+        let mut xs = vec![Vec::new(); 3];
+        let mut session = prepared.session();
+        let results = session.solve_many(&bs, &mut xs);
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert!(r.converged, "rhs {i}: {r}");
+            let mut x_ref = vec![0.0; n];
+            let mut fresh = prepared.session();
+            fresh.solve(&bs[i], &mut x_ref);
+            // A session reuses Richardson weight state across solves, so
+            // compare against the residual level rather than bitwise here
+            // (bitwise determinism is covered by the integration tests).
+            assert!(prepared.matrix().true_relative_residual(&xs[i], &bs[i]) < 1e-8);
+            assert!(prepared.matrix().true_relative_residual(&x_ref, &bs[i]) < 1e-8);
+        }
+        assert_eq!(session.workspace_generation(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance override must be positive")]
+    fn nan_tol_override_is_rejected() {
+        let prepared = small_prepared();
+        let mut session = prepared.session();
+        let n = prepared.dim();
+        let b = random_rhs(n, 1);
+        let mut x = vec![0.0; n];
+        let _ = session.solve_with(&b, &mut x, &SolveOptions::new().tol(f64::NAN));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one outer cycle")]
+    fn zero_cycle_override_is_rejected() {
+        let prepared = small_prepared();
+        let mut session = prepared.session();
+        let n = prepared.dim();
+        let b = random_rhs(n, 1);
+        let mut x = vec![0.0; n];
+        let _ = session.solve_with(&b, &mut x, &SolveOptions::new().max_outer_cycles(0));
+    }
+
+    #[test]
+    fn zero_rhs_is_trivially_converged_even_with_warm_start() {
+        let prepared = small_prepared();
+        let mut session = prepared.session();
+        let n = prepared.dim();
+        let b = vec![0.0; n];
+        let x0 = vec![1.0; n];
+        let mut x = vec![2.0; n];
+        let r = session.solve_with(&b, &mut x, &SolveOptions::new().x0(&x0));
+        assert!(r.converged);
+        assert_eq!(r.outer_iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

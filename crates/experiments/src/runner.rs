@@ -200,29 +200,30 @@ pub fn build_solver(
         tol: budget.tol,
         max_outer_cycles: budget.max_outer_cycles,
     };
+    // Nested solvers go through the session API: prepare (validates the spec
+    // and factorizes M) and open one session, which is itself a SparseSolver.
+    let nested = |spec| -> Box<dyn SparseSolver> {
+        Box::new(
+            SolverBuilder::new(Arc::clone(matrix))
+                .spec(spec)
+                .build()
+                .session(),
+        )
+    };
     match kind {
-        SolverKind::F3r { scheme, params } => Box::new(NestedSolver::new(
-            Arc::clone(matrix),
-            f3r_spec(*params, *scheme, &settings),
-        )),
+        SolverKind::F3r { scheme, params } => nested(f3r_spec(*params, *scheme, &settings)),
         SolverKind::F3rFixedWeight {
             scheme,
             params,
             omega,
-        } => Box::new(NestedSolver::new(
-            Arc::clone(matrix),
-            f3r_spec_fixed_weight(*params, *scheme, &settings, *omega),
-        )),
-        SolverKind::Variant(v) => {
-            let spec = match v {
-                VariantKind::F2 => f2_spec(&settings),
-                VariantKind::Fp16F2 => fp16_f2_spec(&settings),
-                VariantKind::F3 => f3_spec(&settings),
-                VariantKind::Fp16F3 => fp16_f3_spec(&settings),
-                VariantKind::F4 => f4_spec(&settings),
-            };
-            Box::new(NestedSolver::new(Arc::clone(matrix), spec))
-        }
+        } => nested(f3r_spec_fixed_weight(*params, *scheme, &settings, *omega)),
+        SolverKind::Variant(v) => nested(match v {
+            VariantKind::F2 => f2_spec(&settings),
+            VariantKind::Fp16F2 => fp16_f2_spec(&settings),
+            VariantKind::F3 => f3_spec(&settings),
+            VariantKind::Fp16F3 => fp16_f3_spec(&settings),
+            VariantKind::F4 => f4_spec(&settings),
+        }),
         SolverKind::Cg { precond_prec } => Box::new(CgSolver::new(
             Arc::clone(matrix),
             BaselineConfig {

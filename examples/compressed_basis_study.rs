@@ -47,15 +47,16 @@ fn main() {
     let mut baseline_basis = None;
     for storage in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
         let spec = base_spec(&format!("{}-basis", storage)).with_basis_storage(storage);
-        let mut solver = NestedSolver::new(Arc::clone(&matrix), spec);
+        let prepared = SolverBuilder::new(Arc::clone(&matrix)).spec(spec).build();
+        let mut session = prepared.session();
         let mut x = vec![0.0; n];
-        let r = solver.solve(&b, &mut x);
+        let r = session.solve(&b, &mut x);
         let basis_bytes = r.counters.basis_bytes_total();
         let base = *baseline_basis.get_or_insert(basis_bytes);
         let mib = |b: u64| b as f64 / (1u64 << 20) as f64;
         println!(
             "{:<14} {:>10} {:>12} {:>12.2e} {:>16.2} {:>16.2} {:>11.1}%",
-            solver.name(),
+            session.name(),
             r.converged,
             r.outer_iterations,
             r.final_relative_residual,

@@ -52,12 +52,13 @@ fn main() {
     );
     for spec in [reference, custom] {
         let tuple = spec.tuple_notation();
-        let mut solver = NestedSolver::new(Arc::clone(&matrix), spec);
+        let prepared = SolverBuilder::new(Arc::clone(&matrix)).spec(spec).build();
+        let mut session = prepared.session();
         let mut x = vec![0.0; n];
-        let r = solver.solve(&b, &mut x);
+        let r = session.solve(&b, &mut x);
         println!(
             "{:<26} {:>10} {:>12.3} {:>16} {:>12.2e}   {}",
-            solver.name(),
+            prepared.name(),
             r.converged,
             r.seconds,
             r.precond_applications,

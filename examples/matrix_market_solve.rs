@@ -41,15 +41,15 @@ fn main() {
     } else {
         PrecondKind::BlockJacobiIlu0 { blocks: 8, alpha: 1.0 }
     };
-    let settings = SolverSettings {
-        precond,
-        ..SolverSettings::default()
-    };
     let matrix = Arc::new(ProblemMatrix::from_csr(scaled.matrix.clone()));
-    let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+    let prepared = SolverBuilder::new(matrix)
+        .scheme(F3rScheme::Fp16)
+        .precond(precond)
+        .build();
+    let mut session = prepared.session();
 
     let mut x_hat = vec![0.0; n];
-    let result = solver.solve(&b, &mut x_hat);
+    let result = session.solve(&b, &mut x_hat);
     let x = scaled.unscale_solution(&x_hat);
 
     println!("symmetric              : {symmetric}");

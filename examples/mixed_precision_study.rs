@@ -19,10 +19,6 @@ fn main() {
     let n = a.n_rows();
     let b = random_rhs(n, 3);
     let matrix = Arc::new(ProblemMatrix::from_csr(a));
-    let settings = SolverSettings {
-        precond: PrecondKind::BlockJacobiIc0 { blocks: 8, alpha: 1.0 },
-        ..SolverSettings::default()
-    };
 
     println!(
         "{:<10} {:>10} {:>14} {:>14} {:>12} {:>12} {:>12}",
@@ -30,15 +26,18 @@ fn main() {
     );
     let mut baseline_bytes = None;
     for scheme in [F3rScheme::Fp64, F3rScheme::Fp32, F3rScheme::Fp16] {
-        let spec = f3r_spec(F3rParams::default(), scheme, &settings);
-        let mut solver = NestedSolver::new(Arc::clone(&matrix), spec);
+        let prepared = SolverBuilder::new(Arc::clone(&matrix))
+            .scheme(scheme)
+            .precond(PrecondKind::BlockJacobiIc0 { blocks: 8, alpha: 1.0 })
+            .build();
+        let mut session = prepared.session();
         let mut x = vec![0.0; n];
-        let r = solver.solve(&b, &mut x);
+        let r = session.solve(&b, &mut x);
         let bytes = r.modeled_bytes();
         baseline_bytes.get_or_insert(bytes);
         println!(
             "{:<10} {:>10} {:>14} {:>14.1} {:>11.1}% {:>11.1}% {:>11.1}%",
-            solver.name(),
+            prepared.name(),
             r.converged,
             r.precond_applications,
             bytes as f64 / (1u64 << 20) as f64,

@@ -21,23 +21,27 @@ fn main() {
     let b = random_rhs(n, 2025);
     println!("problem: HPCG {grid}x{grid}x{grid}  n = {n}, nnz = {}", a.nnz());
 
-    // 2. Configure fp16-F3R exactly as in Table 1 of the paper:
+    // 2. Prepare fp16-F3R exactly as in Table 1 of the paper:
     //    (F100, F8, F4, R2, M) with IC(0) as the primary preconditioner.
+    //    The builder runs all per-matrix setup (precision copies of A and
+    //    the IC(0) factorisation) once; sessions share it immutably.
     let matrix = Arc::new(ProblemMatrix::from_csr(a));
-    let settings = SolverSettings {
-        precond: PrecondKind::Ic0 { alpha: 1.0 },
-        tol: 1e-8,
-        max_outer_cycles: 3,
-    };
-    let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings);
-    println!("solver:  {} {}", spec.name, spec.tuple_notation());
+    let prepared = SolverBuilder::new(matrix)
+        .scheme(F3rScheme::Fp16)
+        .precond(PrecondKind::Ic0 { alpha: 1.0 })
+        .tol(1e-8)
+        .max_outer_cycles(3)
+        .build();
+    println!("solver:  {} {}", prepared.name(), prepared.spec().tuple_notation());
 
-    // 3. Solve.
-    let mut solver = NestedSolver::new(matrix, spec);
+    // 3. Solve in a session (reusable across right-hand sides).
+    let mut session = prepared.session();
     let mut x = vec![0.0; n];
-    let result = solver.solve(&b, &mut x);
+    let result = session.solve(&b, &mut x);
 
     // 4. Report.
+    println!("summary                : {result}");
+    println!("stopped because        : {}", result.stop_reason);
     println!("converged              : {}", result.converged);
     println!("true relative residual : {:.3e}", result.final_relative_residual);
     println!("outer iterations       : {}", result.outer_iterations);

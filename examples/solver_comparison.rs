@@ -23,10 +23,6 @@ fn run_all(label: &str, a: CsrMatrix<f64>, symmetric: bool) {
     } else {
         PrecondKind::BlockJacobiIlu0 { blocks: 8, alpha: 1.0 }
     };
-    let settings = SolverSettings {
-        precond,
-        ..SolverSettings::default()
-    };
     let baseline_cfg = |prec| BaselineConfig {
         precond,
         precond_prec: prec,
@@ -49,10 +45,11 @@ fn run_all(label: &str, a: CsrMatrix<f64>, symmetric: bool) {
     };
 
     for scheme in [F3rScheme::Fp64, F3rScheme::Fp32, F3rScheme::Fp16] {
-        let mut s = NestedSolver::new(
-            Arc::clone(&matrix),
-            f3r_spec(F3rParams::default(), scheme, &settings),
-        );
+        let prepared = SolverBuilder::new(Arc::clone(&matrix))
+            .scheme(scheme)
+            .precond(precond)
+            .build();
+        let mut s = prepared.session();
         let mut x = vec![0.0; n];
         let r = s.solve(&b, &mut x);
         report(s.name(), r);

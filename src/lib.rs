@@ -9,11 +9,19 @@
 //!   kernels, HPCG/HPGMP and synthetic problem generators, Matrix Market I/O,
 //! * [`precond`] — ILU(0), IC(0), block-Jacobi, Jacobi and SD-AINV-style
 //!   preconditioners with mixed-precision storage,
-//! * [`core`] — the F3R solver itself, the nested-solver framework, the
-//!   adaptive-weight Richardson sweep (Algorithm 1), the CG / BiCGStab /
-//!   FGMRES(64) baselines and the cost model.
+//! * [`core`] — the F3R solver itself, the prepared-solver session API
+//!   (`SolverBuilder` → `PreparedSolver` → `SolveSession`), the
+//!   nested-solver framework, the adaptive-weight Richardson sweep
+//!   (Algorithm 1), the CG / BiCGStab / FGMRES(64) baselines and the cost
+//!   model.
 //!
 //! ## Quickstart
+//!
+//! Setup (precision copies of `A`, preconditioner factorisation, spec
+//! validation) happens once in
+//! [`SolverBuilder::build`](f3r_core::session::SolverBuilder::build); the resulting
+//! `Arc<PreparedSolver>` hands out any number of solve sessions — share it
+//! across threads for concurrent solves over one factorisation.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -25,16 +33,18 @@
 //! let n = a.n_rows();
 //! let b = f3r::sparse::gen::random_rhs(n, 7);
 //!
-//! // Solve with fp16-F3R (the paper's default parameters).
-//! let matrix = Arc::new(ProblemMatrix::from_csr(a));
-//! let settings = SolverSettings {
-//!     precond: f3r::precond::PrecondKind::Ic0 { alpha: 1.0 },
-//!     ..SolverSettings::default()
-//! };
-//! let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+//! // Prepare fp16-F3R (the paper's default parameters) with IC(0) as M.
+//! let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+//!     .scheme(F3rScheme::Fp16)
+//!     .precond(f3r::precond::PrecondKind::Ic0 { alpha: 1.0 })
+//!     .build();
+//!
+//! // Solve in a session; repeated solves reuse all workspaces.
+//! let mut session = prepared.session();
 //! let mut x = vec![0.0; n];
-//! let result = solver.solve(&b, &mut x);
+//! let result = session.solve(&b, &mut x);
 //! assert!(result.converged && result.final_relative_residual < 1e-8);
+//! println!("{result}"); // Display: one-line summary with the stop reason
 //! ```
 
 #![warn(missing_docs)]

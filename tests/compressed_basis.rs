@@ -42,7 +42,7 @@ fn compare_storage(a: CsrMatrix<f64>, seed: u64) -> StorageComparison {
     let b = random_rhs(n, seed);
     let run = |spec: NestedSpec| {
         let name = spec.name.clone();
-        let mut solver = NestedSolver::new(Arc::clone(&pm), spec);
+        let mut solver = SolverBuilder::new(Arc::clone(&pm)).spec(spec).build().session();
         let mut x = vec![0.0; n];
         let r = solver.solve(&b, &mut x);
         assert!(
@@ -110,7 +110,7 @@ fn fp16_basis_storage_composes_with_f3r_preset() {
     };
     let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings)
         .with_basis_storage(Precision::Fp16);
-    let mut solver = NestedSolver::new(pm, spec);
+    let mut solver = SolverBuilder::new(pm).spec(spec).build().session();
     let mut x = vec![0.0; n];
     let r = solver.solve(&b, &mut x);
     assert!(r.converged, "residual {}", r.final_relative_residual);

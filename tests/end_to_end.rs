@@ -18,14 +18,14 @@ fn solve_with_scheme(a: &CsrMatrix<f64>, symmetric: bool, scheme: F3rScheme) -> 
     } else {
         PrecondKind::BlockJacobiIlu0 { blocks: 4, alpha: 1.0 }
     };
-    let settings = SolverSettings {
-        precond,
-        ..SolverSettings::default()
-    };
     let matrix = Arc::new(ProblemMatrix::from_csr(a.clone()));
-    let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), scheme, &settings));
+    let mut session = SolverBuilder::new(matrix)
+        .scheme(scheme)
+        .precond(precond)
+        .build()
+        .session();
     let mut x = vec![0.0; n];
-    let r = solver.solve(&b, &mut x);
+    let r = session.solve(&b, &mut x);
     (r, x, b)
 }
 
@@ -74,11 +74,11 @@ fn gpu_node_configuration_sd_ainv_plus_sell() {
     let n = a.n_rows();
     let b = random_rhs(n, 5);
     let matrix = Arc::new(ProblemMatrix::new(a, SpmvBackend::Sell { chunk: 32 }));
-    let settings = SolverSettings {
-        precond: PrecondKind::SdAinv { alpha: 1.0, order: 2 },
-        ..SolverSettings::default()
-    };
-    let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+    let mut solver = SolverBuilder::new(matrix)
+        .scheme(F3rScheme::Fp16)
+        .precond(PrecondKind::SdAinv { alpha: 1.0, order: 2 })
+        .build()
+        .session();
     let mut x = vec![0.0; n];
     let r = solver.solve(&b, &mut x);
     assert!(r.converged, "residual {}", r.final_relative_residual);
@@ -102,7 +102,7 @@ fn nesting_variants_of_table4_converge() {
         f4_spec(&settings),
     ] {
         let name = spec.name.clone();
-        let mut solver = NestedSolver::new(Arc::clone(&matrix), spec);
+        let mut solver = SolverBuilder::new(Arc::clone(&matrix)).spec(spec).build().session();
         let mut x = vec![0.0; n];
         let r = solver.solve(&b, &mut x);
         assert!(r.converged, "{name} failed: {}", r.final_relative_residual);
@@ -122,10 +122,10 @@ fn baselines_and_f3r_agree_on_the_solution() {
     };
 
     let mut x_f3r = vec![0.0; n];
-    let mut f3r = NestedSolver::new(
-        Arc::clone(&matrix),
-        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
-    );
+    let mut f3r = SolverBuilder::new(Arc::clone(&matrix))
+        .spec(f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings))
+        .build()
+        .session();
     assert!(f3r.solve(&b, &mut x_f3r).converged);
 
     let mut x_cg = vec![0.0; n];
@@ -150,11 +150,11 @@ fn solver_is_reusable_across_right_hand_sides() {
     let a = jacobi_scale(&hpcg_matrix(8, 8, 8));
     let n = a.n_rows();
     let matrix = Arc::new(ProblemMatrix::from_csr(a));
-    let settings = SolverSettings {
-        precond: PrecondKind::BlockJacobiIc0 { blocks: 4, alpha: 1.0 },
-        ..SolverSettings::default()
-    };
-    let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+    let mut solver = SolverBuilder::new(matrix)
+        .scheme(F3rScheme::Fp16)
+        .precond(PrecondKind::BlockJacobiIc0 { blocks: 4, alpha: 1.0 })
+        .build()
+        .session();
     for seed in 0..3 {
         let b = random_rhs(n, seed);
         let mut x = vec![0.0; n];

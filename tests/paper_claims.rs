@@ -16,14 +16,14 @@ fn f3r_result(a: &f3r::sparse::CsrMatrix<f64>, symmetric: bool, scheme: F3rSchem
     } else {
         PrecondKind::BlockJacobiIlu0 { blocks: 4, alpha: 1.0 }
     };
-    let settings = SolverSettings {
-        precond,
-        ..SolverSettings::default()
-    };
     let matrix = Arc::new(ProblemMatrix::from_csr(a.clone()));
-    let mut solver = NestedSolver::new(matrix, f3r_spec(F3rParams::default(), scheme, &settings));
+    let mut session = SolverBuilder::new(matrix)
+        .scheme(scheme)
+        .precond(precond)
+        .build()
+        .session();
     let mut x = vec![0.0; n];
-    solver.solve(&b, &mut x)
+    session.solve(&b, &mut x)
 }
 
 /// Section 5.1 / Table 3: "there is no significant difference in the
@@ -99,15 +99,12 @@ fn f3r_beats_restarted_fgmres_in_traffic() {
     let b = random_rhs(n, 9);
     let matrix = Arc::new(ProblemMatrix::from_csr(a));
     let precond = PrecondKind::BlockJacobiIlu0 { blocks: 4, alpha: 1.0 };
-    let settings = SolverSettings {
-        precond,
-        ..SolverSettings::default()
-    };
 
-    let mut f3r = NestedSolver::new(
-        Arc::clone(&matrix),
-        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
-    );
+    let mut f3r = SolverBuilder::new(Arc::clone(&matrix))
+        .scheme(F3rScheme::Fp16)
+        .precond(precond)
+        .build()
+        .session();
     let mut x = vec![0.0; n];
     let rf3r = f3r.solve(&b, &mut x);
 
@@ -156,11 +153,15 @@ fn richardson_innermost_matches_fgmres2_innermost() {
         precond: PrecondKind::Jacobi,
         ..SolverSettings::default()
     };
-    let mut f3r = NestedSolver::new(
-        Arc::clone(&matrix),
-        f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings),
-    );
-    let mut f4 = NestedSolver::new(Arc::clone(&matrix), f4_spec(&settings));
+    let mut f3r = SolverBuilder::new(Arc::clone(&matrix))
+        .scheme(F3rScheme::Fp16)
+        .precond(PrecondKind::Jacobi)
+        .build()
+        .session();
+    let mut f4 = SolverBuilder::new(Arc::clone(&matrix))
+        .spec(f4_spec(&settings))
+        .build()
+        .session();
     let mut x = vec![0.0; n];
     let r_f3r = f3r.solve(&b, &mut x);
     let mut x2 = vec![0.0; n];

@@ -426,12 +426,11 @@ fn f3r_converges_on_random_spd_systems() {
         let n = a.n_rows();
         let b = random_rhs(n, seed.wrapping_add(1));
         let matrix = Arc::new(ProblemMatrix::from_csr(a.clone()));
-        let settings = SolverSettings {
-            precond: PrecondKind::BlockJacobiIc0 { blocks: 4, alpha: 1.0 },
-            ..SolverSettings::default()
-        };
-        let mut solver =
-            NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+        let mut solver = SolverBuilder::new(matrix)
+            .scheme(F3rScheme::Fp16)
+            .precond(PrecondKind::BlockJacobiIc0 { blocks: 4, alpha: 1.0 })
+            .build()
+            .session();
         let mut x = vec![0.0; n];
         let r = solver.solve(&b, &mut x);
         assert!(r.converged, "seed {seed} residual {}", r.final_relative_residual);
@@ -454,12 +453,11 @@ fn precond_count_scales_with_outer_iterations() {
         let n = a.n_rows();
         let b = random_rhs(n, seed);
         let matrix = Arc::new(ProblemMatrix::from_csr(a));
-        let settings = SolverSettings {
-            precond: PrecondKind::Jacobi,
-            ..SolverSettings::default()
-        };
-        let mut solver =
-            NestedSolver::new(matrix, f3r_spec(F3rParams::default(), F3rScheme::Fp16, &settings));
+        let mut solver = SolverBuilder::new(matrix)
+            .scheme(F3rScheme::Fp16)
+            .precond(PrecondKind::Jacobi)
+            .build()
+            .session();
         let mut x = vec![0.0; n];
         let r = solver.solve(&b, &mut x);
         assert!(r.converged, "seed {seed}");
