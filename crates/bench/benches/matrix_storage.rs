@@ -1,0 +1,94 @@
+//! Matrix-storage sweep: CSR vs SELL × fp64/fp32/fp16 × plain vs row-scaled
+//! SpMV, with the modeled byte counters attached as throughput, so the
+//! recorded medians carry the bandwidth argument of the scaled matrix store
+//! (PR 5) even on machines where softfloat fp16 conversion dominates
+//! wall-clock.
+//!
+//! The scaled kernels stream the same narrowed values plus one `f64` scale
+//! per row and fold the scale into the accumulator once per row; on a
+//! hardware-fp16 machine they run at the plain kernel's bandwidth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use f3r_bench::BenchProblem;
+use f3r_precision::traffic::TrafficModel;
+use f3r_precision::{f16, Precision, Scalar};
+use f3r_sparse::spmv::{spmv_scaled_seq, spmv_scaled_sell_seq, spmv_seq, spmv_sell_seq};
+use f3r_sparse::{CsrMatrix, ScaledCsr, ScaledSell, SellMatrix};
+use std::hint::black_box;
+
+fn meta(_c: &mut Criterion) {
+    f3r_bench::emit_parallel_meta();
+}
+
+fn bench_storage<TA: Scalar>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    a64: &CsrMatrix<f64>,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let n = a64.n_rows();
+    let nnz = a64.nnz();
+    let p = TA::PRECISION;
+
+    let plain: CsrMatrix<TA> = a64.to_precision();
+    group.throughput(Throughput::Bytes(TrafficModel::spmv_bytes(
+        nnz,
+        n,
+        p,
+        Precision::Fp64,
+    )));
+    group.bench_function(BenchmarkId::new("csr", format!("{p}")), |b| {
+        b.iter(|| spmv_seq(black_box(&plain), black_box(x), black_box(y)))
+    });
+
+    let scaled = ScaledCsr::<TA>::from_f64(a64);
+    group.throughput(Throughput::Bytes(TrafficModel::spmv_scaled_bytes(
+        nnz,
+        n,
+        p,
+        Precision::Fp64,
+    )));
+    group.bench_function(BenchmarkId::new("csr", format!("scaled-{p}")), |b| {
+        b.iter(|| spmv_scaled_seq(black_box(&scaled), black_box(x), black_box(y)))
+    });
+
+    let sell = SellMatrix::from_csr(&plain, 32);
+    group.throughput(Throughput::Bytes(TrafficModel::spmv_bytes(
+        nnz,
+        n,
+        p,
+        Precision::Fp64,
+    )));
+    group.bench_function(BenchmarkId::new("sell32", format!("{p}")), |b| {
+        b.iter(|| spmv_sell_seq(black_box(&sell), black_box(x), black_box(y)))
+    });
+
+    let scaled_sell = ScaledSell::<TA>::from_csr_f64(a64, 32);
+    group.throughput(Throughput::Bytes(TrafficModel::spmv_scaled_bytes(
+        nnz,
+        n,
+        p,
+        Precision::Fp64,
+    )));
+    group.bench_function(BenchmarkId::new("sell32", format!("scaled-{p}")), |b| {
+        b.iter(|| spmv_scaled_sell_seq(black_box(&scaled_sell), black_box(x), black_box(y)))
+    });
+}
+
+fn bench_matrix_storage(c: &mut Criterion) {
+    let p = BenchProblem::hpcg();
+    let a64 = &p.matrix_csr;
+    let n = a64.n_rows();
+    let x: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) / 11.0).collect();
+    let mut y = vec![0.0f64; n];
+
+    let mut group = c.benchmark_group("matrix_storage");
+    group.sample_size(30);
+    bench_storage::<f64>(&mut group, a64, &x, &mut y);
+    bench_storage::<f32>(&mut group, a64, &x, &mut y);
+    bench_storage::<f16>(&mut group, a64, &x, &mut y);
+    group.finish();
+}
+
+criterion_group!(benches, meta, bench_matrix_storage);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ use f3r_sparse::blas1;
 
 use crate::baseline::BaselineConfig;
 use crate::convergence::{SolveResult, SparseSolver, StopReason};
-use crate::operator::ProblemMatrix;
+use crate::operator::{MatrixStorage, ProblemMatrix};
 use crate::precond_any::AnyPrecond;
 
 /// Right-preconditioned BiCGStab in fp64 with a mixed-precision-stored
@@ -27,8 +27,8 @@ impl BiCgStabSolver {
     #[must_use]
     pub fn new(matrix: Arc<ProblemMatrix>, config: BaselineConfig) -> Self {
         let counters = KernelCounters::new_shared();
-        let precond = Arc::new(AnyPrecond::build(
-            matrix.csr_f64(),
+        let precond = Arc::new(AnyPrecond::for_matrix(
+            &matrix,
             &config.precond,
             config.precond_prec,
         ));
@@ -100,7 +100,7 @@ impl SparseSolver for BiCgStabSolver {
                 // p_hat = M p ; v = A p_hat with (r̂, v) fused into the SpMV.
                 self.precond.apply_to(&p, &mut p_hat, &self.counters);
                 let (rhat_v, _) =
-                    self.matrix.apply_dot2(Precision::Fp64, &p_hat, &r_hat, &mut v, &self.counters);
+                    self.matrix.apply_dot2(MatrixStorage::Plain(Precision::Fp64), &p_hat, &r_hat, &mut v, &self.counters);
                 if rhat_v.abs() < f64::MIN_POSITIVE || !rhat_v.is_finite() {
                     stop_reason = StopReason::Breakdown;
                     break;
@@ -123,7 +123,7 @@ impl SparseSolver for BiCgStabSolver {
                 // the SpMV sweep — t is never re-read for the ω reductions.
                 self.precond.apply_to(&s, &mut s_hat, &self.counters);
                 let (ts, tt) =
-                    self.matrix.apply_dot2(Precision::Fp64, &s_hat, &s, &mut t, &self.counters);
+                    self.matrix.apply_dot2(MatrixStorage::Plain(Precision::Fp64), &s_hat, &s, &mut t, &self.counters);
                 if tt.abs() < f64::MIN_POSITIVE || !tt.is_finite() {
                     stop_reason = StopReason::Breakdown;
                     break;

@@ -9,7 +9,7 @@ use f3r_sparse::blas1;
 
 use crate::baseline::BaselineConfig;
 use crate::convergence::{SolveResult, SparseSolver, StopReason};
-use crate::operator::ProblemMatrix;
+use crate::operator::{MatrixStorage, ProblemMatrix};
 use crate::precond_any::AnyPrecond;
 
 /// Preconditioned CG in fp64 with a mixed-precision-stored preconditioner.
@@ -25,8 +25,8 @@ impl CgSolver {
     #[must_use]
     pub fn new(matrix: Arc<ProblemMatrix>, config: BaselineConfig) -> Self {
         let counters = KernelCounters::new_shared();
-        let precond = Arc::new(AnyPrecond::build(
-            matrix.csr_f64(),
+        let precond = Arc::new(AnyPrecond::for_matrix(
+            &matrix,
             &config.precond,
             config.precond_prec,
         ));
@@ -80,7 +80,7 @@ impl SparseSolver for CgSolver {
                 iterations = it;
                 // q = A p with (p, q) folded into the SpMV sweep.
                 let (pq, _qq) =
-                    self.matrix.apply_dot2(Precision::Fp64, &p, &p, &mut q, &self.counters);
+                    self.matrix.apply_dot2(MatrixStorage::Plain(Precision::Fp64), &p, &p, &mut q, &self.counters);
                 if !pq.is_finite() || pq.abs() < f64::MIN_POSITIVE {
                     stop_reason = StopReason::Breakdown;
                     break;

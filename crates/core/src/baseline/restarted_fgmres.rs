@@ -15,7 +15,7 @@ use crate::baseline::BaselineConfig;
 use crate::convergence::{SolveResult, SparseSolver, StopReason};
 use crate::fgmres::{fgmres_cycle, CycleParams, FgmresWorkspace};
 use crate::inner::PrecondInner;
-use crate::operator::ProblemMatrix;
+use crate::operator::{MatrixStorage, ProblemMatrix};
 use crate::precond_any::AnyPrecond;
 
 /// Restarted FGMRES(m) in fp64 with a mixed-precision-stored preconditioner.
@@ -34,8 +34,8 @@ impl RestartedFgmresSolver {
     #[must_use]
     pub fn new(matrix: Arc<ProblemMatrix>, restart: usize, config: BaselineConfig) -> Self {
         let counters = KernelCounters::new_shared();
-        let precond = Arc::new(AnyPrecond::build(
-            matrix.csr_f64(),
+        let precond = Arc::new(AnyPrecond::for_matrix(
+            &matrix,
             &config.precond,
             config.precond_prec,
         ));
@@ -86,7 +86,7 @@ impl SparseSolver for RestartedFgmresSolver {
                 let outcome = fgmres_cycle(
                     CycleParams {
                         matrix: &self.matrix,
-                        mat_prec: Precision::Fp64,
+                        mat_storage: MatrixStorage::Plain(Precision::Fp64),
                         inner: &mut inner,
                         abs_tol: Some(abs_tol),
                         x_nonzero: cycle > 0,

@@ -50,12 +50,14 @@ impl RowCosts {
 /// The estimate recursively applies Eq. 1: an FGMRES level of `m` iterations
 /// preconditioned by an inner part with traffic `t_inner` costs
 /// `cA·m + t_inner·m + (5/2)m²`; a Richardson level costs Eq. 1b.  Precision
-/// is accounted for by scaling `cA` with the level's matrix-storage precision.
+/// is accounted for by scaling `cA` with the level's matrix-storage precision
+/// (plus one word per row for the `f64` amplitude scales of *scaled*
+/// storage).
 #[must_use]
 pub fn spec_inner_traffic(spec: &NestedSpec, nnz_per_row: f64, m_nnz_per_row: f64) -> f64 {
     fn level_traffic(levels: &[LevelSpec], nnz_per_row: f64, c_m: f64) -> f64 {
         let level = levels[0];
-        let c_a = words_per_row(nnz_per_row, level.matrix_precision());
+        let c_a = level_matrix_words(&level, nnz_per_row);
         let m = level.iterations() as f64;
         match level {
             LevelSpec::Richardson { .. } => richardson_traffic(c_a, c_m, m),
@@ -77,6 +79,19 @@ pub fn spec_inner_traffic(spec: &NestedSpec, nnz_per_row: f64, m_nnz_per_row: f6
     }
 }
 
+/// Per-row words of one SpMV stream of a level's matrix variant: the
+/// precision-scaled `cA`, plus one 8-byte word per row for the amplitude
+/// scales when the variant is row-scaled.
+#[must_use]
+pub fn level_matrix_words(level: &LevelSpec, nnz_per_row: f64) -> f64 {
+    let scale_words = if level.matrix_storage().is_scaled() {
+        1.0
+    } else {
+        0.0
+    };
+    words_per_row(nnz_per_row, level.matrix_precision()) + scale_words
+}
+
 /// Total modeled traffic per outermost iteration of a nested solver: the
 /// outermost FGMRES term plus one invocation of the inner part.
 #[must_use]
@@ -86,7 +101,7 @@ pub fn spec_traffic_per_outer_iteration(
     m_nnz_per_row: f64,
 ) -> f64 {
     let outer = &spec.levels[0];
-    let c_a = words_per_row(nnz_per_row, outer.matrix_precision());
+    let c_a = level_matrix_words(outer, nnz_per_row);
     let m1 = outer.iterations() as f64;
     // One outermost iteration: one SpMV (cA), one inner invocation, and the
     // amortised Arnoldi term 2.5·m1 (from (5/2)m1² spread over m1 iterations).

@@ -10,6 +10,7 @@ use f3r_precision::Precision;
 use f3r_precond::PrecondKind;
 
 use crate::nested::{LevelSpec, NestedSpec};
+use crate::operator::MatrixStorage;
 use crate::richardson::WeightStrategy;
 
 /// Iteration counts and weight-update cycle of F3R.
@@ -136,7 +137,7 @@ pub fn f3r_spec(params: F3rParams, scheme: F3rScheme, settings: &SolverSettings)
             LevelSpec::fgmres(params.m3, l3_mat, l3_vec),
             LevelSpec::Richardson {
                 m: params.m4,
-                matrix_prec: l4_prec,
+                matrix: MatrixStorage::Plain(l4_prec),
                 vector_prec: l4_prec,
                 weight: WeightStrategy::Adaptive {
                     cycle: params.weight_cycle,

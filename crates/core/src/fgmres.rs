@@ -34,7 +34,7 @@
 //! use std::sync::Arc;
 //! use f3r_core::fgmres::{fgmres_cycle, CycleParams, FgmresWorkspace};
 //! use f3r_core::inner::PrecondInner;
-//! use f3r_core::operator::ProblemMatrix;
+//! use f3r_core::operator::{MatrixStorage, ProblemMatrix};
 //! use f3r_core::precond_any::AnyPrecond;
 //! use f3r_precision::{f16, KernelCounters, Precision};
 //! use f3r_precond::PrecondKind;
@@ -56,7 +56,7 @@
 //! let out = fgmres_cycle(
 //!     CycleParams {
 //!         matrix: &pm,
-//!         mat_prec: Precision::Fp64,
+//!         mat_storage: MatrixStorage::Plain(Precision::Fp64),
 //!         inner: &mut inner,
 //!         abs_tol: Some(1e-8),
 //!         x_nonzero: false,
@@ -82,7 +82,7 @@ use f3r_sparse::blas1;
 
 use crate::basis::CompressedBasis;
 use crate::inner::InnerSolver;
-use crate::operator::ProblemMatrix;
+use crate::operator::{MatrixStorage, ProblemMatrix};
 
 /// Workspace (Krylov basis, flexible basis, Hessenberg factorisation) reused
 /// across FGMRES cycles of fixed maximum length `m`, working in precision
@@ -179,8 +179,8 @@ pub trait CycleProgress {
 pub struct CycleParams<'a, T: Scalar> {
     /// Multi-precision coefficient matrix.
     pub matrix: &'a ProblemMatrix,
-    /// Precision of the matrix copy used for the SpMV in this cycle.
-    pub mat_prec: Precision,
+    /// Storage of the matrix variant streamed by the SpMV in this cycle.
+    pub mat_storage: MatrixStorage,
     /// Flexible preconditioner (the next nesting level).
     pub inner: &'a mut dyn InnerSolver<T>,
     /// Absolute tolerance on the residual estimate; `None` runs all `m`
@@ -212,7 +212,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
 ) -> CycleOutcome {
     let CycleParams {
         matrix,
-        mat_prec,
+        mat_storage,
         inner,
         abs_tol,
         x_nonzero,
@@ -233,7 +233,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
 
     // r0 = b - A x (skip the SpMV when the initial guess is zero).
     if x_nonzero {
-        matrix.residual(mat_prec, x, b, &mut ws.w, counters);
+        matrix.residual(mat_storage, x, b, &mut ws.w, counters);
     } else {
         ws.w.copy_from_slice(b);
     }
@@ -285,7 +285,7 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
         counters.record_blas1(T::PRECISION, TrafficModel::blas1_bytes(n, 0, 1, T::PRECISION));
         inner.apply(&ws.vj, &mut ws.zj);
         // w = A z_j
-        matrix.apply(mat_prec, &ws.zj, &mut ws.w, counters);
+        matrix.apply(mat_storage, &ws.zj, &mut ws.w, counters);
         ws.zbasis.compress_scaled(j, 1.0, &ws.zj);
         counters.record_basis_traffic(sp, 0, one_vec);
         counters.record_blas1(
@@ -441,7 +441,7 @@ fn givens(a: f64, b: f64) -> (f64, f64) {
 /// precision of its Arnoldi/flexible bases (default uncompressed, `S = T`).
 pub struct FgmresLevel<T: Scalar, S: Scalar = T> {
     matrix: Arc<ProblemMatrix>,
-    mat_prec: Precision,
+    mat_storage: MatrixStorage,
     inner: Box<dyn InnerSolver<T>>,
     ws: FgmresWorkspace<T, S>,
     depth: usize,
@@ -449,12 +449,13 @@ pub struct FgmresLevel<T: Scalar, S: Scalar = T> {
 }
 
 impl<T: Scalar, S: Scalar> FgmresLevel<T, S> {
-    /// Create an FGMRES level performing `m` iterations per invocation, using
-    /// the matrix copy stored in `mat_prec` and preconditioned by `inner`.
+    /// Create an FGMRES level performing `m` iterations per invocation,
+    /// streaming the matrix variant in `mat_storage` and preconditioned by
+    /// `inner`.
     #[must_use]
     pub fn new(
         matrix: Arc<ProblemMatrix>,
-        mat_prec: Precision,
+        mat_storage: MatrixStorage,
         m: usize,
         inner: Box<dyn InnerSolver<T>>,
         depth: usize,
@@ -463,7 +464,7 @@ impl<T: Scalar, S: Scalar> FgmresLevel<T, S> {
         let n = matrix.dim();
         Self {
             matrix,
-            mat_prec,
+            mat_storage,
             inner,
             ws: FgmresWorkspace::new(n, m),
             depth,
@@ -479,7 +480,7 @@ impl<T: Scalar, S: Scalar> InnerSolver<T> for FgmresLevel<T, S> {
         }
         let params = CycleParams {
             matrix: &self.matrix,
-            mat_prec: self.mat_prec,
+            mat_storage: self.mat_storage,
             inner: self.inner.as_mut(),
             abs_tol: None,
             x_nonzero: false,
@@ -499,7 +500,7 @@ impl<T: Scalar, S: Scalar> InnerSolver<T> for FgmresLevel<T, S> {
         format!(
             "F{}(A:{}, v:{}{}) -> {}",
             self.ws.cycle_length(),
-            self.mat_prec,
+            self.mat_storage,
             T::name(),
             basis,
             self.inner.name()
@@ -544,7 +545,7 @@ mod tests {
         let out = fgmres_cycle(
             CycleParams {
                 matrix: &pm,
-                mat_prec: Precision::Fp64,
+                mat_storage: MatrixStorage::Plain(Precision::Fp64),
                 inner: &mut inner,
                 abs_tol: Some(1e-10 * bnorm),
                 x_nonzero: false,
@@ -573,7 +574,7 @@ mod tests {
         let out = fgmres_cycle(
             CycleParams {
                 matrix: &pm,
-                mat_prec: Precision::Fp64,
+                mat_storage: MatrixStorage::Plain(Precision::Fp64),
                 inner: &mut inner,
                 abs_tol: None,
                 x_nonzero: false,
@@ -607,7 +608,7 @@ mod tests {
             let out = fgmres_cycle(
                 CycleParams {
                     matrix: &pm,
-                    mat_prec: Precision::Fp64,
+                    mat_storage: MatrixStorage::Plain(Precision::Fp64),
                     inner: &mut inner,
                     abs_tol: None,
                     x_nonzero: cycle > 0,
@@ -638,7 +639,7 @@ mod tests {
         let out = fgmres_cycle(
             CycleParams {
                 matrix: &pm,
-                mat_prec: Precision::Fp64,
+                mat_storage: MatrixStorage::Plain(Precision::Fp64),
                 inner: &mut inner,
                 abs_tol: Some(1e-10),
                 x_nonzero: false,
@@ -662,7 +663,7 @@ mod tests {
         let inner_m = PrecondInner::<f32>::new(m, Arc::clone(&counters), 3);
         let mut level = FgmresLevel::<f32>::new(
             Arc::clone(&pm),
-            Precision::Fp32,
+            MatrixStorage::Plain(Precision::Fp32),
             8,
             Box::new(inner_m),
             2,
@@ -689,7 +690,7 @@ mod tests {
         let out = fgmres_cycle(
             CycleParams {
                 matrix: &pm,
-                mat_prec: Precision::Fp64,
+                mat_storage: MatrixStorage::Plain(Precision::Fp64),
                 inner: &mut inner,
                 abs_tol: None,
                 x_nonzero: false,
@@ -752,7 +753,7 @@ mod tests {
         let inner_m = PrecondInner::<f32>::new(m, Arc::clone(&counters), 3);
         let mut level = FgmresLevel::<f32, f3r_precision::f16>::new(
             Arc::clone(&pm),
-            Precision::Fp32,
+            MatrixStorage::Plain(Precision::Fp32),
             8,
             Box::new(inner_m),
             2,

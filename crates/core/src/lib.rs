@@ -12,6 +12,13 @@
 //! * the nested-solver framework ([`nested`]): declarative [`NestedSpec`]s
 //!   built from FGMRES and Richardson levels with per-level matrix/vector
 //!   precisions (the legacy [`NestedSolver`] remains as a deprecated shim),
+//! * the demand-driven matrix store ([`operator`]): [`ProblemMatrix`] is a
+//!   lazy per-(storage, format) variant table — plain *and* row-scaled
+//!   fp64/fp32/fp16 copies in CSR or sliced-ELLPACK, materialized only when
+//!   a level streams them; pick the axis per level via the `matrix` field of
+//!   [`LevelSpec`] or spec-wide via [`NestedSpec::with_matrix_storage`]
+//!   (scaled fp16 keeps half-precision matrix streaming robust on any entry
+//!   dynamic range),
 //! * compressed Krylov-basis storage ([`basis`]): the Arnoldi and flexible
 //!   bases of every FGMRES level can be stored below the level's working
 //!   precision (one amplitude scale per vector, see
@@ -83,7 +90,7 @@ pub mod prelude {
         F3rParams, F3rScheme, SolverSettings,
     };
     pub use crate::nested::{LevelSpec, NestedSolver, NestedSpec, SpecError};
-    pub use crate::operator::{ProblemMatrix, SpmvBackend};
+    pub use crate::operator::{MatrixFormat, MatrixStorage, ProblemMatrix, SpmvBackend, VariantInfo};
     pub use crate::richardson::WeightStrategy;
     pub use crate::session::{
         CycleEvent, OuterEvent, PreparedSolver, SolveControl, SolveObserver, SolveOptions,
@@ -93,5 +100,5 @@ pub mod prelude {
 
 pub use convergence::{SolveResult, SparseSolver, StopReason};
 pub use nested::{LevelSpec, NestedSolver, NestedSpec, SpecError};
-pub use operator::{ProblemMatrix, SpmvBackend};
+pub use operator::{MatrixFormat, MatrixStorage, ProblemMatrix, SpmvBackend, VariantInfo};
 pub use session::{PreparedSolver, SolveObserver, SolveOptions, SolveSession, SolverBuilder};

@@ -20,7 +20,7 @@ use f3r_precision::{KernelCounters, Precision};
 use f3r_precond::PrecondKind;
 
 use crate::convergence::{SolveResult, SparseSolver};
-use crate::operator::ProblemMatrix;
+use crate::operator::{MatrixStorage, ProblemMatrix};
 use crate::richardson::WeightStrategy;
 use crate::session::{PreparedSolver, SolveSession, SolverBuilder};
 
@@ -31,8 +31,9 @@ pub enum LevelSpec {
     Fgmres {
         /// Iterations per invocation.
         m: usize,
-        /// Precision of the matrix copy used by this level's SpMV.
-        matrix_prec: Precision,
+        /// How the matrix variant streamed by this level's SpMV is stored:
+        /// precision plus plain/row-scaled (see [`MatrixStorage`]).
+        matrix: MatrixStorage,
         /// Working (vector) precision of this level.
         vector_prec: Precision,
         /// Storage precision of the Arnoldi/flexible bases (compressed with
@@ -45,8 +46,8 @@ pub enum LevelSpec {
     Richardson {
         /// Sweeps per invocation.
         m: usize,
-        /// Precision of the matrix copy used by this level's SpMV.
-        matrix_prec: Precision,
+        /// How the matrix variant streamed by this level's SpMV is stored.
+        matrix: MatrixStorage,
         /// Working (vector) precision of this level.
         vector_prec: Precision,
         /// Weight strategy (adaptive Algorithm 1 or fixed).
@@ -55,13 +56,20 @@ pub enum LevelSpec {
 }
 
 impl LevelSpec {
-    /// An FGMRES level with classic uncompressed basis storage
-    /// (`basis_prec = vector_prec`).
+    /// An FGMRES level with unscaled matrix storage in `matrix_prec` and
+    /// classic uncompressed basis storage (`basis_prec = vector_prec`).
     #[must_use]
     pub fn fgmres(m: usize, matrix_prec: Precision, vector_prec: Precision) -> Self {
+        Self::fgmres_stored(m, MatrixStorage::Plain(matrix_prec), vector_prec)
+    }
+
+    /// An FGMRES level with an explicit [`MatrixStorage`] (uncompressed
+    /// basis storage).
+    #[must_use]
+    pub fn fgmres_stored(m: usize, matrix: MatrixStorage, vector_prec: Precision) -> Self {
         LevelSpec::Fgmres {
             m,
-            matrix_prec,
+            matrix,
             vector_prec,
             basis_prec: vector_prec,
         }
@@ -87,14 +95,19 @@ impl LevelSpec {
         }
     }
 
+    /// The matrix storage configuration of the level (precision plus
+    /// plain/scaled).
+    #[must_use]
+    pub fn matrix_storage(&self) -> MatrixStorage {
+        match *self {
+            LevelSpec::Fgmres { matrix, .. } | LevelSpec::Richardson { matrix, .. } => matrix,
+        }
+    }
+
     /// The matrix-storage precision of the level.
     #[must_use]
     pub fn matrix_precision(&self) -> Precision {
-        match *self {
-            LevelSpec::Fgmres { matrix_prec, .. } | LevelSpec::Richardson { matrix_prec, .. } => {
-                matrix_prec
-            }
-        }
+        self.matrix_storage().precision()
     }
 
     /// Iterations per invocation.
@@ -198,6 +211,15 @@ impl NestedSpec {
                     ));
                 }
             }
+            if level.matrix_precision() > level.vector_precision() {
+                // A matrix stored wider than the vectors it multiplies buys
+                // no accuracy (products round to the working precision) while
+                // paying the wide storage's bandwidth — reject it like a
+                // too-wide basis.
+                return Err(SpecError::new(
+                    "matrix storage precision must not exceed the working precision",
+                ));
+            }
             if level.iterations() < 1 {
                 return Err(SpecError::new("every level needs at least one iteration"));
             }
@@ -261,6 +283,40 @@ impl NestedSpec {
             {
                 *basis_prec = p.min(*vector_prec);
             }
+        }
+        self
+    }
+
+    /// Store the matrix variant streamed by every *inner* level as `storage`
+    /// (clamped per level so the storage precision never exceeds the level's
+    /// working precision, preserving the plain/scaled flag), making matrix
+    /// storage the same first-class axis the basis already is.
+    ///
+    /// The outermost level keeps its own storage (fp64 by default): its SpMV
+    /// feeds the convergence-driving residual, so narrowing it would cap the
+    /// attainable accuracy at the storage roundoff.  Inner levels act as
+    /// flexible preconditioners — a perturbed matrix only perturbs the
+    /// preconditioner.  Callers who want a reduced outermost matrix can set
+    /// the `matrix` field of [`LevelSpec::Fgmres`] directly.
+    #[must_use]
+    pub fn with_matrix_storage(mut self, storage: MatrixStorage) -> Self {
+        for level in self.levels.iter_mut().skip(1) {
+            let (LevelSpec::Fgmres {
+                matrix,
+                vector_prec,
+                ..
+            }
+            | LevelSpec::Richardson {
+                matrix,
+                vector_prec,
+                ..
+            }) = level;
+            let p = storage.precision().min(*vector_prec);
+            *matrix = if storage.is_scaled() {
+                MatrixStorage::Scaled(p)
+            } else {
+                MatrixStorage::Plain(p)
+            };
         }
         self
     }
@@ -382,7 +438,7 @@ mod tests {
                 LevelSpec::fgmres(4, Precision::Fp16, Precision::Fp32),
                 LevelSpec::Richardson {
                     m: 2,
-                    matrix_prec: Precision::Fp16,
+                    matrix: MatrixStorage::Plain(Precision::Fp16),
                     vector_prec: Precision::Fp16,
                     weight: WeightStrategy::Adaptive { cycle: 64 },
                 },
@@ -432,7 +488,7 @@ mod tests {
                 LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
                 LevelSpec::Fgmres {
                     m: 4,
-                    matrix_prec: Precision::Fp16,
+                    matrix: MatrixStorage::Plain(Precision::Fp16),
                     vector_prec: Precision::Fp16,
                     basis_prec: Precision::Fp32,
                 },
@@ -481,6 +537,108 @@ mod tests {
         assert!(fp64 > 0);
         assert!(fp16 > fp64, "inner basis traffic should dominate: {fp16} vs {fp64}");
         assert_eq!(r.counters.basis_bytes_total(), fp16 + fp64);
+    }
+
+    #[test]
+    fn with_matrix_storage_rewrites_inner_levels_only() {
+        let spec = NestedSpec {
+            levels: vec![
+                LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(20, Precision::Fp32, Precision::Fp32),
+                LevelSpec::Richardson {
+                    m: 2,
+                    matrix: MatrixStorage::Plain(Precision::Fp16),
+                    vector_prec: Precision::Fp16,
+                    weight: WeightStrategy::Fixed(1.0),
+                },
+            ],
+            precond: PrecondKind::Jacobi,
+            precond_prec: Precision::Fp64,
+            tol: 1e-8,
+            max_outer_cycles: 3,
+            name: "storage".to_string(),
+        }
+        .with_matrix_storage(MatrixStorage::Scaled(Precision::Fp16));
+        // Outermost keeps its fp64 stream; inner levels get scaled fp16,
+        // clamped to each level's working precision (no clamping needed
+        // here: fp16 ≤ fp32 and fp16 ≤ fp16).
+        assert_eq!(
+            spec.levels[0].matrix_storage(),
+            MatrixStorage::Plain(Precision::Fp64)
+        );
+        assert_eq!(
+            spec.levels[1].matrix_storage(),
+            MatrixStorage::Scaled(Precision::Fp16)
+        );
+        assert_eq!(
+            spec.levels[2].matrix_storage(),
+            MatrixStorage::Scaled(Precision::Fp16)
+        );
+        spec.validate();
+
+        // Clamping: requesting scaled fp32 on an fp16-vector level yields
+        // scaled fp16, never a storage wider than the working precision.
+        let clamped = NestedSpec {
+            levels: vec![
+                LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(4, Precision::Fp16, Precision::Fp16),
+            ],
+            precond: PrecondKind::Jacobi,
+            precond_prec: Precision::Fp64,
+            tol: 1e-8,
+            max_outer_cycles: 3,
+            name: "clamp".to_string(),
+        }
+        .with_matrix_storage(MatrixStorage::Scaled(Precision::Fp32));
+        assert_eq!(
+            clamped.levels[1].matrix_storage(),
+            MatrixStorage::Scaled(Precision::Fp16)
+        );
+        clamped.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix storage precision must not exceed")]
+    fn matrix_wider_than_vectors_is_rejected() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let spec = simple_spec(
+            "bad-matrix",
+            vec![
+                LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(4, Precision::Fp64, Precision::Fp32),
+            ],
+        );
+        let _ = SolverBuilder::new(pm).spec(spec).build();
+    }
+
+    #[test]
+    fn prepared_solver_materializes_only_the_spec_variants() {
+        use crate::operator::MatrixFormat;
+        let a = jacobi_scale(&poisson2d_5pt(8, 8));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        // f64 + f32 levels: no fp16 variant may be materialized.
+        let spec = simple_spec(
+            "no-fp16",
+            vec![
+                LevelSpec::fgmres(20, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(5, Precision::Fp32, Precision::Fp32),
+            ],
+        );
+        let prepared = SolverBuilder::new(Arc::clone(&pm)).spec(spec).build();
+        let n = pm.dim();
+        let b = random_rhs(n, 3);
+        let mut x = vec![0.0; n];
+        assert!(prepared.session().solve(&b, &mut x).converged);
+        let variants = pm.materialized_variants();
+        assert!(
+            variants
+                .iter()
+                .all(|v| v.storage.precision() != Precision::Fp16),
+            "no level streams fp16, so the store must hold no fp16 variant: {variants:?}"
+        );
+        assert!(pm.is_materialized(MatrixStorage::Plain(Precision::Fp32), MatrixFormat::Csr));
+        assert_eq!(variants.len(), 2);
     }
 
     #[test]
@@ -560,7 +718,7 @@ mod tests {
                 LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
                 LevelSpec::Richardson {
                     m: 2,
-                    matrix_prec: Precision::Fp64,
+                    matrix: MatrixStorage::Plain(Precision::Fp64),
                     vector_prec: Precision::Fp64,
                     weight: WeightStrategy::Fixed(1.0),
                 },

@@ -1,19 +1,40 @@
-//! The multi-precision coefficient-matrix handle shared by all solver levels.
+//! The demand-driven multi-precision coefficient-matrix store shared by all
+//! solver levels.
 //!
-//! F3R stores the coefficient matrix `A` in up to three precisions at once
+//! F3R consumes the coefficient matrix `A` in up to three precisions at once
 //! (Table 1: fp64 for the outermost FGMRES, fp32 for `F^m2`, fp16 for `F^m3`
-//! and the Richardson part).  [`ProblemMatrix`] owns those copies, knows which
-//! SpMV backend to use (CSR for the CPU-node configuration, sliced ELLPACK
-//! for the GPU-node configuration of Section 5.2) and records every product
-//! in the shared [`KernelCounters`].
+//! and the Richardson part).  Historically [`ProblemMatrix`] eagerly built
+//! every precision copy (and, on the SELL backend, every SELL copy) whether
+//! or not any level used them.  It is now a **lazy variant table**: the fp64
+//! CSR base is the only copy built up front, and every other
+//! ([`MatrixStorage`], [`MatrixFormat`]) variant is materialized behind a
+//! `OnceLock` the first time a level applies it — `PreparedSolver` setup
+//! faults in exactly the variants its validated spec names, and anything
+//! else (a per-solve override, a diagnostic) can still fault in later.
+//!
+//! Besides the plain precision copies, the table holds **scaled** variants
+//! ([`f3r_sparse::ScaledCsr`] / [`f3r_sparse::ScaledSell`]): row-normalised
+//! values with one power-of-two `f64` amplitude scale per row, mirroring the
+//! compressed Krylov basis convention.  Scaled fp16 storage survives any
+//! entry dynamic range, where an unscaled fp16 copy of a general Matrix
+//! Market input silently overflows to ±∞ (see
+//! [`f3r_sparse::EntryRangeStats`]).
+//!
+//! Every product records its traffic in the shared [`KernelCounters`],
+//! including the per-storage-precision matrix-stream attribution
+//! ([`KernelCounters::record_matrix_traffic`]).
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use f3r_precision::{f16, KernelCounters, Precision, Scalar};
 use f3r_precision::traffic::TrafficModel;
 use f3r_sparse::blas1;
-use f3r_sparse::spmv::{spmv, spmv_dot2, spmv_residual, spmv_sell};
-use f3r_sparse::{CsrMatrix, SellMatrix};
+use f3r_sparse::spmv::{
+    spmv, spmv_dot2, spmv_residual, spmv_scaled, spmv_scaled_dot2, spmv_scaled_residual,
+    spmv_scaled_sell, spmv_sell,
+};
+use f3r_sparse::{CsrMatrix, ScaledCsr, ScaledSell, SellMatrix};
 
 /// Which sparse matrix–vector kernel the solvers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,22 +51,186 @@ pub enum SpmvBackend {
     },
 }
 
+/// How a solver level stores (and streams) the coefficient matrix: the
+/// storage *precision* plus whether the values are kept under per-row
+/// power-of-two amplitude scales.
+///
+/// This is the matrix-side sibling of the basis storage precision axis:
+/// `Plain(p)` is the classic direct conversion of every entry into `p`
+/// (identical to the historical precision copies), `Scaled(p)` stores
+/// row-normalised values (`|stored| ≤ 1`) plus one `f64` scale per row —
+/// bit-lossless when `p` is fp64, and robust to any entry dynamic range when
+/// `p` is narrower.  Validation rejects storage wider than a level's working
+/// precision, exactly like the basis axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatrixStorage {
+    /// Directly converted values in the given precision (unscaled).
+    Plain(Precision),
+    /// Row-scaled values in the given precision plus per-row `f64`
+    /// power-of-two amplitude scales.
+    Scaled(Precision),
+}
 
-/// Multi-precision copies of the coefficient matrix plus the SpMV backend.
+impl MatrixStorage {
+    /// The precision the matrix values are stored in.
+    #[must_use]
+    pub fn precision(self) -> Precision {
+        match self {
+            MatrixStorage::Plain(p) | MatrixStorage::Scaled(p) => p,
+        }
+    }
+
+    /// Whether the values are kept under per-row amplitude scales.
+    #[must_use]
+    pub fn is_scaled(self) -> bool {
+        matches!(self, MatrixStorage::Scaled(_))
+    }
+
+    /// All six storage configurations (used by accounting and benches).
+    #[must_use]
+    pub fn all() -> [MatrixStorage; 6] {
+        [
+            MatrixStorage::Plain(Precision::Fp16),
+            MatrixStorage::Plain(Precision::Fp32),
+            MatrixStorage::Plain(Precision::Fp64),
+            MatrixStorage::Scaled(Precision::Fp16),
+            MatrixStorage::Scaled(Precision::Fp32),
+            MatrixStorage::Scaled(Precision::Fp64),
+        ]
+    }
+
+    fn index(self) -> usize {
+        let p = match self.precision() {
+            Precision::Fp16 => 0,
+            Precision::Fp32 => 1,
+            Precision::Fp64 => 2,
+        };
+        p + if self.is_scaled() { 3 } else { 0 }
+    }
+}
+
+impl fmt::Display for MatrixStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixStorage::Plain(p) => write!(f, "{p}"),
+            MatrixStorage::Scaled(p) => write!(f, "scaled-{p}"),
+        }
+    }
+}
+
+/// The sparse layout of one stored matrix variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatrixFormat {
+    /// Compressed sparse row.
+    Csr,
+    /// Sliced ELLPACK (the chunk size is fixed per [`ProblemMatrix`] by its
+    /// [`SpmvBackend`]).
+    Sell,
+}
+
+impl fmt::Display for MatrixFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixFormat::Csr => f.write_str("csr"),
+            MatrixFormat::Sell => f.write_str("sell"),
+        }
+    }
+}
+
+/// One materialized matrix variant, reported by
+/// [`ProblemMatrix::materialized_variants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantInfo {
+    /// The storage configuration of the variant.
+    pub storage: MatrixStorage,
+    /// The sparse layout of the variant.
+    pub format: MatrixFormat,
+    /// Bytes held by the variant (values + indices + bookkeeping + row
+    /// scales for scaled storage).
+    pub bytes: u64,
+}
+
+/// One entry of the lazy variant table.
+enum MatrixVariant {
+    Csr64(Arc<CsrMatrix<f64>>),
+    Csr32(Arc<CsrMatrix<f32>>),
+    Csr16(Arc<CsrMatrix<f16>>),
+    Sell64(Arc<SellMatrix<f64>>),
+    Sell32(Arc<SellMatrix<f32>>),
+    Sell16(Arc<SellMatrix<f16>>),
+    ScaledCsr64(Arc<ScaledCsr<f64>>),
+    ScaledCsr32(Arc<ScaledCsr<f32>>),
+    ScaledCsr16(Arc<ScaledCsr<f16>>),
+    ScaledSell64(Arc<ScaledSell<f64>>),
+    ScaledSell32(Arc<ScaledSell<f32>>),
+    ScaledSell16(Arc<ScaledSell<f16>>),
+}
+
+/// Dispatch over the four kernel families of a [`MatrixVariant`]; each arm
+/// is written once, generically over the value precision.
+macro_rules! with_variant {
+    ($variant:expr,
+     |$c:ident| $csr:expr,
+     |$s:ident| $sell:expr,
+     |$sc:ident| $scaled_csr:expr,
+     |$ss:ident| $scaled_sell:expr $(,)?) => {
+        match $variant {
+            MatrixVariant::Csr64($c) => $csr,
+            MatrixVariant::Csr32($c) => $csr,
+            MatrixVariant::Csr16($c) => $csr,
+            MatrixVariant::Sell64($s) => $sell,
+            MatrixVariant::Sell32($s) => $sell,
+            MatrixVariant::Sell16($s) => $sell,
+            MatrixVariant::ScaledCsr64($sc) => $scaled_csr,
+            MatrixVariant::ScaledCsr32($sc) => $scaled_csr,
+            MatrixVariant::ScaledCsr16($sc) => $scaled_csr,
+            MatrixVariant::ScaledSell64($ss) => $scaled_sell,
+            MatrixVariant::ScaledSell32($ss) => $scaled_sell,
+            MatrixVariant::ScaledSell16($ss) => $scaled_sell,
+        }
+    };
+}
+
+impl MatrixVariant {
+    fn bytes(&self) -> u64 {
+        with_variant!(self,
+            |c| c.storage_bytes(),
+            |s| s.storage_bytes(),
+            |sc| sc.storage_bytes(),
+            |ss| ss.storage_bytes(),
+        )
+    }
+}
+
+/// Number of ([`MatrixStorage`], [`MatrixFormat`]) slots in the table.
+const VARIANT_SLOTS: usize = 12;
+
+fn slot(storage: MatrixStorage, format: MatrixFormat) -> usize {
+    storage.index() * 2
+        + match format {
+            MatrixFormat::Csr => 0,
+            MatrixFormat::Sell => 1,
+        }
+}
+
+/// Demand-driven multi-precision/multi-format store of the coefficient
+/// matrix plus the SpMV backend.
+///
+/// The fp64 CSR base (used by result verification, the baselines and
+/// preconditioner construction) is always materialized; every other variant
+/// is built on first use — see the [module docs](self).
 pub struct ProblemMatrix {
-    csr64: Arc<CsrMatrix<f64>>,
-    csr32: Arc<CsrMatrix<f32>>,
-    csr16: Arc<CsrMatrix<f16>>,
-    sell64: Option<Arc<SellMatrix<f64>>>,
-    sell32: Option<Arc<SellMatrix<f32>>>,
-    sell16: Option<Arc<SellMatrix<f16>>>,
+    base: Arc<CsrMatrix<f64>>,
+    variants: [OnceLock<MatrixVariant>; VARIANT_SLOTS],
     backend: SpmvBackend,
     n: usize,
     nnz: usize,
 }
 
 impl ProblemMatrix {
-    /// Build all precision copies of `a` for the given backend.
+    /// Wrap `a` as the store's fp64 base for the given backend.  No other
+    /// precision or format variant is built here; they materialize on first
+    /// use (or through [`materialize`](Self::materialize) at solver setup).
     ///
     /// # Panics
     /// Panics if `a` is not square.
@@ -54,24 +239,16 @@ impl ProblemMatrix {
         assert!(a.is_square(), "solvers require a square matrix");
         let n = a.n_rows();
         let nnz = a.nnz();
-        let csr32 = Arc::new(a.to_precision::<f32>());
-        let csr16 = Arc::new(a.to_precision::<f16>());
-        let csr64 = Arc::new(a);
-        let (sell64, sell32, sell16) = match backend {
-            SpmvBackend::Csr => (None, None, None),
-            SpmvBackend::Sell { chunk } => (
-                Some(Arc::new(SellMatrix::from_csr(&csr64, chunk))),
-                Some(Arc::new(SellMatrix::from_csr(&csr32, chunk))),
-                Some(Arc::new(SellMatrix::from_csr(&csr16, chunk))),
-            ),
-        };
+        let base = Arc::new(a);
+        let variants: [OnceLock<MatrixVariant>; VARIANT_SLOTS] = Default::default();
+        // The base is a table entry like any other, pre-seeded so accounting
+        // always reports it.
+        variants[slot(MatrixStorage::Plain(Precision::Fp64), MatrixFormat::Csr)]
+            .set(MatrixVariant::Csr64(Arc::clone(&base)))
+            .unwrap_or_else(|_| unreachable!("fresh table"));
         Self {
-            csr64,
-            csr32,
-            csr16,
-            sell64,
-            sell32,
-            sell16,
+            base,
+            variants,
             backend,
             n,
             nnz,
@@ -102,45 +279,155 @@ impl ProblemMatrix {
         self.backend
     }
 
-    /// The fp64 CSR copy (used by result verification and the baselines).
+    /// The sparse format the backend streams for solver-level products.
+    #[must_use]
+    pub fn backend_format(&self) -> MatrixFormat {
+        match self.backend {
+            SpmvBackend::Csr => MatrixFormat::Csr,
+            SpmvBackend::Sell { .. } => MatrixFormat::Sell,
+        }
+    }
+
+    /// The fp64 CSR base (used by result verification, the baselines and
+    /// preconditioner construction).
     #[must_use]
     pub fn csr_f64(&self) -> &Arc<CsrMatrix<f64>> {
-        &self.csr64
+        &self.base
     }
 
-    /// Total bytes of matrix storage across all precision copies.
+    /// Build (or fetch) the variant for `storage` in the backend's format.
+    fn variant(&self, storage: MatrixStorage) -> &MatrixVariant {
+        let format = self.backend_format();
+        self.variants[slot(storage, format)].get_or_init(|| self.build_variant(storage, format))
+    }
+
+    fn build_variant(&self, storage: MatrixStorage, format: MatrixFormat) -> MatrixVariant {
+        let chunk = match self.backend {
+            SpmvBackend::Csr => 0,
+            SpmvBackend::Sell { chunk } => chunk,
+        };
+        match (format, storage) {
+            (MatrixFormat::Csr, MatrixStorage::Plain(p)) => match p {
+                // The fp64 CSR slot is pre-seeded with the base; this arm only
+                // runs for a table rebuilt without it (which cannot happen),
+                // so cloning the Arc keeps it cheap regardless.
+                Precision::Fp64 => MatrixVariant::Csr64(Arc::clone(&self.base)),
+                Precision::Fp32 => MatrixVariant::Csr32(Arc::new(self.base.to_precision())),
+                Precision::Fp16 => MatrixVariant::Csr16(Arc::new(self.base.to_precision())),
+            },
+            (MatrixFormat::Csr, MatrixStorage::Scaled(p)) => match p {
+                Precision::Fp64 => MatrixVariant::ScaledCsr64(Arc::new(ScaledCsr::from_f64(&self.base))),
+                Precision::Fp32 => MatrixVariant::ScaledCsr32(Arc::new(ScaledCsr::from_f64(&self.base))),
+                Precision::Fp16 => MatrixVariant::ScaledCsr16(Arc::new(ScaledCsr::from_f64(&self.base))),
+            },
+            (MatrixFormat::Sell, MatrixStorage::Plain(p)) => match p {
+                // The narrowed CSR copy is a transient: only the SELL layout
+                // is kept.
+                Precision::Fp64 => {
+                    MatrixVariant::Sell64(Arc::new(SellMatrix::from_csr(&self.base, chunk)))
+                }
+                Precision::Fp32 => MatrixVariant::Sell32(Arc::new(SellMatrix::from_csr(
+                    &self.base.to_precision::<f32>(),
+                    chunk,
+                ))),
+                Precision::Fp16 => MatrixVariant::Sell16(Arc::new(SellMatrix::from_csr(
+                    &self.base.to_precision::<f16>(),
+                    chunk,
+                ))),
+            },
+            (MatrixFormat::Sell, MatrixStorage::Scaled(p)) => match p {
+                Precision::Fp64 => {
+                    MatrixVariant::ScaledSell64(Arc::new(ScaledSell::from_csr_f64(&self.base, chunk)))
+                }
+                Precision::Fp32 => {
+                    MatrixVariant::ScaledSell32(Arc::new(ScaledSell::from_csr_f64(&self.base, chunk)))
+                }
+                Precision::Fp16 => {
+                    MatrixVariant::ScaledSell16(Arc::new(ScaledSell::from_csr_f64(&self.base, chunk)))
+                }
+            },
+        }
+    }
+
+    /// Eagerly materialize the variant a level with this storage would use
+    /// (called by `PreparedSolver` setup for every level of a validated
+    /// spec, so sessions never pay conversion cost mid-solve).
+    pub fn materialize(&self, storage: MatrixStorage) {
+        let _ = self.variant(storage);
+    }
+
+    /// Whether the variant for `storage` (in the given format) has been
+    /// materialized.
+    #[must_use]
+    pub fn is_materialized(&self, storage: MatrixStorage, format: MatrixFormat) -> bool {
+        self.variants[slot(storage, format)].get().is_some()
+    }
+
+    /// Every materialized variant with its storage key and byte footprint —
+    /// the store's accounting, always including the fp64 CSR base.
+    #[must_use]
+    pub fn materialized_variants(&self) -> Vec<VariantInfo> {
+        let mut out = Vec::new();
+        for storage in MatrixStorage::all() {
+            for format in [MatrixFormat::Csr, MatrixFormat::Sell] {
+                if let Some(v) = self.variants[slot(storage, format)].get() {
+                    out.push(VariantInfo {
+                        storage,
+                        format,
+                        bytes: v.bytes(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total bytes of *actually materialized* matrix storage.
+    ///
+    /// Under the lazy store this reflects what the spec's level chain faulted
+    /// in — a fresh matrix reports only the fp64 base, and a solver whose
+    /// levels use fp64+fp32 pays for no fp16 copy (historically this reported
+    /// the eager worst case of all three CSR precisions regardless of use).
     #[must_use]
     pub fn storage_bytes(&self) -> u64 {
-        self.csr64.storage_bytes() + self.csr32.storage_bytes() + self.csr16.storage_bytes()
+        self.materialized_variants().iter().map(|v| v.bytes).sum()
     }
 
-    /// Compute `y = A x` using the copy of `A` stored in `mat_prec`, with
+    /// Record the SpMV traffic of one product against `storage` with vectors
+    /// in `v`, including the per-storage-precision matrix-stream attribution.
+    fn record_apply_traffic(&self, storage: MatrixStorage, v: Precision, counters: &KernelCounters) {
+        let p = storage.precision();
+        let (total, matrix_stream) = if storage.is_scaled() {
+            (
+                TrafficModel::spmv_scaled_bytes(self.nnz, self.n, p, v),
+                TrafficModel::scaled_matrix_stream_bytes(self.nnz, self.n, p),
+            )
+        } else {
+            (
+                TrafficModel::spmv_bytes(self.nnz, self.n, p, v),
+                TrafficModel::matrix_stream_bytes(self.nnz, self.n, p),
+            )
+        };
+        counters.record_spmv(p, total);
+        counters.record_matrix_traffic(p, matrix_stream);
+    }
+
+    /// Compute `y = A x` streaming the variant selected by `storage`, with
     /// vectors in precision `TV`, recording the product in `counters`.
     pub fn apply<TV: Scalar>(
         &self,
-        mat_prec: Precision,
+        storage: MatrixStorage,
         x: &[TV],
         y: &mut [TV],
         counters: &KernelCounters,
     ) {
-        counters.record_spmv(
-            mat_prec,
-            TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
+        self.record_apply_traffic(storage, TV::PRECISION, counters);
+        with_variant!(self.variant(storage),
+            |c| spmv(c, x, y),
+            |s| spmv_sell(s, x, y),
+            |sc| spmv_scaled(sc, x, y),
+            |ss| spmv_scaled_sell(ss, x, y),
         );
-        match (self.backend, mat_prec) {
-            (SpmvBackend::Csr, Precision::Fp64) => spmv(&self.csr64, x, y),
-            (SpmvBackend::Csr, Precision::Fp32) => spmv(&self.csr32, x, y),
-            (SpmvBackend::Csr, Precision::Fp16) => spmv(&self.csr16, x, y),
-            (SpmvBackend::Sell { .. }, Precision::Fp64) => {
-                spmv_sell(self.sell64.as_ref().expect("sell64 built"), x, y);
-            }
-            (SpmvBackend::Sell { .. }, Precision::Fp32) => {
-                spmv_sell(self.sell32.as_ref().expect("sell32 built"), x, y);
-            }
-            (SpmvBackend::Sell { .. }, Precision::Fp16) => {
-                spmv_sell(self.sell16.as_ref().expect("sell16 built"), x, y);
-            }
-        }
     }
 
     /// Compute `y = A x` and, in the same sweep, the two dot products
@@ -148,73 +435,59 @@ impl ProblemMatrix {
     /// `(t, s)/(t, t)` and the adaptive Richardson weight.
     ///
     /// With the CSR backend the dots are fused into the SpMV kernel
-    /// ([`spmv_dot2`]); the SELL backend falls back to the SpMV followed by
-    /// the one-pass [`blas1::dot_with_sqnorm`].
+    /// ([`spmv_dot2`] / [`spmv_scaled_dot2`]); the SELL backend falls back to
+    /// the SpMV followed by the one-pass [`blas1::dot_with_sqnorm`].
     pub fn apply_dot2<TV: Scalar>(
         &self,
-        mat_prec: Precision,
+        storage: MatrixStorage,
         x: &[TV],
         u: &[TV],
         y: &mut [TV],
         counters: &KernelCounters,
     ) -> (f64, f64) {
-        counters.record_spmv(
-            mat_prec,
-            TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
-        );
-        match (self.backend, mat_prec) {
-            (SpmvBackend::Csr, Precision::Fp64) | (SpmvBackend::Csr, Precision::Fp32)
-            | (SpmvBackend::Csr, Precision::Fp16) => {
-                // The fused sweep reads `u` once on top of the SpMV traffic.
-                counters.record_blas1(
-                    TV::PRECISION,
-                    TrafficModel::blas1_bytes(self.n, 1, 0, TV::PRECISION),
-                );
-            }
-            (SpmvBackend::Sell { .. }, _) => {
-                // The SELL fallback runs a second pass reading y and u.
-                counters.record_blas1(
-                    TV::PRECISION,
-                    TrafficModel::blas1_bytes(self.n, 2, 0, TV::PRECISION),
-                );
-            }
+        self.record_apply_traffic(storage, TV::PRECISION, counters);
+        match self.backend {
+            // The fused sweep reads `u` once on top of the SpMV traffic.
+            SpmvBackend::Csr => counters.record_blas1(
+                TV::PRECISION,
+                TrafficModel::blas1_bytes(self.n, 1, 0, TV::PRECISION),
+            ),
+            // The SELL fallback runs a second pass reading y and u.
+            SpmvBackend::Sell { .. } => counters.record_blas1(
+                TV::PRECISION,
+                TrafficModel::blas1_bytes(self.n, 2, 0, TV::PRECISION),
+            ),
         }
-        match (self.backend, mat_prec) {
-            (SpmvBackend::Csr, Precision::Fp64) => spmv_dot2(&self.csr64, x, u, y),
-            (SpmvBackend::Csr, Precision::Fp32) => spmv_dot2(&self.csr32, x, u, y),
-            (SpmvBackend::Csr, Precision::Fp16) => spmv_dot2(&self.csr16, x, u, y),
-            (SpmvBackend::Sell { .. }, _) => {
-                match mat_prec {
-                    Precision::Fp64 => {
-                        spmv_sell(self.sell64.as_ref().expect("sell64 built"), x, y);
-                    }
-                    Precision::Fp32 => {
-                        spmv_sell(self.sell32.as_ref().expect("sell32 built"), x, y);
-                    }
-                    Precision::Fp16 => {
-                        spmv_sell(self.sell16.as_ref().expect("sell16 built"), x, y);
-                    }
-                }
-                let (uy, yy) = blas1::dot_with_sqnorm(y, u);
-                (uy, yy)
-            }
-        }
+        with_variant!(self.variant(storage),
+            |c| spmv_dot2(c, x, u, y),
+            |s| {
+                spmv_sell(s, x, y);
+                blas1::dot_with_sqnorm(y, u)
+            },
+            |sc| spmv_scaled_dot2(sc, x, u, y),
+            |ss| {
+                spmv_scaled_sell(ss, x, y);
+                blas1::dot_with_sqnorm(y, u)
+            },
+        )
     }
 
-    /// Compute the residual `r = b - A x` with the matrix copy in `mat_prec`
-    /// and vectors in `TV`.
+    /// Compute the residual `r = b - A x` with the matrix variant selected by
+    /// `storage` and vectors in `TV`.
     ///
-    /// With the CSR backend this runs the fused [`spmv_residual`] kernel
-    /// (subtraction in the accumulation precision, one sweep); the SELL
-    /// backend subtracts in a second widening pass.
+    /// With the CSR backend this runs the fused [`spmv_residual`] /
+    /// [`spmv_scaled_residual`] kernel (subtraction in the accumulation
+    /// precision, one sweep); the SELL backend subtracts in a second widening
+    /// pass.
     pub fn residual<TV: Scalar>(
         &self,
-        mat_prec: Precision,
+        storage: MatrixStorage,
         x: &[TV],
         b: &[TV],
         r: &mut [TV],
         counters: &KernelCounters,
     ) {
+        self.record_apply_traffic(storage, TV::PRECISION, counters);
         match self.backend {
             // Fused kernel: reads b once, writes r once on top of the SpMV.
             SpmvBackend::Csr => counters.record_blas1(
@@ -227,39 +500,26 @@ impl ProblemMatrix {
                 TrafficModel::blas1_bytes(self.n, 2, 1, TV::PRECISION),
             ),
         }
-        match (self.backend, mat_prec) {
-            (SpmvBackend::Csr, Precision::Fp64) => {
-                counters.record_spmv(
-                    mat_prec,
-                    TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
-                );
-                spmv_residual(&self.csr64, x, b, r);
-            }
-            (SpmvBackend::Csr, Precision::Fp32) => {
-                counters.record_spmv(
-                    mat_prec,
-                    TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
-                );
-                spmv_residual(&self.csr32, x, b, r);
-            }
-            (SpmvBackend::Csr, Precision::Fp16) => {
-                counters.record_spmv(
-                    mat_prec,
-                    TrafficModel::spmv_bytes(self.nnz, self.n, mat_prec, TV::PRECISION),
-                );
-                spmv_residual(&self.csr16, x, b, r);
-            }
-            (SpmvBackend::Sell { .. }, _) => {
-                self.apply(mat_prec, x, r, counters);
+        with_variant!(self.variant(storage),
+            |c| spmv_residual(c, x, b, r),
+            |s| {
+                spmv_sell(s, x, r);
                 for i in 0..self.n {
                     r[i] = TV::narrow(b[i].widen() - r[i].widen());
                 }
-            }
-        }
+            },
+            |sc| spmv_scaled_residual(sc, x, b, r),
+            |ss| {
+                spmv_scaled_sell(ss, x, r);
+                for i in 0..self.n {
+                    r[i] = TV::narrow(b[i].widen() - r[i].widen());
+                }
+            },
+        );
     }
 
     /// True relative residual `‖b − A x‖₂ / ‖b‖₂`, always evaluated in fp64
-    /// with the fp64 matrix copy (the paper's convergence criterion,
+    /// with the fp64 base copy (the paper's convergence criterion,
     /// Section 5).
     #[must_use]
     pub fn true_relative_residual(&self, x: &[f64], b: &[f64]) -> f64 {
@@ -276,7 +536,7 @@ impl ProblemMatrix {
     #[must_use]
     pub fn true_relative_residual_with(&self, x: &[f64], b: &[f64], r: &mut [f64]) -> f64 {
         assert_eq!(r.len(), self.n, "residual scratch length mismatch");
-        spmv(&self.csr64, x, r);
+        spmv(&self.base, x, r);
         for i in 0..self.n {
             r[i] = b[i] - r[i];
         }
@@ -302,13 +562,13 @@ mod tests {
         let n = pm.dim();
         let x = vec![1.0f64; n];
         let mut y64 = vec![0.0f64; n];
-        pm.apply(Precision::Fp64, &x, &mut y64, &counters);
+        pm.apply(MatrixStorage::Plain(Precision::Fp64), &x, &mut y64, &counters);
         let x32 = vec![1.0f32; n];
         let mut y32 = vec![0.0f32; n];
-        pm.apply(Precision::Fp32, &x32, &mut y32, &counters);
+        pm.apply(MatrixStorage::Plain(Precision::Fp32), &x32, &mut y32, &counters);
         let x16 = vec![f16::from_f32(1.0); n];
         let mut y16 = vec![f16::from_f32(0.0); n];
-        pm.apply(Precision::Fp16, &x16, &mut y16, &counters);
+        pm.apply(MatrixStorage::Plain(Precision::Fp16), &x16, &mut y16, &counters);
         for i in 0..n {
             // integer-valued results are exact in every precision
             assert_eq!(y64[i], f64::from(y32[i]));
@@ -317,6 +577,36 @@ mod tests {
         let snap = counters.snapshot();
         assert_eq!(snap.total_spmv(), 3);
         assert!(snap.bytes_in(Precision::Fp16) < snap.bytes_in(Precision::Fp64));
+        // The matrix stream is attributed per storage precision.
+        assert!(snap.matrix_bytes_in(Precision::Fp16) > 0);
+        assert!(snap.matrix_bytes_in(Precision::Fp16) < snap.matrix_bytes_in(Precision::Fp64));
+    }
+
+    #[test]
+    fn scaled_storage_matches_plain_on_benign_matrix() {
+        let a = hpcg_matrix(4, 4, 4);
+        let pm = ProblemMatrix::from_csr(a);
+        let counters = KernelCounters::new_shared();
+        let n = pm.dim();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y_plain = vec![0.0f64; n];
+        let mut y_scaled = vec![0.0f64; n];
+        pm.apply(MatrixStorage::Plain(Precision::Fp64), &x, &mut y_plain, &counters);
+        pm.apply(MatrixStorage::Scaled(Precision::Fp64), &x, &mut y_scaled, &counters);
+        // fp64 scaled storage is the verbatim fast path: bit-identical.
+        assert_eq!(y_plain, y_scaled);
+        let mut y16 = vec![0.0f64; n];
+        pm.apply(MatrixStorage::Scaled(Precision::Fp16), &x, &mut y16, &counters);
+        for i in 0..n {
+            assert!((y16[i] - y_plain[i]).abs() < 2e-2 * y_plain[i].abs().max(1.0));
+        }
+        // Scaled SpMVs stream the row scales on top of the plain estimate.
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap.matrix_bytes_in(Precision::Fp64),
+            TrafficModel::matrix_stream_bytes(pm.nnz(), n, Precision::Fp64)
+                + TrafficModel::scaled_matrix_stream_bytes(pm.nnz(), n, Precision::Fp64)
+        );
     }
 
     #[test]
@@ -329,11 +619,18 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
         let mut y1 = vec![0.0; n];
         let mut y2 = vec![0.0; n];
-        pm_csr.apply(Precision::Fp64, &x, &mut y1, &counters);
-        pm_sell.apply(Precision::Fp64, &x, &mut y2, &counters);
+        let mut y3 = vec![0.0; n];
+        pm_csr.apply(MatrixStorage::Plain(Precision::Fp64), &x, &mut y1, &counters);
+        pm_sell.apply(MatrixStorage::Plain(Precision::Fp64), &x, &mut y2, &counters);
+        pm_sell.apply(MatrixStorage::Scaled(Precision::Fp64), &x, &mut y3, &counters);
         for i in 0..n {
             assert!((y1[i] - y2[i]).abs() < 1e-13);
+            assert!((y1[i] - y3[i]).abs() < 1e-13);
         }
+        assert!(pm_sell.is_materialized(
+            MatrixStorage::Scaled(Precision::Fp64),
+            MatrixFormat::Sell
+        ));
     }
 
     #[test]
@@ -345,18 +642,56 @@ mod tests {
         let x = vec![0.0f64; n];
         let b = vec![2.0f64; n];
         let mut r = vec![0.0f64; n];
-        pm.residual(Precision::Fp64, &x, &b, &mut r, &counters);
+        pm.residual(MatrixStorage::Plain(Precision::Fp64), &x, &b, &mut r, &counters);
         assert_eq!(r, b);
+        let mut r2 = vec![0.0f64; n];
+        pm.residual(MatrixStorage::Scaled(Precision::Fp32), &x, &b, &mut r2, &counters);
+        assert_eq!(r2, b);
         assert!((pm.true_relative_residual(&x, &b) - 1.0).abs() < 1e-14);
     }
 
     #[test]
-    fn storage_includes_three_copies() {
+    fn store_is_lazy_and_accounts_only_materialized_variants() {
         let a = hpcg_matrix(3, 3, 3);
         let nnz = a.nnz();
         let n = a.n_rows();
+        let base_bytes = a.storage_bytes();
         let pm = ProblemMatrix::from_csr(a);
-        let expected = (nnz as u64) * (12 + 8 + 6) + 3 * 4 * (n as u64 + 1);
-        assert_eq!(pm.storage_bytes(), expected);
+        // Fresh store: only the fp64 CSR base.
+        let vs = pm.materialized_variants();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].storage, MatrixStorage::Plain(Precision::Fp64));
+        assert_eq!(vs[0].format, MatrixFormat::Csr);
+        assert_eq!(pm.storage_bytes(), base_bytes);
+        assert_eq!(base_bytes, (nnz as u64) * 12 + 4 * (n as u64 + 1));
+
+        // Applying a variant faults exactly that variant in.
+        let counters = KernelCounters::new_shared();
+        let x = vec![1.0f64; n];
+        let mut y = vec![0.0f64; n];
+        pm.apply(MatrixStorage::Scaled(Precision::Fp16), &x, &mut y, &counters);
+        assert!(pm.is_materialized(MatrixStorage::Scaled(Precision::Fp16), MatrixFormat::Csr));
+        assert!(!pm.is_materialized(MatrixStorage::Plain(Precision::Fp16), MatrixFormat::Csr));
+        assert!(!pm.is_materialized(MatrixStorage::Plain(Precision::Fp32), MatrixFormat::Csr));
+        let expected_scaled = (nnz as u64) * 6 + 4 * (n as u64 + 1) + 8 * n as u64;
+        assert_eq!(pm.storage_bytes(), base_bytes + expected_scaled);
+
+        // materialize() is idempotent and covers explicit prefetch.
+        pm.materialize(MatrixStorage::Scaled(Precision::Fp16));
+        pm.materialize(MatrixStorage::Plain(Precision::Fp32));
+        assert_eq!(pm.materialized_variants().len(), 3);
+    }
+
+    #[test]
+    fn storage_display_names() {
+        assert_eq!(MatrixStorage::Plain(Precision::Fp16).to_string(), "fp16");
+        assert_eq!(
+            MatrixStorage::Scaled(Precision::Fp16).to_string(),
+            "scaled-fp16"
+        );
+        assert_eq!(MatrixFormat::Sell.to_string(), "sell");
+        assert!(!MatrixStorage::Plain(Precision::Fp32).is_scaled());
+        assert!(MatrixStorage::Scaled(Precision::Fp32).is_scaled());
+        assert_eq!(MatrixStorage::Scaled(Precision::Fp32).precision(), Precision::Fp32);
     }
 }

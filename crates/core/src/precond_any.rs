@@ -21,6 +21,8 @@ use f3r_sparse::blas1;
 use f3r_sparse::CsrMatrix;
 use f3r_precond::{build_preconditioner, PrecondKind, Preconditioner};
 
+use crate::operator::ProblemMatrix;
+
 /// A primary preconditioner stored in one of the three supported precisions.
 pub enum AnyPrecond {
     /// Coefficients stored in fp64.
@@ -41,6 +43,15 @@ impl AnyPrecond {
             Precision::Fp32 => AnyPrecond::F32(build_preconditioner::<f32>(a, kind)),
             Precision::Fp16 => AnyPrecond::F16(build_preconditioner::<f16>(a, kind)),
         }
+    }
+
+    /// Build the preconditioner `kind` for the matrix held in a
+    /// [`ProblemMatrix`] store, consuming the store's fp64 base (the
+    /// factorisation always happens in fp64 regardless of which precision
+    /// variants the solver levels stream).
+    #[must_use]
+    pub fn for_matrix(matrix: &ProblemMatrix, kind: &PrecondKind, storage: Precision) -> Self {
+        Self::build(matrix.csr_f64(), kind, storage)
     }
 
     /// Storage precision of the coefficients.

@@ -23,11 +23,11 @@
 use std::sync::Arc;
 
 use f3r_precision::traffic::TrafficModel;
-use f3r_precision::{KernelCounters, Precision, Scalar};
+use f3r_precision::{KernelCounters, Scalar};
 use f3r_sparse::blas1;
 
 use crate::inner::InnerSolver;
-use crate::operator::ProblemMatrix;
+use crate::operator::{MatrixStorage, ProblemMatrix};
 use crate::precond_any::AnyPrecond;
 
 /// How the Richardson weight is chosen.
@@ -50,10 +50,10 @@ impl Default for WeightStrategy {
 }
 
 /// The Richardson inner solver (`R^{m4}` in the tuple notation), working in
-/// precision `T` with the matrix copy stored in `mat_prec`.
+/// precision `T` streaming the matrix variant in `mat_storage`.
 pub struct RichardsonLevel<T: Scalar> {
     matrix: Arc<ProblemMatrix>,
-    mat_prec: Precision,
+    mat_storage: MatrixStorage,
     m: usize,
     precond: Arc<AnyPrecond>,
     strategy: WeightStrategy,
@@ -74,7 +74,7 @@ impl<T: Scalar> RichardsonLevel<T> {
     #[must_use]
     pub fn new(
         matrix: Arc<ProblemMatrix>,
-        mat_prec: Precision,
+        mat_storage: MatrixStorage,
         m: usize,
         precond: Arc<AnyPrecond>,
         strategy: WeightStrategy,
@@ -85,7 +85,7 @@ impl<T: Scalar> RichardsonLevel<T> {
         assert!(m >= 1, "Richardson needs at least one sweep");
         Self {
             matrix,
-            mat_prec,
+            mat_storage,
             m,
             precond,
             strategy,
@@ -144,7 +144,7 @@ impl<T: Scalar> InnerSolver<T> for RichardsonLevel<T> {
                 self.r.copy_from_slice(v);
             } else {
                 let mut r = std::mem::take(&mut self.r);
-                self.matrix.residual(self.mat_prec, z, v, &mut r, &self.counters);
+                self.matrix.residual(self.mat_storage, z, v, &mut r, &self.counters);
                 self.r = r;
             }
             // M r_{k-1}
@@ -160,7 +160,7 @@ impl<T: Scalar> InnerSolver<T> for RichardsonLevel<T> {
                 let mut amr = std::mem::take(&mut self.amr);
                 let (num, den) =
                     self.matrix
-                        .apply_dot2(self.mat_prec, &self.mr, &self.r, &mut amr, &self.counters);
+                        .apply_dot2(self.mat_storage, &self.mr, &self.r, &mut amr, &self.counters);
                 self.amr = amr;
                 self.counters.record_weight_update();
                 let omega_opt = if den > 0.0 { num / den } else { 1.0 };
@@ -194,7 +194,7 @@ impl<T: Scalar> InnerSolver<T> for RichardsonLevel<T> {
             WeightStrategy::Adaptive { cycle } => format!("adaptive c={cycle}"),
             WeightStrategy::Fixed(w) => format!("fixed ω={w}"),
         };
-        format!("R{}(A:{}, v:{}, {})", self.m, self.mat_prec, T::name(), strat)
+        format!("R{}(A:{}, v:{}, {})", self.m, self.mat_storage, T::name(), strat)
     }
 
     fn depth(&self) -> usize {
@@ -205,7 +205,7 @@ impl<T: Scalar> InnerSolver<T> for RichardsonLevel<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use f3r_precision::f16;
+    use f3r_precision::{f16, Precision};
     use f3r_precond::PrecondKind;
     use f3r_sparse::gen::laplacian::poisson2d_5pt;
     use f3r_sparse::scaling::jacobi_scale;
@@ -234,7 +234,7 @@ mod tests {
         let n = pm.dim();
         let mut level = RichardsonLevel::<f64>::new(
             Arc::clone(&pm),
-            Precision::Fp64,
+            MatrixStorage::Plain(Precision::Fp64),
             2,
             m,
             WeightStrategy::Adaptive { cycle: 64 },
@@ -252,7 +252,7 @@ mod tests {
         let n = pm.dim();
         let mut level = RichardsonLevel::<f64>::new(
             Arc::clone(&pm),
-            Precision::Fp64,
+            MatrixStorage::Plain(Precision::Fp64),
             2,
             m,
             WeightStrategy::Adaptive { cycle: 4 },
@@ -285,7 +285,7 @@ mod tests {
         let n = pm.dim();
         let mut level = RichardsonLevel::<f64>::new(
             Arc::clone(&pm),
-            Precision::Fp64,
+            MatrixStorage::Plain(Precision::Fp64),
             2,
             m,
             WeightStrategy::Fixed(0.9),
@@ -308,7 +308,7 @@ mod tests {
         let v: Vec<f64> = (0..n).map(|i| ((i * 13 % 23) as f64) / 23.0).collect();
         let mut adaptive = RichardsonLevel::<f64>::new(
             Arc::clone(&pm),
-            Precision::Fp64,
+            MatrixStorage::Plain(Precision::Fp64),
             2,
             Arc::clone(&m),
             WeightStrategy::Adaptive { cycle: 1 },
@@ -317,7 +317,7 @@ mod tests {
         );
         let mut bad_fixed = RichardsonLevel::<f64>::new(
             Arc::clone(&pm),
-            Precision::Fp64,
+            MatrixStorage::Plain(Precision::Fp64),
             2,
             m,
             WeightStrategy::Fixed(1.9),
@@ -340,7 +340,7 @@ mod tests {
         let n = pm.dim();
         let mut level = RichardsonLevel::<f16>::new(
             Arc::clone(&pm),
-            Precision::Fp16,
+            MatrixStorage::Plain(Precision::Fp16),
             2,
             a16_precond,
             WeightStrategy::Adaptive { cycle: 64 },
@@ -361,7 +361,7 @@ mod tests {
         let n = pm.dim();
         let mut level = RichardsonLevel::<f64>::new(
             Arc::clone(&pm),
-            Precision::Fp64,
+            MatrixStorage::Plain(Precision::Fp64),
             1,
             Arc::clone(&m),
             WeightStrategy::Fixed(1.0),

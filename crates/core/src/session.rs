@@ -78,7 +78,7 @@ use crate::f3r::{f3r_spec, F3rParams, F3rScheme, SolverSettings};
 use crate::fgmres::{fgmres_cycle, CycleOutcome, CycleParams, CycleProgress, FgmresLevel, FgmresWorkspace};
 use crate::inner::{InnerSolver, PrecisionBridge, PrecondInner};
 use crate::nested::{LevelSpec, NestedSpec, SpecError};
-use crate::operator::ProblemMatrix;
+use crate::operator::{MatrixStorage, ProblemMatrix};
 use crate::precond_any::AnyPrecond;
 use crate::richardson::RichardsonLevel;
 
@@ -103,12 +103,12 @@ fn build_chain<T: Scalar>(
     match level {
         LevelSpec::Richardson {
             m,
-            matrix_prec,
+            matrix: mat_storage,
             weight,
             ..
         } => Box::new(RichardsonLevel::<T>::new(
             Arc::clone(matrix),
-            matrix_prec,
+            mat_storage,
             m,
             Arc::clone(precond),
             weight,
@@ -117,7 +117,7 @@ fn build_chain<T: Scalar>(
         )),
         LevelSpec::Fgmres {
             m,
-            matrix_prec,
+            matrix: mat_storage,
             basis_prec,
             ..
         } => {
@@ -137,7 +137,7 @@ fn build_chain<T: Scalar>(
             match basis_prec {
                 Precision::Fp64 => Box::new(FgmresLevel::<T, f64>::new(
                     Arc::clone(matrix),
-                    matrix_prec,
+                    mat_storage,
                     m,
                     inner,
                     depth,
@@ -145,7 +145,7 @@ fn build_chain<T: Scalar>(
                 )),
                 Precision::Fp32 => Box::new(FgmresLevel::<T, f32>::new(
                     Arc::clone(matrix),
-                    matrix_prec,
+                    mat_storage,
                     m,
                     inner,
                     depth,
@@ -153,7 +153,7 @@ fn build_chain<T: Scalar>(
                 )),
                 Precision::Fp16 => Box::new(FgmresLevel::<T, f16>::new(
                     Arc::clone(matrix),
-                    matrix_prec,
+                    mat_storage,
                     m,
                     inner,
                     depth,
@@ -277,6 +277,7 @@ pub struct SolverBuilder {
     max_outer_cycles: Option<usize>,
     name: Option<String>,
     basis_storage: Option<Precision>,
+    matrix_storage: Option<MatrixStorage>,
 }
 
 impl SolverBuilder {
@@ -293,6 +294,7 @@ impl SolverBuilder {
             max_outer_cycles: None,
             name: None,
             basis_storage: None,
+            matrix_storage: None,
         }
     }
 
@@ -377,6 +379,18 @@ impl SolverBuilder {
         self
     }
 
+    /// Stream the matrix of every *inner* level from the given storage
+    /// (precision + plain/scaled; clamped per level, see
+    /// [`NestedSpec::with_matrix_storage`]).  Scaled fp16 storage —
+    /// `MatrixStorage::Scaled(Precision::Fp16)` — keeps half-precision
+    /// matrix streaming robust on matrices whose entry dynamic range would
+    /// overflow an unscaled fp16 copy.
+    #[must_use]
+    pub fn matrix_storage(mut self, storage: MatrixStorage) -> Self {
+        self.matrix_storage = Some(storage);
+        self
+    }
+
     /// Resolve the configuration into a validated spec.
     fn resolve_spec(self) -> Result<(Arc<ProblemMatrix>, NestedSpec), SpecError> {
         let source = self.source.ok_or_else(|| {
@@ -426,6 +440,9 @@ impl SolverBuilder {
         if let Some(p) = self.basis_storage {
             spec = spec.with_basis_storage(p);
         }
+        if let Some(storage) = self.matrix_storage {
+            spec = spec.with_matrix_storage(storage);
+        }
         spec.check()?;
         Ok((self.matrix, spec))
     }
@@ -438,8 +455,14 @@ impl SolverBuilder {
     /// resulting spec fails [`NestedSpec::check`].
     pub fn try_build(self) -> Result<Arc<PreparedSolver>, SpecError> {
         let (matrix, spec) = self.resolve_spec()?;
-        let precond = Arc::new(AnyPrecond::build(
-            matrix.csr_f64(),
+        // Materialize exactly the matrix variants the validated level chain
+        // streams (the store stays lazy for everything else — a later
+        // diagnostic or override can still fault a variant in).
+        for level in &spec.levels {
+            matrix.materialize(level.matrix_storage());
+        }
+        let precond = Arc::new(AnyPrecond::for_matrix(
+            &matrix,
             &spec.precond,
             spec.precond_prec,
         ));
@@ -872,7 +895,7 @@ impl SolveSession {
                 let outcome = work.outer.run_cycle(
                     CycleParams {
                         matrix: &self.prepared.matrix,
-                        mat_prec: spec.levels[0].matrix_precision(),
+                        mat_storage: spec.levels[0].matrix_storage(),
                         inner: work.inner.as_mut(),
                         abs_tol: Some(abs_tol),
                         x_nonzero: warm || cycle > 0,
@@ -1053,6 +1076,37 @@ mod tests {
             .build();
         assert_eq!(prepared.spec().levels[0].basis_precision(), Some(Precision::Fp64));
         assert_eq!(prepared.spec().levels[1].basis_precision(), Some(Precision::Fp16));
+    }
+
+    #[test]
+    fn builder_matrix_storage_rewrites_inner_levels() {
+        let a = jacobi_scale(&poisson2d_5pt(8, 8));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let prepared = SolverBuilder::new(Arc::clone(&pm))
+            .levels(vec![
+                LevelSpec::fgmres(10, Precision::Fp64, Precision::Fp64),
+                LevelSpec::fgmres(5, Precision::Fp32, Precision::Fp32),
+            ])
+            .matrix_storage(MatrixStorage::Scaled(Precision::Fp16))
+            .build();
+        assert_eq!(
+            prepared.spec().levels[0].matrix_storage(),
+            MatrixStorage::Plain(Precision::Fp64)
+        );
+        assert_eq!(
+            prepared.spec().levels[1].matrix_storage(),
+            MatrixStorage::Scaled(Precision::Fp16)
+        );
+        // Setup already materialized the variants the chain streams.
+        use crate::operator::MatrixFormat;
+        assert!(pm.is_materialized(MatrixStorage::Scaled(Precision::Fp16), MatrixFormat::Csr));
+        let n = prepared.dim();
+        let b = random_rhs(n, 11);
+        let mut x = vec![0.0; n];
+        let r = prepared.session().solve(&b, &mut x);
+        assert!(r.converged, "{r}");
+        // The scaled fp16 stream shows up in the matrix-traffic attribution.
+        assert!(r.counters.matrix_bytes_in(Precision::Fp16) > 0);
     }
 
     #[test]

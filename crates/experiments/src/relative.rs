@@ -116,6 +116,16 @@ impl ProblemResults {
     pub fn speedup_basis_traffic(&self, outcome: &SolverOutcome) -> Option<f64> {
         self.metric_ratio(outcome, |r| r.counters.basis_bytes_total() as f64)
     }
+
+    /// Reduction factor of `outcome`'s matrix-stream traffic (values +
+    /// indices + row pointers + row scales, attributed at the storage
+    /// precision) relative to the fp64-F3R baseline — the quantity narrow
+    /// and scaled matrix storage (`NestedSpec::with_matrix_storage`)
+    /// shrinks.  `None` when either run diverged or moved no matrix bytes.
+    #[must_use]
+    pub fn speedup_matrix_traffic(&self, outcome: &SolverOutcome) -> Option<f64> {
+        self.metric_ratio(outcome, |r| r.counters.matrix_bytes_total() as f64)
+    }
 }
 
 /// The solver list of Figures 1 and 2 for a problem of the given symmetry:
@@ -315,6 +325,10 @@ mod tests {
         // below the all-fp64 baseline's even without compressed storage.
         let basis = pr.speedup_basis_traffic(fp16).unwrap();
         assert!(basis > 1.0, "fp16-F3R basis traffic ratio {basis}");
+        // So does the matrix-stream attribution: fp16-F3R streams fp32/fp16
+        // matrix variants on its inner levels.
+        let matrix = pr.speedup_matrix_traffic(fp16).unwrap();
+        assert!(matrix > 1.0, "fp16-F3R matrix traffic ratio {matrix}");
         let table = to_table("test", std::slice::from_ref(&pr));
         assert_eq!(table.n_rows(), 9);
     }

@@ -37,6 +37,13 @@ pub struct KernelCounters {
     /// Bytes written to stored Krylov/flexible basis vectors, indexed by the
     /// storage precision.  Also counted in `bytes_moved`.
     basis_bytes_written: [AtomicU64; 3],
+    /// Bytes read from the stored coefficient matrix `A` (values + indices +
+    /// row pointers + row scales for scaled storage), indexed by the matrix
+    /// *storage* precision.  A subset of the SpMV bytes already counted in
+    /// `bytes_moved`, kept separately so experiments can attribute how much
+    /// of a solve's traffic is the matrix stream — the quantity reduced by
+    /// narrow/scaled matrix storage.
+    matrix_bytes_read: [AtomicU64; 3],
     /// Total inner-solver iterations executed, by nesting depth (1-based,
     /// capped at depth 8).
     level_iterations: [AtomicU64; 8],
@@ -98,6 +105,18 @@ impl KernelCounters {
         self.bytes_moved[i].fetch_add(read_bytes + write_bytes, Ordering::Relaxed);
     }
 
+    /// Attribute `bytes` of matrix-stream traffic to the matrix storage
+    /// precision `p`.
+    ///
+    /// Unlike [`record_basis_traffic`](Self::record_basis_traffic), this does
+    /// *not* add to the overall `bytes_moved` totals: the matrix stream is
+    /// already part of the SpMV bytes recorded by
+    /// [`record_spmv`](Self::record_spmv), and this counter only splits that
+    /// total out per matrix storage precision.
+    pub fn record_matrix_traffic(&self, p: Precision, bytes: u64) {
+        self.matrix_bytes_read[precision_index(p)].fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Record `iters` iterations executed by the solver at nesting `depth`
     /// (1 = outermost).
     pub fn record_level_iterations(&self, depth: usize, iters: u64) {
@@ -129,6 +148,9 @@ impl KernelCounters {
         for c in &self.basis_bytes_written {
             c.store(0, Ordering::Relaxed);
         }
+        for c in &self.matrix_bytes_read {
+            c.store(0, Ordering::Relaxed);
+        }
         for c in &self.level_iterations {
             c.store(0, Ordering::Relaxed);
         }
@@ -151,6 +173,7 @@ impl KernelCounters {
             bytes_moved: load3(&self.bytes_moved),
             basis_bytes_read: load3(&self.basis_bytes_read),
             basis_bytes_written: load3(&self.basis_bytes_written),
+            matrix_bytes_read: load3(&self.matrix_bytes_read),
             level_iterations: {
                 let mut out = [0u64; 8];
                 for (o, c) in out.iter_mut().zip(self.level_iterations.iter()) {
@@ -180,6 +203,9 @@ pub struct CounterSnapshot {
     /// Bytes written to stored basis vectors per storage precision,
     /// ordered `[fp16, fp32, fp64]` (a subset of `bytes_moved`).
     pub basis_bytes_written: [u64; 3],
+    /// Matrix-stream bytes read per matrix *storage* precision, ordered
+    /// `[fp16, fp32, fp64]` (a subset of the SpMV bytes in `bytes_moved`).
+    pub matrix_bytes_read: [u64; 3],
     /// Iterations executed per nesting depth (index 0 = outermost).
     pub level_iterations: [u64; 8],
     /// Number of adaptive Richardson weight updates performed.
@@ -211,6 +237,19 @@ impl CounterSnapshot {
     pub fn basis_bytes_in(&self, p: Precision) -> u64 {
         let i = precision_index(p);
         self.basis_bytes_read[i] + self.basis_bytes_written[i]
+    }
+
+    /// Matrix-stream bytes read from storage held in a given precision.
+    #[must_use]
+    pub fn matrix_bytes_in(&self, p: Precision) -> u64 {
+        self.matrix_bytes_read[precision_index(p)]
+    }
+
+    /// Total matrix-stream bytes across all storage precisions — the traffic
+    /// narrow/scaled matrix storage shrinks.
+    #[must_use]
+    pub fn matrix_bytes_total(&self) -> u64 {
+        self.matrix_bytes_read.iter().sum()
     }
 
     /// Fraction of the modeled traffic carried in a given precision
@@ -263,6 +302,7 @@ impl CounterSnapshot {
             bytes_moved: sub3(self.bytes_moved, earlier.bytes_moved),
             basis_bytes_read: sub3(self.basis_bytes_read, earlier.basis_bytes_read),
             basis_bytes_written: sub3(self.basis_bytes_written, earlier.basis_bytes_written),
+            matrix_bytes_read: sub3(self.matrix_bytes_read, earlier.matrix_bytes_read),
             level_iterations,
             weight_updates: self.weight_updates.saturating_sub(earlier.weight_updates),
         }
@@ -378,6 +418,28 @@ mod tests {
         c.record_basis_traffic(Precision::Fp32, 5, 5);
         let diff = c.snapshot().since(&first);
         assert_eq!(diff.basis_bytes_in(Precision::Fp32), 10);
+    }
+
+    #[test]
+    fn matrix_traffic_is_attributed_without_inflating_totals() {
+        let c = KernelCounters::new_shared();
+        // An SpMV records its full byte estimate; the matrix-stream subset is
+        // attributed separately and must not double-count into the totals.
+        c.record_spmv(Precision::Fp16, 1000);
+        c.record_matrix_traffic(Precision::Fp16, 700);
+        c.record_spmv(Precision::Fp64, 4000);
+        c.record_matrix_traffic(Precision::Fp64, 3200);
+        let s = c.snapshot();
+        assert_eq!(s.matrix_bytes_in(Precision::Fp16), 700);
+        assert_eq!(s.matrix_bytes_in(Precision::Fp64), 3200);
+        assert_eq!(s.matrix_bytes_total(), 3900);
+        assert_eq!(s.total_bytes(), 5000);
+        let first = s;
+        c.record_matrix_traffic(Precision::Fp16, 300);
+        let diff = c.snapshot().since(&first);
+        assert_eq!(diff.matrix_bytes_in(Precision::Fp16), 300);
+        c.reset();
+        assert_eq!(c.snapshot().matrix_bytes_total(), 0);
     }
 
     #[test]

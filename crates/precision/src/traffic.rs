@@ -68,6 +68,27 @@ pub fn nested_fgmres_richardson_traffic(c_a: f64, c_m: f64, m_outer: f64, m_inne
 pub struct TrafficModel;
 
 impl TrafficModel {
+    /// Bytes of the *matrix stream* of one SpMV: values in precision `a`,
+    /// 32-bit column indices and the (n+1) 32-bit row pointers.
+    ///
+    /// This is the portion of [`spmv_bytes`](Self::spmv_bytes) attributable
+    /// to the stored matrix itself — the traffic that shrinks when the matrix
+    /// storage precision drops, and the quantity
+    /// `KernelCounters::record_matrix_traffic` attributes per storage
+    /// precision (parallel to the basis-traffic attribution).
+    #[must_use]
+    pub fn matrix_stream_bytes(nnz: usize, n: usize, a: Precision) -> u64 {
+        (nnz as u64) * (a.bytes() as u64 + 4) + 4 * (n as u64 + 1)
+    }
+
+    /// [`matrix_stream_bytes`](Self::matrix_stream_bytes) for *scaled*
+    /// matrix storage, which additionally streams one `f64` amplitude scale
+    /// per row.
+    #[must_use]
+    pub fn scaled_matrix_stream_bytes(nnz: usize, n: usize, a: Precision) -> u64 {
+        Self::matrix_stream_bytes(nnz, n, a) + 8 * n as u64
+    }
+
     /// Bytes moved by one CSR SpMV `y = A x` with `nnz` stored nonzeros,
     /// `n` rows, matrix values in `a`, and vectors in `v`.
     ///
@@ -75,9 +96,14 @@ impl TrafficModel {
     /// pointers + read of `x` + write of `y`.
     #[must_use]
     pub fn spmv_bytes(nnz: usize, n: usize, a: Precision, v: Precision) -> u64 {
-        let nnz = nnz as u64;
-        let n = n as u64;
-        nnz * (a.bytes() as u64 + 4) + 4 * (n + 1) + n * 2 * v.bytes() as u64
+        Self::matrix_stream_bytes(nnz, n, a) + (n as u64) * 2 * v.bytes() as u64
+    }
+
+    /// Bytes moved by one SpMV against *scaled* matrix storage: like
+    /// [`spmv_bytes`](Self::spmv_bytes) plus the per-row `f64` scale stream.
+    #[must_use]
+    pub fn spmv_scaled_bytes(nnz: usize, n: usize, a: Precision, v: Precision) -> u64 {
+        Self::spmv_bytes(nnz, n, a, v) + 8 * n as u64
     }
 
     /// Bytes moved by a BLAS-1 kernel touching `reads` input vectors and
@@ -228,6 +254,28 @@ mod tests {
         let b16 = TrafficModel::basis_bytes(1000, 30, Precision::Fp16);
         assert_eq!(b64, 1000 * 30 * 8);
         assert_eq!(b16 * 4, b64);
+    }
+
+    #[test]
+    fn matrix_stream_bytes_decompose_spmv_bytes() {
+        let (nnz, n) = (1000, 100);
+        for &a in &[Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+            let mat = TrafficModel::matrix_stream_bytes(nnz, n, a);
+            assert_eq!(mat, (nnz as u64) * (a.bytes() as u64 + 4) + 4 * (n as u64 + 1));
+            assert_eq!(
+                TrafficModel::spmv_bytes(nnz, n, a, Precision::Fp64),
+                mat + (n as u64) * 16
+            );
+            // Scaled storage adds exactly the 8-byte-per-row scale stream.
+            assert_eq!(
+                TrafficModel::scaled_matrix_stream_bytes(nnz, n, a),
+                mat + 8 * n as u64
+            );
+            assert_eq!(
+                TrafficModel::spmv_scaled_bytes(nnz, n, a, Precision::Fp32),
+                TrafficModel::spmv_bytes(nnz, n, a, Precision::Fp32) + 8 * n as u64
+            );
+        }
     }
 
     #[test]

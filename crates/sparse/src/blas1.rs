@@ -408,14 +408,12 @@ pub fn scale_into<T: Scalar>(alpha: f64, src: &[T], dst: &mut [T]) {
 // ---------------------------------------------------------------------------
 
 /// Pick the power-of-two scale for [`narrow_scaled_into`]: the smallest
-/// `2^k >= amax` (`0.0` for a zero vector, non-finite propagated).
+/// `2^k >= amax` (`0.0` for a zero vector, non-finite propagated).  The
+/// convention is shared with the scaled matrix storage through
+/// [`crate::scaling::pow2_amplitude`].
 #[inline]
 fn pow2_scale(amax: f64) -> f64 {
-    if amax == 0.0 {
-        0.0
-    } else {
-        amax.log2().ceil().exp2()
-    }
+    crate::scaling::pow2_amplitude(amax)
 }
 
 /// True when the `f64` coefficient `c` survives conversion into the

@@ -11,8 +11,83 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+use f3r_precision::Scalar;
+
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
+
+/// Dynamic-range statistics of a matrix's stored entries, answering the
+/// question the fp16 storage axis depends on: *does this matrix survive an
+/// unscaled half-precision copy?*
+///
+/// Matrix Market inputs in the wild span many orders of magnitude; entries
+/// above fp16's largest finite value (65504) round to ±∞ and nonzero entries
+/// below its smallest subnormal (≈ 6.0e-8) flush to zero, silently corrupting
+/// an unscaled `to_precision::<f16>()` copy.  Loaders expose these stats so
+/// callers can pick scaled matrix storage
+/// ([`ScaledCsr`](crate::csr::ScaledCsr)) — or global Jacobi pre-scaling —
+/// before any fp16 copy is materialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryRangeStats {
+    /// Largest absolute value of any stored entry.
+    pub max_abs: f64,
+    /// Smallest absolute value of any stored *nonzero* entry (`0.0` if the
+    /// matrix stores no nonzero entries).
+    pub min_abs_nonzero: f64,
+    /// `max_abs / min_abs_nonzero` (`1.0` when degenerate) — the dynamic
+    /// range of the stored entries.
+    pub dynamic_range: f64,
+    /// Stored entries whose fp16 conversion overflows to ±∞.
+    pub fp16_overflow: usize,
+    /// Stored nonzero entries whose fp16 conversion flushes to zero.
+    pub fp16_underflow: usize,
+}
+
+impl EntryRangeStats {
+    /// Compute the stats for a matrix.
+    #[must_use]
+    pub fn compute<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        let mut max_abs = 0.0f64;
+        let mut min_abs_nonzero = f64::INFINITY;
+        let mut fp16_overflow = 0usize;
+        let mut fp16_underflow = 0usize;
+        for v in a.values() {
+            let m = v.to_f64().abs();
+            max_abs = max_abs.max(m);
+            if m > 0.0 {
+                min_abs_nonzero = min_abs_nonzero.min(m);
+                let h = half::f16::from_f64(m);
+                if !h.to_f64().is_finite() {
+                    fp16_overflow += 1;
+                } else if h.to_f64() == 0.0 {
+                    fp16_underflow += 1;
+                }
+            }
+        }
+        if !min_abs_nonzero.is_finite() {
+            min_abs_nonzero = 0.0;
+        }
+        let dynamic_range = if min_abs_nonzero > 0.0 {
+            max_abs / min_abs_nonzero
+        } else {
+            1.0
+        };
+        Self {
+            max_abs,
+            min_abs_nonzero,
+            dynamic_range,
+            fp16_overflow,
+            fp16_underflow,
+        }
+    }
+
+    /// `true` when every stored entry survives an *unscaled* fp16 conversion
+    /// (no overflow to ±∞, no nonzero flushed to zero).
+    #[must_use]
+    pub fn fp16_representable(&self) -> bool {
+        self.fp16_overflow == 0 && self.fp16_underflow == 0
+    }
+}
 
 /// Errors produced by the Matrix Market reader.
 #[derive(Debug)]
@@ -139,6 +214,25 @@ pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrMatrix<f64>,
     read_matrix_market(file)
 }
 
+/// Read a Matrix Market matrix together with its [`EntryRangeStats`], so the
+/// caller can decide on a storage strategy (unscaled vs scaled fp16) before
+/// materializing any reduced-precision copy.
+pub fn read_matrix_market_with_stats<R: Read>(
+    reader: R,
+) -> Result<(CsrMatrix<f64>, EntryRangeStats), MatrixMarketError> {
+    let a = read_matrix_market(reader)?;
+    let stats = EntryRangeStats::compute(&a);
+    Ok((a, stats))
+}
+
+/// [`read_matrix_market_with_stats`] for a file path.
+pub fn read_matrix_market_file_with_stats(
+    path: impl AsRef<Path>,
+) -> Result<(CsrMatrix<f64>, EntryRangeStats), MatrixMarketError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_with_stats(file)
+}
+
 /// Write a matrix in Matrix Market `coordinate real general` format.
 pub fn write_matrix_market<W: Write>(
     a: &CsrMatrix<f64>,
@@ -224,5 +318,48 @@ mod tests {
         let a = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(a.get(0, 0), Some(1.0));
         assert_eq!(a.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn range_stats_of_benign_matrix_are_fp16_clean() {
+        let (a, stats) = read_matrix_market_with_stats(GENERAL.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(stats.max_abs, 4.0);
+        assert_eq!(stats.min_abs_nonzero, 1.5);
+        assert!((stats.dynamic_range - 4.0 / 1.5).abs() < 1e-15);
+        assert_eq!(stats.fp16_overflow, 0);
+        assert_eq!(stats.fp16_underflow, 0);
+        assert!(stats.fp16_representable());
+    }
+
+    #[test]
+    fn range_stats_flag_fp16_overflow_and_underflow() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+3 3 3\n\
+1 1 1.0e9\n\
+2 2 1.0e-12\n\
+3 3 1.0\n";
+        let (_, stats) = read_matrix_market_with_stats(text.as_bytes()).unwrap();
+        assert_eq!(stats.max_abs, 1.0e9);
+        assert_eq!(stats.min_abs_nonzero, 1.0e-12);
+        assert!((stats.dynamic_range - 1.0e21).abs() < 1e6);
+        assert_eq!(stats.fp16_overflow, 1);
+        assert_eq!(stats.fp16_underflow, 1);
+        assert!(!stats.fp16_representable());
+    }
+
+    #[test]
+    fn range_stats_of_empty_matrix_are_degenerate() {
+        let stats = EntryRangeStats::compute(&CsrMatrix::<f64>::from_parts(
+            1,
+            1,
+            vec![0, 0],
+            vec![],
+            vec![],
+        ));
+        assert_eq!(stats.max_abs, 0.0);
+        assert_eq!(stats.min_abs_nonzero, 0.0);
+        assert_eq!(stats.dynamic_range, 1.0);
+        assert!(stats.fp16_representable());
     }
 }

@@ -64,6 +64,18 @@
 //! `CompressedBasis` wraps these into the Krylov-basis storage used by
 //! FGMRES.
 //!
+//! ## Scaled matrix storage
+//!
+//! The same power-of-two amplitude convention applies to the matrix itself:
+//! [`csr::ScaledCsr`] / [`sell::ScaledSell`] store row-normalised values
+//! (`|stored| ≤ 1`) in a narrow precision plus one `f64` scale per row, so
+//! fp16 matrix storage survives any entry dynamic range — general Matrix
+//! Market inputs (see [`io::EntryRangeStats`]) would otherwise overflow an
+//! unscaled fp16 copy to ±∞.  The fused kernels [`spmv::spmv_scaled`],
+//! [`spmv::spmv_scaled_residual`], [`spmv::spmv_scaled_dot2`] and
+//! [`spmv::spmv_scaled_sell`] widen each stored element exactly once and
+//! fold the row scale into the accumulated sum once per row.
+//!
 //! See `crates/bench/README.md` for how to benchmark the layer and the
 //! recorded per-PR baselines.
 //!
@@ -94,7 +106,8 @@ pub mod spmv;
 pub mod stats;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, ScaledCsr};
+pub use io::EntryRangeStats;
 pub use scaling::ScaledSystem;
-pub use sell::SellMatrix;
+pub use sell::{ScaledSell, SellMatrix};
 pub use stats::MatrixStats;

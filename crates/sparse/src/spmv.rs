@@ -36,8 +36,8 @@
 
 use f3r_precision::{FromScalar, Scalar};
 
-use crate::csr::CsrMatrix;
-use crate::sell::SellMatrix;
+use crate::csr::{CsrMatrix, ScaledCsr};
+use crate::sell::{ScaledSell, SellMatrix};
 
 /// Row count at or above which the dispatching wrappers switch to the
 /// parallel kernels (re-exported from the shared threshold table in
@@ -187,6 +187,166 @@ pub fn spmv_dot2<TA: Scalar, TV: Scalar>(
     partials
         .into_iter()
         .fold((0.0, 0.0), |(a0, a1), (b0, b1)| (a0 + b0, a1 + b1))
+}
+
+// ---------------------------------------------------------------------------
+// Scaled-storage SpMV kernels.
+//
+// The fused kernels below consume `ScaledCsr` / `ScaledSell` directly: each
+// stored element enters the row accumulator through the same single
+// `FromScalar` widening as the plain kernels, and the row's power-of-two
+// amplitude scale is folded into the accumulated sum once per row, in f64
+// (exact — the scale is a power of two — and O(rows), not O(nnz)).  The
+// stored matrix therefore streams at the storage precision's bandwidth; the
+// scale fold costs one multiply and one rounding per row, which the plain
+// kernels pay anyway as the final narrowing.
+// ---------------------------------------------------------------------------
+
+/// Fold a row's accumulated sum with its amplitude scale and round once into
+/// the vector precision.
+#[inline(always)]
+fn fold_scale<TV: Scalar>(acc: TV::Accum, scale: f64) -> TV {
+    TV::from_f64(acc.to_f64() * scale)
+}
+
+/// Sequential scaled CSR SpMV: `y = A x` with `A` in row-scaled storage.
+///
+/// # Panics
+/// Panics if the vector lengths do not match the matrix dimensions.
+pub fn spmv_scaled_seq<TA: Scalar, TV: Scalar>(a: &ScaledCsr<TA>, x: &[TV], y: &mut [TV]) {
+    assert_eq!(x.len(), a.n_cols(), "spmv_scaled: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv_scaled: y length mismatch");
+    let (m, scales) = (a.matrix(), a.row_scales());
+    for (row, yi) in y.iter_mut().enumerate() {
+        let (cols, vals) = m.row_entries(row);
+        *yi = fold_scale::<TV>(spmv_row(cols, vals, x), scales[row]);
+    }
+}
+
+/// Thread-parallel scaled CSR SpMV (row-wise parallelism).
+pub fn spmv_scaled_par<TA: Scalar, TV: Scalar>(a: &ScaledCsr<TA>, x: &[TV], y: &mut [TV]) {
+    assert_eq!(x.len(), a.n_cols(), "spmv_scaled: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv_scaled: y length mismatch");
+    let (m, scales) = (a.matrix(), a.row_scales());
+    f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            let (cols, vals) = m.row_entries(base + i);
+            *yi = fold_scale::<TV>(spmv_row(cols, vals, x), scales[base + i]);
+        }
+    });
+}
+
+/// Scaled CSR SpMV dispatching on problem size (same threshold as [`spmv`]).
+pub fn spmv_scaled<TA: Scalar, TV: Scalar>(a: &ScaledCsr<TA>, x: &[TV], y: &mut [TV]) {
+    if a.n_rows() >= PAR_ROW_THRESHOLD {
+        spmv_scaled_par(a, x, y);
+    } else {
+        spmv_scaled_seq(a, x, y);
+    }
+}
+
+/// Fused scaled residual kernel: `r = b - A x` with `A` in row-scaled
+/// storage, subtracting before the single rounding into `TV` (the scaled
+/// twin of [`spmv_residual`]).
+pub fn spmv_scaled_residual<TA: Scalar, TV: Scalar>(
+    a: &ScaledCsr<TA>,
+    x: &[TV],
+    b: &[TV],
+    r: &mut [TV],
+) {
+    assert_eq!(x.len(), a.n_cols(), "scaled residual: x length mismatch");
+    assert_eq!(b.len(), a.n_rows(), "scaled residual: b length mismatch");
+    assert_eq!(r.len(), a.n_rows(), "scaled residual: r length mismatch");
+    let (m, scales) = (a.matrix(), a.row_scales());
+    let body = |base: usize, chunk: &mut [TV]| {
+        for (i, ri) in chunk.iter_mut().enumerate() {
+            let row = base + i;
+            let (cols, vals) = m.row_entries(row);
+            let ax = spmv_row(cols, vals, x).to_f64() * scales[row];
+            *ri = TV::from_f64(b[row].to_f64() - ax);
+        }
+    };
+    if a.n_rows() >= PAR_ROW_THRESHOLD {
+        f3r_parallel::par_chunks_mut(r, MIN_ROWS_PER_TASK, body);
+    } else {
+        body(0, r);
+    }
+}
+
+/// Fused scaled SpMV + dual dot product: `y = A x` with `A` in row-scaled
+/// storage, returning `(uᵀ y, yᵀ y)` from the same sweep (the scaled twin of
+/// [`spmv_dot2`]; dots accumulate in `f64` on the stored `y` values).
+pub fn spmv_scaled_dot2<TA: Scalar, TV: Scalar>(
+    a: &ScaledCsr<TA>,
+    x: &[TV],
+    u: &[TV],
+    y: &mut [TV],
+) -> (f64, f64) {
+    assert_eq!(x.len(), a.n_cols(), "spmv_scaled_dot2: x length mismatch");
+    assert_eq!(u.len(), a.n_rows(), "spmv_scaled_dot2: u length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv_scaled_dot2: y length mismatch");
+    let (m, scales) = (a.matrix(), a.row_scales());
+    let body = |base: usize, chunk: &mut [TV]| -> (f64, f64) {
+        let mut uy = 0.0f64;
+        let mut yy = 0.0f64;
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            let row = base + i;
+            let (cols, vals) = m.row_entries(row);
+            let stored = fold_scale::<TV>(spmv_row(cols, vals, x), scales[row]);
+            *yi = stored;
+            let w = stored.to_f64();
+            uy += u[row].to_f64() * w;
+            yy += w * w;
+        }
+        (uy, yy)
+    };
+    let partials = if a.n_rows() >= PAR_ROW_THRESHOLD {
+        f3r_parallel::par_map_chunks_mut(y, MIN_ROWS_PER_TASK, body)
+    } else {
+        vec![body(0, y)]
+    };
+    partials
+        .into_iter()
+        .fold((0.0, 0.0), |(a0, a1), (b0, b1)| (a0 + b0, a1 + b1))
+}
+
+/// Sequential scaled sliced-ELLPACK SpMV: `y = A x`.
+pub fn spmv_scaled_sell_seq<TA: Scalar, TV: Scalar>(
+    a: &ScaledSell<TA>,
+    x: &[TV],
+    y: &mut [TV],
+) {
+    assert_eq!(x.len(), a.n_cols(), "scaled sell spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "scaled sell spmv: y length mismatch");
+    let (m, scales) = (a.matrix(), a.row_scales());
+    for (row, yi) in y.iter_mut().enumerate() {
+        *yi = fold_scale::<TV>(sell_row(m, row, x), scales[row]);
+    }
+}
+
+/// Thread-parallel scaled sliced-ELLPACK SpMV.
+pub fn spmv_scaled_sell_par<TA: Scalar, TV: Scalar>(
+    a: &ScaledSell<TA>,
+    x: &[TV],
+    y: &mut [TV],
+) {
+    assert_eq!(x.len(), a.n_cols(), "scaled sell spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "scaled sell spmv: y length mismatch");
+    let (m, scales) = (a.matrix(), a.row_scales());
+    f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            *yi = fold_scale::<TV>(sell_row(m, base + i, x), scales[base + i]);
+        }
+    });
+}
+
+/// Scaled sliced-ELLPACK SpMV dispatching on problem size.
+pub fn spmv_scaled_sell<TA: Scalar, TV: Scalar>(a: &ScaledSell<TA>, x: &[TV], y: &mut [TV]) {
+    if a.n_rows() >= PAR_ROW_THRESHOLD {
+        spmv_scaled_sell_par(a, x, y);
+    } else {
+        spmv_scaled_sell_seq(a, x, y);
+    }
 }
 
 /// Sequential sliced-ELLPACK SpMV: `y = A x`.
@@ -417,5 +577,125 @@ mod tests {
         let x = vec![0.0f64; 3];
         let mut y = vec![0.0f64; 4];
         spmv_seq(&a, &x, &mut y);
+    }
+
+    /// Tridiagonal matrix whose row amplitudes sweep `1e-12 .. 1e12` — the
+    /// unscaled fp16 copy is pure ±inf / 0.
+    fn wide_range_tridiag(n: usize) -> CsrMatrix<f64> {
+        let a = tridiag(n);
+        let d: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(-12.0 + 24.0 * i as f64 / (n - 1) as f64))
+            .collect();
+        a.scale_rows_cols(&d, &vec![1.0; n])
+    }
+
+    #[test]
+    fn scaled_spmv_matches_f64_reference_on_wide_range_matrix() {
+        let n = 300;
+        let a = wide_range_tridiag(n);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 13.0).collect();
+        let mut y_ref = vec![0.0f64; n];
+        spmv_seq(&a, &x, &mut y_ref);
+
+        // The unscaled fp16 copy is useless here …
+        let a16: CsrMatrix<f16> = a.to_precision();
+        assert!(a16.values().iter().any(|v| !v.to_f64().is_finite()));
+
+        // … the row-scaled fp16 copy matches to fp16 storage accuracy.
+        let s16 = ScaledCsr::<f16>::from_f64(&a);
+        let mut y = vec![0.0f64; n];
+        spmv_scaled_seq(&s16, &x, &mut y);
+        for i in 0..n {
+            // Per-element storage error ≤ eps_fp16 · row_scale; ≤ 3 entries
+            // per row with |x| ≤ 1/2 bounds the row error by 2^-9 · scale.
+            let tol = 2.0f64.powi(-9) * s16.row_scales()[i];
+            assert!(
+                (y[i] - y_ref[i]).abs() <= tol,
+                "row {i}: {} vs {}",
+                y[i],
+                y_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_f64_storage_is_bit_identical_to_plain_spmv() {
+        let n = 500;
+        let a = wide_range_tridiag(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut y1 = vec![0.0f64; n];
+        let mut y2 = vec![0.0f64; n];
+        spmv_seq(&a, &x, &mut y1);
+        spmv_scaled_seq(&ScaledCsr::<f64>::from_f64(&a), &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn scaled_parallel_matches_sequential_above_threshold() {
+        let n = PAR_ROW_THRESHOLD + 57;
+        let a = tridiag(n);
+        let s = ScaledCsr::<f32>::from_f64(&a);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 97) as f64 - 48.0) / 97.0).collect();
+        let mut y1 = vec![0.0f64; n];
+        let mut y2 = vec![0.0f64; n];
+        spmv_scaled_seq(&s, &x, &mut y1);
+        spmv_scaled(&s, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn scaled_residual_matches_separate_ops() {
+        let n = 200;
+        let a = wide_range_tridiag(n);
+        let s = ScaledCsr::<f32>::from_f64(&a);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut ax = vec![0.0f64; n];
+        spmv_scaled_seq(&s, &x, &mut ax);
+        let mut r = vec![0.0f64; n];
+        spmv_scaled_residual(&s, &x, &b, &mut r);
+        for i in 0..n {
+            assert!((r[i] - (b[i] - ax[i])).abs() <= 1e-12 * (b[i] - ax[i]).abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn scaled_spmv_dot2_matches_separate_kernels() {
+        let n = 300;
+        let a = tridiag(n);
+        let s = ScaledCsr::<f16>::from_f64(&a);
+        let x: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) / 7.0).collect();
+        let u: Vec<f32> = (0..n).map(|i| ((i % 5) as f32 - 2.0) / 5.0).collect();
+        let mut y1 = vec![0.0f32; n];
+        spmv_scaled_seq(&s, &x, &mut y1);
+        let mut y2 = vec![0.0f32; n];
+        let (uy, yy) = spmv_scaled_dot2(&s, &x, &u, &mut y2);
+        assert_eq!(y1, y2);
+        let uy_ref: f64 = u.iter().zip(&y1).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let yy_ref: f64 = y1.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        assert!((uy - uy_ref).abs() < 1e-10 * uy_ref.abs().max(1.0));
+        assert!((yy - yy_ref).abs() < 1e-10 * yy_ref.max(1.0));
+    }
+
+    #[test]
+    fn scaled_sell_matches_scaled_csr() {
+        let n = 1000;
+        let a = wide_range_tridiag(n);
+        let csr = ScaledCsr::<f16>::from_f64(&a);
+        let sell = ScaledSell::<f16>::from_csr_f64(&a, 32);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y1 = vec![0.0f64; n];
+        let mut y2 = vec![0.0f64; n];
+        let mut y3 = vec![0.0f64; n];
+        spmv_scaled_seq(&csr, &x, &mut y1);
+        spmv_scaled_sell_seq(&sell, &x, &mut y2);
+        spmv_scaled_sell_par(&sell, &x, &mut y3);
+        for i in 0..n {
+            // CSR and SELL group the row sum differently (4 vs 2 partial
+            // accumulators), so allow roundoff at the row amplitude.
+            let tol = 1e-13 * csr.row_scales()[i];
+            assert!((y1[i] - y2[i]).abs() <= tol, "row {i}: {} vs {}", y1[i], y2[i]);
+            assert_eq!(y2[i], y3[i], "row {i}");
+        }
     }
 }

@@ -28,7 +28,7 @@ fn main() {
             LevelSpec::fgmres(6, Precision::Fp32, Precision::Fp32),
             LevelSpec::Richardson {
                 m: 3,
-                matrix_prec: Precision::Fp16,
+                matrix: MatrixStorage::Plain(Precision::Fp16),
                 vector_prec: Precision::Fp16,
                 weight: WeightStrategy::Adaptive { cycle: 32 },
             },

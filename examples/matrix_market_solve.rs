@@ -3,6 +3,13 @@
 //! library.  Without an argument the example writes a small demonstration
 //! matrix to a temporary file first, so it always runs out of the box.
 //!
+//! The loader reports the entry dynamic-range statistics
+//! ([`EntryRangeStats`]) of the raw and diagonally scaled matrix, and the
+//! example picks the matrix storage automatically: when the scaled entries
+//! still do not survive an unscaled fp16 copy, it switches the inner solver
+//! levels to *row-scaled* fp16 matrix storage
+//! (`MatrixStorage::Scaled(Precision::Fp16)`).
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example matrix_market_solve [-- /path/to/matrix.mtx]
@@ -12,8 +19,20 @@ use std::sync::Arc;
 
 use f3r::prelude::*;
 use f3r::sparse::gen::{hpcg_matrix, random_rhs};
-use f3r::sparse::io::{read_matrix_market_file, write_matrix_market};
+use f3r::sparse::io::{read_matrix_market_file_with_stats, write_matrix_market, EntryRangeStats};
 use f3r::sparse::scaling::ScaledSystem;
+
+fn print_stats(label: &str, stats: &EntryRangeStats) {
+    println!(
+        "{label}: |a| in [{:.3e}, {:.3e}], dynamic range {:.1e}, fp16 overflow {}, underflow {}, fp16-representable {}",
+        stats.min_abs_nonzero,
+        stats.max_abs,
+        stats.dynamic_range,
+        stats.fp16_overflow,
+        stats.fp16_underflow,
+        stats.fp16_representable(),
+    );
+}
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -25,12 +44,27 @@ fn main() {
         path.to_string_lossy().into_owned()
     });
 
-    let a = read_matrix_market_file(&path).expect("read Matrix Market file");
+    let (a, raw_stats) =
+        read_matrix_market_file_with_stats(&path).expect("read Matrix Market file");
     println!("loaded {}: n = {}, nnz = {}", path, a.n_rows(), a.nnz());
+    print_stats("raw entries   ", &raw_stats);
 
     // Diagonal scaling as in the paper, keeping the scaling so the solution
     // can be mapped back to the original variables.
     let scaled = ScaledSystem::new(&a);
+    let scaled_stats = EntryRangeStats::compute(&scaled.matrix);
+    print_stats("after scaling ", &scaled_stats);
+
+    // Storage recommendation: the fp16-F3R scheme streams fp16 matrix
+    // variants on its inner levels.  If the diagonally scaled entries still
+    // overflow/flush an unscaled fp16 copy, use row-scaled fp16 storage.
+    let recommended = if scaled_stats.fp16_representable() {
+        MatrixStorage::Plain(Precision::Fp16)
+    } else {
+        MatrixStorage::Scaled(Precision::Fp16)
+    };
+    println!("recommended inner matrix storage: {recommended}");
+
     let n = scaled.matrix.n_rows();
     let symmetric = scaled.matrix.is_symmetric(1e-10);
     let b_original = random_rhs(n, 1234);
@@ -42,10 +76,13 @@ fn main() {
         PrecondKind::BlockJacobiIlu0 { blocks: 8, alpha: 1.0 }
     };
     let matrix = Arc::new(ProblemMatrix::from_csr(scaled.matrix.clone()));
-    let prepared = SolverBuilder::new(matrix)
+    let mut builder = SolverBuilder::new(Arc::clone(&matrix))
         .scheme(F3rScheme::Fp16)
-        .precond(precond)
-        .build();
+        .precond(precond);
+    if recommended.is_scaled() {
+        builder = builder.matrix_storage(recommended);
+    }
+    let prepared = builder.build();
     let mut session = prepared.session();
 
     let mut x_hat = vec![0.0; n];
@@ -57,4 +94,18 @@ fn main() {
     println!("true relative residual : {:.3e}", result.final_relative_residual);
     println!("M applications         : {}", result.precond_applications);
     println!("solution norm          : {:.6}", x.iter().map(|v| v * v).sum::<f64>().sqrt());
+    println!(
+        "matrix-stream bytes    : fp16 {} / fp32 {} / fp64 {}",
+        result.counters.matrix_bytes_in(Precision::Fp16),
+        result.counters.matrix_bytes_in(Precision::Fp32),
+        result.counters.matrix_bytes_in(Precision::Fp64),
+    );
+    println!(
+        "materialized variants  : {:?}",
+        matrix
+            .materialized_variants()
+            .iter()
+            .map(|v| format!("{}/{} ({} B)", v.storage, v.format, v.bytes))
+            .collect::<Vec<_>>()
+    );
 }
