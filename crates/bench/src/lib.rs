@@ -25,23 +25,32 @@ pub fn bench_grid() -> usize {
         .unwrap_or(12)
 }
 
-/// Record the parallel environment a bench run executed in: the effective
-/// worker-pool size ([`f3r_parallel::current_num_threads`]) and the
-/// machine's available parallelism.
+/// Record the execution environment a bench run executed in: the effective
+/// worker-pool size ([`f3r_parallel::current_num_threads`]), the machine's
+/// available parallelism, the detected CPU features relevant to kernel
+/// dispatch, and the kernel backend the run latched
+/// ([`f3r_simd::kernel_backend`] — calling it here latches the backend
+/// before the first measurement, so a whole bench run uses one backend).
 ///
 /// Printed to stdout and, when `F3R_BENCH_JSON` names a file, appended to it
 /// as a `{"group":"meta","bench":"parallel_pool",…}` record — kernel medians
-/// depend directly on the pool size, so `BENCH_*.json` baselines carry it to
-/// stay comparable across machines.  Kernel bench targets call this once,
-/// before their measurements.
+/// depend directly on the pool size and the kernel backend, so
+/// `BENCH_*.json` baselines carry both to stay comparable across machines
+/// and backend overrides.  Kernel bench targets call this once, before
+/// their measurements.
 pub fn emit_parallel_meta() {
     let threads = f3r_parallel::current_num_threads();
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("bench-meta: worker-pool threads = {threads}, available parallelism = {hw}");
+    let features = f3r_simd::detect_features().summary();
+    let backend = f3r_simd::kernel_backend().name();
+    println!(
+        "bench-meta: worker-pool threads = {threads}, available parallelism = {hw}, \
+         cpu features = {features}, kernel backend = {backend}"
+    );
     if let Ok(path) = std::env::var("F3R_BENCH_JSON") {
         use std::io::Write as _;
         let line = format!(
-            "{{\"group\":\"meta\",\"bench\":\"parallel_pool\",\"threads\":{threads},\"available_parallelism\":{hw}}}"
+            "{{\"group\":\"meta\",\"bench\":\"parallel_pool\",\"threads\":{threads},\"available_parallelism\":{hw},\"cpu_features\":\"{features}\",\"kernel_backend\":\"{backend}\"}}"
         );
         if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
             let _ = writeln!(f, "{line}");

@@ -7,10 +7,18 @@
 //! helpers centralise that operation so the solvers never touch raw
 //! `as`-casts.
 
-use crate::scalar::Scalar;
+use crate::scalar::{Scalar, SliceView, SliceViewMut};
 
-/// Convert `src` into `dst` element-wise, rounding (or widening) each value
-/// through `f64`.
+/// Convert `src` into `dst` element-wise with a single rounding (or exact
+/// widening) per element.
+///
+/// Semantically each element goes through `D::from_f64(s.to_f64())`: one
+/// exact widening followed by at most one round-to-nearest-even.  The
+/// `f16 ↔ f32/f64` and `f32 → f16` pairs dispatch to the bulk hardware
+/// converters in [`half::slice`], which produce bit-identical results
+/// (`f32 → f16` is a single RNE rounding either way because `f32 → f64` is
+/// exact).  `f64 → f16` deliberately stays scalar: hardware offers no
+/// single-rounding path for it.
 ///
 /// # Panics
 /// Panics if the two slices have different lengths.
@@ -22,6 +30,19 @@ pub fn convert_slice<S: Scalar, D: Scalar>(src: &[S], dst: &mut [D]) {
         src.len(),
         dst.len()
     );
+    use crate::scalar::Precision::{Fp16, Fp32, Fp64};
+    let bulk = matches!((S::PRECISION, D::PRECISION), (Fp16, Fp32) | (Fp16, Fp64) | (Fp32, Fp16));
+    if bulk {
+        match (S::view(src), D::view_mut(dst)) {
+            (SliceView::F16(s), SliceViewMut::F32(d)) => half::slice::widen_slice(s, d),
+            (SliceView::F16(s), SliceViewMut::F64(d)) => half::slice::widen_slice_f64(s, d),
+            (SliceView::F32(s), SliceViewMut::F16(d)) => half::slice::narrow_slice(s, d),
+            // `bulk` enumerates exactly the three (S, D) pairs above, and a
+            // type's view always carries its own variant.
+            _ => unreachable!("view variants disagree with PRECISION"),
+        }
+        return;
+    }
     for (d, s) in dst.iter_mut().zip(src.iter()) {
         *d = D::from_f64(s.to_f64());
     }
@@ -30,7 +51,9 @@ pub fn convert_slice<S: Scalar, D: Scalar>(src: &[S], dst: &mut [D]) {
 /// Convert a slice into a freshly allocated vector of another precision.
 #[must_use]
 pub fn convert_vec<S: Scalar, D: Scalar>(src: &[S]) -> Vec<D> {
-    src.iter().map(|s| D::from_f64(s.to_f64())).collect()
+    let mut out = vec![D::zero(); src.len()];
+    convert_slice(src, &mut out);
+    out
 }
 
 /// Copy `src` into `dst` without precision change.

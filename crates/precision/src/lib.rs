@@ -28,7 +28,7 @@ pub mod traffic;
 
 pub use convert::{convert_slice, convert_vec, copy_into, round_trip_error};
 pub use counters::{CounterSnapshot, KernelCounters};
-pub use scalar::{FromScalar, Precision, Scalar};
+pub use scalar::{FromScalar, Precision, Scalar, SliceView, SliceViewMut};
 
 /// Re-export of the IEEE binary16 type used throughout the workspace.
 pub use half::f16;

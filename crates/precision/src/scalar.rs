@@ -98,6 +98,35 @@ impl Display for Precision {
     }
 }
 
+/// A scalar slice with its concrete element type recovered at runtime.
+///
+/// Generic kernels sometimes need to hand a `&[T]` to non-generic code — most
+/// importantly the `f3r-simd` dispatch layer, whose hand-written SIMD kernels
+/// exist per concrete precision.  [`Scalar::view`] reifies the type parameter
+/// into this enum; because each `Scalar` impl returns its own variant, a
+/// `match` on the view monomorphises to a single static arm with no runtime
+/// branch.
+#[derive(Debug)]
+pub enum SliceView<'a> {
+    /// A half-precision slice.
+    F16(&'a [f16]),
+    /// A single-precision slice.
+    F32(&'a [f32]),
+    /// A double-precision slice.
+    F64(&'a [f64]),
+}
+
+/// Mutable counterpart of [`SliceView`]; see [`Scalar::view_mut`].
+#[derive(Debug)]
+pub enum SliceViewMut<'a> {
+    /// A half-precision slice.
+    F16(&'a mut [f16]),
+    /// A single-precision slice.
+    F32(&'a mut [f32]),
+    /// A double-precision slice.
+    F64(&'a mut [f64]),
+}
+
 /// Floating-point scalar usable as a working precision in the solvers.
 ///
 /// Implemented for `f64`, `f32` and [`half::f16`].  The trait provides the
@@ -195,6 +224,13 @@ pub trait Scalar:
     fn mul_add(self, a: Self, b: Self) -> Self;
     /// `true` if the value is neither infinite nor NaN.
     fn is_finite(self) -> bool;
+
+    /// Reify a slice of this scalar into a [`SliceView`] carrying the
+    /// concrete element type (see the enum docs for why).
+    fn view(xs: &[Self]) -> SliceView<'_>;
+
+    /// Mutable counterpart of [`Scalar::view`].
+    fn view_mut(xs: &mut [Self]) -> SliceViewMut<'_>;
 
     /// Number of bytes per stored value.
     #[must_use]
@@ -314,6 +350,14 @@ impl Scalar for f64 {
     fn is_finite(self) -> bool {
         f64::is_finite(self)
     }
+    #[inline(always)]
+    fn view(xs: &[Self]) -> SliceView<'_> {
+        SliceView::F64(xs)
+    }
+    #[inline(always)]
+    fn view_mut(xs: &mut [Self]) -> SliceViewMut<'_> {
+        SliceViewMut::F64(xs)
+    }
 }
 
 impl Scalar for f32 {
@@ -367,6 +411,14 @@ impl Scalar for f32 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         f32::is_finite(self)
+    }
+    #[inline(always)]
+    fn view(xs: &[Self]) -> SliceView<'_> {
+        SliceView::F32(xs)
+    }
+    #[inline(always)]
+    fn view_mut(xs: &mut [Self]) -> SliceViewMut<'_> {
+        SliceViewMut::F32(xs)
     }
 }
 
@@ -424,6 +476,14 @@ impl Scalar for f16 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         f32::from(self).is_finite()
+    }
+    #[inline(always)]
+    fn view(xs: &[Self]) -> SliceView<'_> {
+        SliceView::F16(xs)
+    }
+    #[inline(always)]
+    fn view_mut(xs: &mut [Self]) -> SliceViewMut<'_> {
+        SliceViewMut::F16(xs)
     }
 }
 

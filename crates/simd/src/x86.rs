@@ -1,0 +1,769 @@
+//! x86-64 AVX2+FMA+F16C kernel implementations.
+//!
+//! Everything here is `unsafe fn` with `#[target_feature(enable = "avx2,fma,
+//! f16c")]`: callers (the dispatchers in the crate root) may only reach these
+//! after [`crate::kernel_backend`] verified the full feature set with
+//! `is_x86_feature_detected!` — that runtime check is the justification for
+//! every `unsafe` block in this module, together with the per-kernel bounds
+//! arguments noted inline.
+//!
+//! Two "worlds" mirror the two accumulation precisions of the scalar
+//! kernels:
+//!
+//! * **world A** — `f32` accumulation (f16/f32 vectors), 8-wide `__m256`
+//!   lanes, every stored element entering via one conversion to f32
+//!   ([`Lane8`]), results leaving via one round-to-nearest-even
+//!   ([`Lane8Dst`]);
+//! * **world B** — `f64` accumulation (f64 vectors), 4-wide `__m256d` lanes
+//!   ([`Lane4`]/[`Lane4Dst`]).
+//!
+//! Elementwise kernels use separate multiply and add instructions (never
+//! FMA) and are bit-identical to their scalar counterparts; reduction
+//! kernels use FMA and per-[`crate::CASCADE_BLOCK`] f64 folding, matching
+//! the scalar kernels' documented error bounds (see the crate docs).
+
+#![allow(clippy::missing_safety_doc)] // module-level contract documented above
+
+use core::arch::x86_64::*;
+
+use f3r_precision::Scalar;
+use half::f16;
+
+use crate::CASCADE_BLOCK;
+
+// ---------------------------------------------------------------------------
+// Lane traits: per-precision load/store/gather building blocks.
+// All methods are `#[inline(always)]` plain functions; they inline into the
+// `#[target_feature]` kernels below, which supply the instruction set.
+// ---------------------------------------------------------------------------
+
+/// 8 consecutive elements widened into f32 lanes with one conversion per
+/// element, matching `FromScalar::<f32>::from_scalar` bit for bit.
+pub(crate) trait Lane8: Scalar {
+    /// # Safety
+    /// 8 elements must be readable at `p`; caller must be in an
+    /// AVX2+F16C-enabled context.
+    unsafe fn ld8(p: *const Self) -> __m256;
+}
+
+/// [`Lane8`] types that can also absorb f32 lanes with one
+/// round-to-nearest-even, matching `Scalar::narrow` (f16, f32 — *not* f64,
+/// whose narrow from f32 would be a widening, handled in world B).
+pub(crate) trait Lane8Dst: Lane8 {
+    /// # Safety
+    /// 8 elements must be writable at `p`; AVX2+F16C context.
+    unsafe fn st8(p: *mut Self, v: __m256);
+}
+
+/// [`Lane8`] vector types supporting an 8-lane gather (f16, f32).
+pub(crate) trait Gather8: Lane8 {
+    /// # Safety
+    /// Every lane of `idx` must be a valid non-negative index into the slice
+    /// behind `x`; AVX2+F16C context.
+    unsafe fn gat8(x: *const Self, idx: __m256i) -> __m256;
+}
+
+impl Lane8 for f16 {
+    #[inline(always)]
+    unsafe fn ld8(p: *const Self) -> __m256 {
+        // f16 is #[repr(transparent)] over u16, so the pointer cast is
+        // layout-valid; vcvtph2ps agrees bit for bit with the software
+        // widening (exhaustively verified in tests/f16c_agreement.rs).
+        _mm256_cvtph_ps(_mm_loadu_si128(p.cast::<__m128i>()))
+    }
+}
+
+impl Lane8Dst for f16 {
+    #[inline(always)]
+    unsafe fn st8(p: *mut Self, v: __m256) {
+        // vcvtps2ph with round-to-nearest-even == f16::from_f32 on non-NaN.
+        _mm_storeu_si128(p.cast::<__m128i>(), _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v));
+    }
+}
+
+impl Gather8 for f16 {
+    #[inline(always)]
+    unsafe fn gat8(x: *const Self, idx: __m256i) -> __m256 {
+        // No 16-bit SIMD gather exists: pull the 8 half words through scalar
+        // loads into a stack buffer, then convert with one vcvtph2ps.
+        let mut ix = [0i32; 8];
+        _mm256_storeu_si256(ix.as_mut_ptr().cast::<__m256i>(), idx);
+        let mut h = [0u16; 8];
+        for (slot, &i) in h.iter_mut().zip(ix.iter()) {
+            *slot = (*x.add(i as usize)).to_bits();
+        }
+        _mm256_cvtph_ps(_mm_loadu_si128(h.as_ptr().cast::<__m128i>()))
+    }
+}
+
+impl Lane8 for f32 {
+    #[inline(always)]
+    unsafe fn ld8(p: *const Self) -> __m256 {
+        _mm256_loadu_ps(p)
+    }
+}
+
+impl Lane8Dst for f32 {
+    #[inline(always)]
+    unsafe fn st8(p: *mut Self, v: __m256) {
+        _mm256_storeu_ps(p, v);
+    }
+}
+
+impl Gather8 for f32 {
+    #[inline(always)]
+    unsafe fn gat8(x: *const Self, idx: __m256i) -> __m256 {
+        _mm256_i32gather_ps::<4>(x, idx)
+    }
+}
+
+impl Lane8 for f64 {
+    #[inline(always)]
+    unsafe fn ld8(p: *const Self) -> __m256 {
+        // Two 4-wide rounds f64 → f32 (vcvtpd2ps is round-to-nearest-even,
+        // identical to the scalar `as f32` of from_scalar::<f32>).
+        let lo = _mm256_cvtpd_ps(_mm256_loadu_pd(p));
+        let hi = _mm256_cvtpd_ps(_mm256_loadu_pd(p.add(4)));
+        _mm256_set_m128(hi, lo)
+    }
+}
+
+/// 4 consecutive elements widened into f64 lanes, matching
+/// `FromScalar::<f64>::from_scalar` (exact for all three storage types).
+pub(crate) trait Lane4: Scalar {
+    /// # Safety
+    /// 4 elements readable at `p`; AVX2+F16C context.
+    unsafe fn ld4(p: *const Self) -> __m256d;
+}
+
+/// [`Lane4`] types that can absorb f64 lanes with at most one rounding
+/// (f64: exact; f32: one vcvtpd2ps RNE — *not* f16, which would double
+/// round f64 → f32 → f16).
+pub(crate) trait Lane4Dst: Lane4 {
+    /// # Safety
+    /// 4 elements writable at `p`; AVX2+F16C context.
+    unsafe fn st4(p: *mut Self, v: __m256d);
+}
+
+impl Lane4 for f16 {
+    #[inline(always)]
+    unsafe fn ld4(p: *const Self) -> __m256d {
+        // Both steps are exact widenings, so this equals `to_f64` bitwise.
+        _mm256_cvtps_pd(_mm_cvtph_ps(_mm_loadl_epi64(p.cast::<__m128i>())))
+    }
+}
+
+impl Lane4 for f32 {
+    #[inline(always)]
+    unsafe fn ld4(p: *const Self) -> __m256d {
+        _mm256_cvtps_pd(_mm_loadu_ps(p))
+    }
+}
+
+impl Lane4Dst for f32 {
+    #[inline(always)]
+    unsafe fn st4(p: *mut Self, v: __m256d) {
+        _mm_storeu_ps(p, _mm256_cvtpd_ps(v));
+    }
+}
+
+impl Lane4 for f64 {
+    #[inline(always)]
+    unsafe fn ld4(p: *const Self) -> __m256d {
+        _mm256_loadu_pd(p)
+    }
+}
+
+impl Lane4Dst for f64 {
+    #[inline(always)]
+    unsafe fn st4(p: *mut Self, v: __m256d) {
+        _mm256_storeu_pd(p, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Horizontal reductions.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+unsafe fn hsum_ps(v: __m256) -> f32 {
+    let q = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps::<1>(v));
+    let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    _mm_cvtss_f32(_mm_add_ss(d, _mm_shuffle_ps::<1>(d, d)))
+}
+
+#[inline(always)]
+unsafe fn hsum_pd(v: __m256d) -> f64 {
+    let d = _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd::<1>(v));
+    _mm_cvtsd_f64(_mm_add_sd(d, _mm_unpackhi_pd(d, d)))
+}
+
+// ---------------------------------------------------------------------------
+// SpMV row kernels.
+// ---------------------------------------------------------------------------
+
+/// World-A CSR row: `Σ from_scalar(vals[i]) · widen(x[cols[i]])` in f32.
+///
+/// Bounds: the vector loops stop at `cols.len()`/`vals.len()`; gather
+/// indices are valid by the caller's contract (`try_spmv_row`'s safety doc).
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn spmv_row_a<TA: Lane8, TV: Gather8>(
+    cols: &[u32],
+    vals: &[TA],
+    x: &[TV],
+) -> f32 {
+    let n = cols.len().min(vals.len());
+    let cp = cols.as_ptr();
+    let vp = vals.as_ptr();
+    let xp = x.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        let idx0 = _mm256_loadu_si256(cp.add(i).cast::<__m256i>());
+        let idx1 = _mm256_loadu_si256(cp.add(i + 8).cast::<__m256i>());
+        acc0 = _mm256_fmadd_ps(TA::ld8(vp.add(i)), TV::gat8(xp, idx0), acc0);
+        acc1 = _mm256_fmadd_ps(TA::ld8(vp.add(i + 8)), TV::gat8(xp, idx1), acc1);
+        i += 16;
+    }
+    while i + 8 <= n {
+        let idx = _mm256_loadu_si256(cp.add(i).cast::<__m256i>());
+        acc0 = _mm256_fmadd_ps(TA::ld8(vp.add(i)), TV::gat8(xp, idx), acc0);
+        i += 8;
+    }
+    let mut tail = 0.0f32;
+    while i < n {
+        let c = *cp.add(i) as usize;
+        tail += (*vp.add(i)).to_f32() * (*xp.add(c)).to_f32();
+        i += 1;
+    }
+    hsum_ps(_mm256_add_ps(acc0, acc1)) + tail
+}
+
+/// World-B CSR row: `Σ to_f64(vals[i]) · x[cols[i]]` in f64.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn spmv_row_b<TA: Lane4>(cols: &[u32], vals: &[TA], x: &[f64]) -> f64 {
+    let n = cols.len().min(vals.len());
+    let cp = cols.as_ptr();
+    let vp = vals.as_ptr();
+    let xp = x.as_ptr();
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        let idx0 = _mm_loadu_si128(cp.add(i).cast::<__m128i>());
+        let idx1 = _mm_loadu_si128(cp.add(i + 4).cast::<__m128i>());
+        acc0 = _mm256_fmadd_pd(TA::ld4(vp.add(i)), _mm256_i32gather_pd::<8>(xp, idx0), acc0);
+        acc1 = _mm256_fmadd_pd(TA::ld4(vp.add(i + 4)), _mm256_i32gather_pd::<8>(xp, idx1), acc1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let idx = _mm_loadu_si128(cp.add(i).cast::<__m128i>());
+        acc0 = _mm256_fmadd_pd(TA::ld4(vp.add(i)), _mm256_i32gather_pd::<8>(xp, idx), acc0);
+        i += 4;
+    }
+    let mut tail = 0.0f64;
+    while i < n {
+        let c = *cp.add(i) as usize;
+        tail += (*vp.add(i)).to_f64() * *xp.add(c);
+        i += 1;
+    }
+    hsum_pd(_mm256_add_pd(acc0, acc1)) + tail
+}
+
+// ---------------------------------------------------------------------------
+// SELL group-of-8 kernels: 8 consecutive rows of one chunk, lane-parallel
+// across rows (the SELL layout stores lane k of 8 consecutive rows
+// contiguously, so the row-parallel loads are unit-stride).
+// ---------------------------------------------------------------------------
+
+/// World-A SELL group: result lane `l` is row `base + l`'s f32 accumulator.
+///
+/// Bounds: caller guarantees `(width - 1) · stride + 8` elements in
+/// `cols`/`vals` (see `try_sell_group8`'s safety doc).
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn sell_group8_a<TA: Lane8, TV: Gather8>(
+    cols: &[u32],
+    vals: &[TA],
+    stride: usize,
+    width: usize,
+    x: &[TV],
+) -> [f32; 8] {
+    let cp = cols.as_ptr();
+    let vp = vals.as_ptr();
+    let xp = x.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    for k in 0..width {
+        let off = k * stride;
+        let idx = _mm256_loadu_si256(cp.add(off).cast::<__m256i>());
+        acc = _mm256_fmadd_ps(TA::ld8(vp.add(off)), TV::gat8(xp, idx), acc);
+    }
+    let mut out = [0.0f32; 8];
+    _mm256_storeu_ps(out.as_mut_ptr(), acc);
+    out
+}
+
+/// World-B SELL group: result lane `l` is row `base + l`'s f64 accumulator.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn sell_group8_b<TA: Lane4>(
+    cols: &[u32],
+    vals: &[TA],
+    stride: usize,
+    width: usize,
+    x: &[f64],
+) -> [f64; 8] {
+    let cp = cols.as_ptr();
+    let vp = vals.as_ptr();
+    let xp = x.as_ptr();
+    let mut lo = _mm256_setzero_pd();
+    let mut hi = _mm256_setzero_pd();
+    for k in 0..width {
+        let off = k * stride;
+        let idx = _mm256_loadu_si256(cp.add(off).cast::<__m256i>());
+        let idx_lo = _mm256_castsi256_si128(idx);
+        let idx_hi = _mm256_extracti128_si256::<1>(idx);
+        lo = _mm256_fmadd_pd(TA::ld4(vp.add(off)), _mm256_i32gather_pd::<8>(xp, idx_lo), lo);
+        hi = _mm256_fmadd_pd(TA::ld4(vp.add(off + 4)), _mm256_i32gather_pd::<8>(xp, idx_hi), hi);
+    }
+    let mut out = [0.0f64; 8];
+    _mm256_storeu_pd(out.as_mut_ptr(), lo);
+    _mm256_storeu_pd(out.as_mut_ptr().add(4), hi);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 reductions.
+// ---------------------------------------------------------------------------
+
+/// World-A dot with independently stored operand precisions:
+/// `Σ to_f32(x[i]) · to_f32(v[i])`, f32 lanes, f64 cascade per block.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn dot_stored_a<T: Lane8, S: Lane8>(x: &[T], v: &[S]) -> f64 {
+    let n = x.len().min(v.len());
+    let xp = x.as_ptr();
+    let vp = v.as_ptr();
+    let mut total = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = start;
+        while i + 16 <= end {
+            acc0 = _mm256_fmadd_ps(T::ld8(xp.add(i)), S::ld8(vp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(T::ld8(xp.add(i + 8)), S::ld8(vp.add(i + 8)), acc1);
+            i += 16;
+        }
+        while i + 8 <= end {
+            acc0 = _mm256_fmadd_ps(T::ld8(xp.add(i)), S::ld8(vp.add(i)), acc0);
+            i += 8;
+        }
+        let mut tail = 0.0f32;
+        while i < end {
+            tail += (*xp.add(i)).to_f32() * (*vp.add(i)).to_f32();
+            i += 1;
+        }
+        total += f64::from(hsum_ps(_mm256_add_ps(acc0, acc1)) + tail);
+        start = end;
+    }
+    total
+}
+
+/// World-B dot with a stored operand: `Σ x[i] · to_f64(v[i])`, f64 lanes.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn dot_stored_b<S: Lane4>(x: &[f64], v: &[S]) -> f64 {
+    let n = x.len().min(v.len());
+    let xp = x.as_ptr();
+    let vp = v.as_ptr();
+    let mut total = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = start;
+        while i + 8 <= end {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), S::ld4(vp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i + 4)), S::ld4(vp.add(i + 4)), acc1);
+            i += 8;
+        }
+        while i + 4 <= end {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), S::ld4(vp.add(i)), acc0);
+            i += 4;
+        }
+        let mut tail = 0.0f64;
+        while i < end {
+            tail += *xp.add(i) * (*vp.add(i)).to_f64();
+            i += 1;
+        }
+        total += hsum_pd(_mm256_add_pd(acc0, acc1)) + tail;
+        start = end;
+    }
+    total
+}
+
+/// World-A fused pair of dots: `(x1·y1, x2·y2)` in one index sweep.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn dot2_a<T: Lane8>(x1: &[T], y1: &[T], x2: &[T], y2: &[T]) -> (f64, f64) {
+    let n = x1.len();
+    let (p1, q1, p2, q2) = (x1.as_ptr(), y1.as_ptr(), x2.as_ptr(), y2.as_ptr());
+    let mut t1 = 0.0f64;
+    let mut t2 = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut i = start;
+        while i + 8 <= end {
+            a1 = _mm256_fmadd_ps(T::ld8(p1.add(i)), T::ld8(q1.add(i)), a1);
+            a2 = _mm256_fmadd_ps(T::ld8(p2.add(i)), T::ld8(q2.add(i)), a2);
+            i += 8;
+        }
+        let mut s1 = 0.0f32;
+        let mut s2 = 0.0f32;
+        while i < end {
+            s1 += (*p1.add(i)).to_f32() * (*q1.add(i)).to_f32();
+            s2 += (*p2.add(i)).to_f32() * (*q2.add(i)).to_f32();
+            i += 1;
+        }
+        t1 += f64::from(hsum_ps(a1) + s1);
+        t2 += f64::from(hsum_ps(a2) + s2);
+        start = end;
+    }
+    (t1, t2)
+}
+
+/// World-B fused pair of dots.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn dot2_b(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64]) -> (f64, f64) {
+    let n = x1.len();
+    let (p1, q1, p2, q2) = (x1.as_ptr(), y1.as_ptr(), x2.as_ptr(), y2.as_ptr());
+    let mut t1 = 0.0f64;
+    let mut t2 = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut a1 = _mm256_setzero_pd();
+        let mut a2 = _mm256_setzero_pd();
+        let mut i = start;
+        while i + 4 <= end {
+            a1 = _mm256_fmadd_pd(_mm256_loadu_pd(p1.add(i)), _mm256_loadu_pd(q1.add(i)), a1);
+            a2 = _mm256_fmadd_pd(_mm256_loadu_pd(p2.add(i)), _mm256_loadu_pd(q2.add(i)), a2);
+            i += 4;
+        }
+        let mut s1 = 0.0f64;
+        let mut s2 = 0.0f64;
+        while i < end {
+            s1 += *p1.add(i) * *q1.add(i);
+            s2 += *p2.add(i) * *q2.add(i);
+            i += 1;
+        }
+        t1 += hsum_pd(a1) + s1;
+        t2 += hsum_pd(a2) + s2;
+        start = end;
+    }
+    (t1, t2)
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 elementwise kernels (bit-identical to scalar: separate mul and
+// add, one conversion in, one rounding out).
+// ---------------------------------------------------------------------------
+
+/// World-A `y += a · v` with stored-precision `v`.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn axpy_stored_a<S: Lane8, T: Lane8Dst>(a: f32, v: &[S], y: &mut [T]) {
+    let n = v.len().min(y.len());
+    let vp = v.as_ptr();
+    let yp = y.as_mut_ptr();
+    let va = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + 8 <= n {
+        // mul + add (not FMA): matches the scalar `from_scalar(v)*a + widen(y)`.
+        let r = _mm256_add_ps(_mm256_mul_ps(S::ld8(vp.add(i)), va), T::ld8(yp.add(i)));
+        T::st8(yp.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        let r = (*vp.add(i)).to_f32() * a + (*yp.add(i)).to_f32();
+        *yp.add(i) = T::from_f32(r);
+        i += 1;
+    }
+}
+
+/// World-B `y += a · v` with stored-precision `v`.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn axpy_stored_b<S: Lane4>(a: f64, v: &[S], y: &mut [f64]) {
+    let n = v.len().min(y.len());
+    let vp = v.as_ptr();
+    let yp = y.as_mut_ptr();
+    let va = _mm256_set1_pd(a);
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = _mm256_add_pd(_mm256_mul_pd(S::ld4(vp.add(i)), va), _mm256_loadu_pd(yp.add(i)));
+        _mm256_storeu_pd(yp.add(i), r);
+        i += 4;
+    }
+    while i < n {
+        *yp.add(i) = (*vp.add(i)).to_f64() * a + *yp.add(i);
+        i += 1;
+    }
+}
+
+/// World-A fused `y += a·x` + `‖y_new‖²` (squares of the *stored*, rounded
+/// values, like the scalar kernel; the updated `y` is bit-identical to
+/// [`axpy_stored_a`]).
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn axpy_norm2_a<T: Lane8Dst>(a: f32, x: &[T], y: &mut [T]) -> f64 {
+    let n = x.len().min(y.len());
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let va = _mm256_set1_ps(a);
+    let mut total = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut acc = _mm256_setzero_ps();
+        let mut i = start;
+        while i + 8 <= end {
+            let r = _mm256_add_ps(_mm256_mul_ps(T::ld8(xp.add(i)), va), T::ld8(yp.add(i)));
+            T::st8(yp.add(i), r);
+            // Reload so the norm sees the narrowed (stored) values.
+            let w = T::ld8(yp.add(i));
+            acc = _mm256_fmadd_ps(w, w, acc);
+            i += 8;
+        }
+        let mut tail = 0.0f32;
+        while i < end {
+            let r = (*xp.add(i)).to_f32() * a + (*yp.add(i)).to_f32();
+            *yp.add(i) = T::from_f32(r);
+            let w = (*yp.add(i)).to_f32();
+            tail += w * w;
+            i += 1;
+        }
+        total += f64::from(hsum_ps(acc) + tail);
+        start = end;
+    }
+    total
+}
+
+/// World-B fused `y += a·x` + `‖y_new‖²`.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn axpy_norm2_b(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    let n = x.len().min(y.len());
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let va = _mm256_set1_pd(a);
+    let mut total = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut acc = _mm256_setzero_pd();
+        let mut i = start;
+        while i + 4 <= end {
+            let r = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), va), _mm256_loadu_pd(yp.add(i)));
+            _mm256_storeu_pd(yp.add(i), r);
+            acc = _mm256_fmadd_pd(r, r, acc);
+            i += 4;
+        }
+        let mut tail = 0.0f64;
+        while i < end {
+            let r = *xp.add(i) * a + *yp.add(i);
+            *yp.add(i) = r;
+            tail += r * r;
+            i += 1;
+        }
+        total += hsum_pd(acc) + tail;
+        start = end;
+    }
+    total
+}
+
+/// World-A fused `w = a·x + b·y` + `‖w‖²` (vector output bit-identical to
+/// scalar `waxpby`: two multiplies, one add, one rounding).
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn waxpby_norm2_a<T: Lane8Dst>(
+    a: f32,
+    x: &[T],
+    b: f32,
+    y: &[T],
+    w: &mut [T],
+) -> f64 {
+    let n = x.len().min(y.len()).min(w.len());
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let wp = w.as_mut_ptr();
+    let va = _mm256_set1_ps(a);
+    let vb = _mm256_set1_ps(b);
+    let mut total = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut acc = _mm256_setzero_ps();
+        let mut i = start;
+        while i + 8 <= end {
+            let r = _mm256_add_ps(
+                _mm256_mul_ps(T::ld8(xp.add(i)), va),
+                _mm256_mul_ps(T::ld8(yp.add(i)), vb),
+            );
+            T::st8(wp.add(i), r);
+            let s = T::ld8(wp.add(i));
+            acc = _mm256_fmadd_ps(s, s, acc);
+            i += 8;
+        }
+        let mut tail = 0.0f32;
+        while i < end {
+            let r = (*xp.add(i)).to_f32() * a + (*yp.add(i)).to_f32() * b;
+            *wp.add(i) = T::from_f32(r);
+            let s = (*wp.add(i)).to_f32();
+            tail += s * s;
+            i += 1;
+        }
+        total += f64::from(hsum_ps(acc) + tail);
+        start = end;
+    }
+    total
+}
+
+/// World-B fused `w = a·x + b·y` + `‖w‖²`.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn waxpby_norm2_b(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) -> f64 {
+    let n = x.len().min(y.len()).min(w.len());
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let wp = w.as_mut_ptr();
+    let va = _mm256_set1_pd(a);
+    let vb = _mm256_set1_pd(b);
+    let mut total = 0.0f64;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CASCADE_BLOCK).min(n);
+        let mut acc = _mm256_setzero_pd();
+        let mut i = start;
+        while i + 4 <= end {
+            let r = _mm256_add_pd(
+                _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), va),
+                _mm256_mul_pd(_mm256_loadu_pd(yp.add(i)), vb),
+            );
+            _mm256_storeu_pd(wp.add(i), r);
+            acc = _mm256_fmadd_pd(r, r, acc);
+            i += 4;
+        }
+        let mut tail = 0.0f64;
+        while i < end {
+            let r = *xp.add(i) * a + *yp.add(i) * b;
+            *wp.add(i) = r;
+            tail += r * r;
+            i += 1;
+        }
+        total += hsum_pd(acc) + tail;
+        start = end;
+    }
+    total
+}
+
+/// World-A scaled copy `dst[i] = narrow(to_f32(src[i]) · c)`, the shared
+/// core of `scale`/`scale_into`, compress-on-write and decompress.  Raw
+/// pointers so `src == dst` aliasing (in-place scale) is allowed: each block
+/// is fully read before it is written.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn scale_a<S: Lane8, D: Lane8Dst>(c: f32, src: *const S, dst: *mut D, n: usize) {
+    let vc = _mm256_set1_ps(c);
+    let mut i = 0;
+    while i + 8 <= n {
+        D::st8(dst.add(i), _mm256_mul_ps(S::ld8(src.add(i)), vc));
+        i += 8;
+    }
+    while i < n {
+        let r = (*src.add(i)).to_f32() * c;
+        *dst.add(i) = D::from_f32(r);
+        i += 1;
+    }
+}
+
+/// World-B scaled copy `dst[i] = narrow(to_f64(src[i]) · c)`; same aliasing
+/// contract as [`scale_a`].
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn scale_b<S: Lane4, D: Lane4Dst>(c: f64, src: *const S, dst: *mut D, n: usize) {
+    let vc = _mm256_set1_pd(c);
+    let mut i = 0;
+    while i + 4 <= n {
+        D::st4(dst.add(i), _mm256_mul_pd(S::ld4(src.add(i)), vc));
+        i += 4;
+    }
+    while i < n {
+        let r = (*src.add(i)).to_f64() * c;
+        *dst.add(i) = D::from_f64(r);
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// norm_inf: exact max of absolutes with the scalar kernel's NaN-dropping
+// `>` semantics (a NaN lane never replaces the running max).
+// ---------------------------------------------------------------------------
+
+/// World-A `max |xᵢ|` (exact; NaNs dropped like the scalar `>` fold).
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn norm_inf_a<T: Lane8>(x: &[T]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let sign = _mm256_set1_ps(-0.0);
+    let mut m = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_andnot_ps(sign, T::ld8(xp.add(i)));
+        // v > m (ordered, quiet): false for NaN lanes, so blend keeps m —
+        // exactly the scalar `if v > m { v } else { m }`.
+        m = _mm256_blendv_ps(m, v, _mm256_cmp_ps::<_CMP_GT_OQ>(v, m));
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), m);
+    let mut best = 0.0f32;
+    for v in lanes {
+        if v > best {
+            best = v;
+        }
+    }
+    while i < n {
+        let v = (*xp.add(i)).to_f32().abs();
+        if v > best {
+            best = v;
+        }
+        i += 1;
+    }
+    best
+}
+
+/// World-B `max |xᵢ|`.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn norm_inf_b(x: &[f64]) -> f64 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let sign = _mm256_set1_pd(-0.0);
+    let mut m = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let v = _mm256_andnot_pd(sign, _mm256_loadu_pd(xp.add(i)));
+        m = _mm256_blendv_pd(m, v, _mm256_cmp_pd::<_CMP_GT_OQ>(v, m));
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), m);
+    let mut best = 0.0f64;
+    for v in lanes {
+        if v > best {
+            best = v;
+        }
+    }
+    while i < n {
+        let v = (*xp.add(i)).abs();
+        if v > best {
+            best = v;
+        }
+        i += 1;
+    }
+    best
+}

@@ -1,0 +1,97 @@
+//! Softfloat ↔ F16C conversion agreement.
+//!
+//! The SIMD kernel backend is only allowed to be bit-identical to the scalar
+//! kernels because the hardware f16 converters agree with the vendored
+//! software conversions.  This test proves that agreement on this machine:
+//! every one of the 65536 f16 bit patterns widens (`vcvtph2ps`) to exactly
+//! the bits `f16::to_f32` produces, and a dense sample of the f32 space
+//! narrows (`vcvtps2ph`, round-to-nearest-even) to exactly the bits
+//! `f16::from_f32` produces (NaNs excepted: both sides produce *a* quiet
+//! NaN, but the hardware preserves truncated payloads while the software
+//! canonicalises to `0x7E00`).
+//!
+//! Skipped (trivially passing) on machines without F16C.
+
+#![cfg(target_arch = "x86_64")]
+
+use half::f16;
+
+#[target_feature(enable = "f16c")]
+unsafe fn widen1_hw(h: u16) -> f32 {
+    use core::arch::x86_64::*;
+    let v = _mm_cvtph_ps(_mm_set1_epi16(h as i16));
+    _mm_cvtss_f32(v)
+}
+
+#[target_feature(enable = "f16c")]
+unsafe fn narrow1_hw(v: f32) -> u16 {
+    use core::arch::x86_64::*;
+    let h = _mm_cvtps_ph::<{ core::arch::x86_64::_MM_FROUND_TO_NEAREST_INT }>(_mm_set1_ps(v));
+    (_mm_cvtsi128_si32(h) & 0xFFFF) as u16
+}
+
+#[test]
+fn widen_matches_f16c_on_all_65536_bit_patterns() {
+    if !is_x86_feature_detected!("f16c") {
+        eprintln!("skipping: CPU has no F16C");
+        return;
+    }
+    for bits in 0..=0xFFFFu16 {
+        let soft = f16::from_bits(bits).to_f32();
+        // SAFETY: guarded by the is_x86_feature_detected! check above.
+        let hard = unsafe { widen1_hw(bits) };
+        assert_eq!(
+            soft.to_bits(),
+            hard.to_bits(),
+            "widen disagreement at f16 bits {bits:#06x}: soft {:#010x} vs f16c {:#010x}",
+            soft.to_bits(),
+            hard.to_bits()
+        );
+    }
+}
+
+#[test]
+fn narrow_matches_f16c_round_to_nearest_even_across_f32_sweep() {
+    if !is_x86_feature_detected!("f16c") {
+        eprintln!("skipping: CPU has no F16C");
+        return;
+    }
+    // Prime stride covering every exponent and many mantissa/rounding
+    // patterns, plus the neighbourhood of every finite f16 value (the
+    // round-to-nearest-even boundaries).
+    let mut bits = 0u32;
+    loop {
+        check_narrow(f32::from_bits(bits));
+        let (next, overflow) = bits.overflowing_add(0x0001_0007);
+        if overflow {
+            break;
+        }
+        bits = next;
+    }
+    for h in 0..=0xFFFFu16 {
+        let f = f16::from_bits(h);
+        if !f.is_finite() {
+            continue;
+        }
+        let fb = f.to_f32().to_bits();
+        for delta in -3i32..=3 {
+            check_narrow(f32::from_bits(fb.wrapping_add(delta as u32)));
+        }
+    }
+}
+
+fn check_narrow(v: f32) {
+    let soft = f16::from_f32(v);
+    // SAFETY: callers run only after the is_x86_feature_detected! guard.
+    let hard = f16::from_bits(unsafe { narrow1_hw(v) });
+    if v.is_nan() {
+        assert!(soft.is_nan() && hard.is_nan(), "NaN for {:#010x}", v.to_bits());
+    } else {
+        assert_eq!(
+            soft.to_bits(),
+            hard.to_bits(),
+            "narrow disagreement at f32 bits {:#010x} ({v:e})",
+            v.to_bits()
+        );
+    }
+}

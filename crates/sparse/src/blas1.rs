@@ -23,6 +23,18 @@
 //! dispatch chunk tasks to the persistent `f3r-parallel` worker pool; the
 //! dispatch threshold is the shared
 //! [`f3r_parallel::thresholds::PAR_LEN_THRESHOLD`].
+//!
+//! # SIMD backend
+//!
+//! The hot kernels first offer their chunk to the runtime-dispatched
+//! `f3r-simd` backend (`try_*` entry points) and fall into their scalar
+//! loops when it declines — scalar backend forced, unsupported type
+//! combination, or a non-x86-64 build.  Element-wise kernels are
+//! bit-identical across backends; reductions agree within the documented
+//! cascade bounds (see the `f3r_simd` crate docs for the exact contract).
+//! The interception sits *inside* the per-chunk bodies, so the sequential
+//! and pool-parallel variants of a kernel always run the same backend on
+//! identical chunk geometry.
 
 use f3r_precision::{FromScalar, Scalar};
 
@@ -30,11 +42,14 @@ use f3r_precision::{FromScalar, Scalar};
 /// (re-exported from the shared threshold table in `f3r-parallel`).
 pub use f3r_parallel::thresholds::PAR_LEN_THRESHOLD;
 
-/// Minimum elements per pool task.  A 2^14-element chunk streams 64–256 KiB
-/// depending on precision — several microseconds of memory traffic against
-/// the pool's ~1 µs dispatch cost, and small enough that vectors just above
-/// [`PAR_LEN_THRESHOLD`] still split across workers.
-const MIN_LEN_PER_TASK: usize = 1 << 14;
+/// Minimum elements per pool task.  A 2^15-element chunk streams 128–512 KiB
+/// depending on precision — tens of microseconds of memory traffic against
+/// the pool's ~1 µs dispatch cost, while still letting vectors just above
+/// [`PAR_LEN_THRESHOLD`] split across workers.  The grain doubled from 2^14
+/// when the SIMD backend landed: vectorised sweeps finish a chunk roughly
+/// 2–8× faster (most dramatically for fp16), so the old grain left the
+/// per-task dispatch overhead a visible fraction of the chunk runtime.
+const MIN_LEN_PER_TASK: usize = 1 << 15;
 
 /// Elements accumulated in `T::Accum` before the partial sum is folded into
 /// `f64`.  This bounds every accumulation-precision chain at
@@ -62,6 +77,9 @@ fn for_cascade_blocks(len: usize, mut f: impl FnMut(usize, usize)) {
 /// Unrolled dot kernel over one contiguous chunk, returned in `f64`.
 #[inline]
 fn dot_chunk<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    if let Some(d) = f3r_simd::try_dot(x, y) {
+        return d;
+    }
     let mut total = 0.0f64;
     for_cascade_blocks(x.len(), |start, end| {
         let (xb, yb) = (&x[start..end], &y[start..end]);
@@ -119,6 +137,9 @@ pub fn dot2<T: Scalar>(x1: &[T], y1: &[T], x2: &[T], y2: &[T]) -> (f64, f64) {
     assert_eq!(x1.len(), x2.len(), "dot2: length mismatch");
     assert_eq!(x2.len(), y2.len(), "dot2: length mismatch");
     let body = |x1: &[T], y1: &[T], x2: &[T], y2: &[T]| -> (f64, f64) {
+        if let Some(d) = f3r_simd::try_dot2(x1, y1, x2, y2) {
+            return d;
+        }
         let mut t1 = 0.0f64;
         let mut t2 = 0.0f64;
         for_cascade_blocks(x1.len(), |start, end| {
@@ -158,6 +179,10 @@ pub fn dot2<T: Scalar>(x1: &[T], y1: &[T], x2: &[T], y2: &[T]) -> (f64, f64) {
 /// Fused `(xᵀ y, xᵀ x)` in one pass over `x` (reads `x` once instead of
 /// twice).  This is the BiCGStab `ω = (t, s)/(t, t)` and Richardson
 /// `ω′ = (r, AMr)/(AMr, AMr)` reduction shape.
+///
+/// Stays on the scalar path (no `f3r-simd` entry point yet): it is issued
+/// once per outer iteration on data the fused SpMV variants already cover,
+/// so it is far off the profile compared to `dot`/`dot2`.
 #[must_use]
 pub fn dot_with_sqnorm<T: Scalar>(x: &[T], y: &[T]) -> (f64, f64) {
     assert_eq!(x.len(), y.len(), "dot_with_sqnorm: length mismatch");
@@ -209,6 +234,12 @@ pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
 /// One contiguous chunk of an axpy update (`chunk ← chunk + a * xs`).
 #[inline]
 fn axpy_chunk<T: Scalar>(a: T::Accum, xs: &[T], chunk: &mut [T]) {
+    // `a.to_f64()` is exact (accum → f64 widening), and the SIMD side
+    // re-narrows it back to the accumulation precision, so both backends
+    // multiply by bit-identical coefficients.
+    if f3r_simd::try_axpy_stored(a.to_f64(), xs, chunk) {
+        return;
+    }
     for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
         *yi = T::narrow(xi.widen() * a + yi.widen());
     }
@@ -244,6 +275,9 @@ pub fn axpy_norm2<T: Scalar>(alpha: f64, x: &[T], y: &mut [T]) -> f64 {
     let a = <T::Accum as Scalar>::from_f64(alpha);
     let body = |base: usize, chunk: &mut [T]| -> f64 {
         let xs = &x[base..base + chunk.len()];
+        if let Some(s) = f3r_simd::try_axpy_norm2(alpha, xs, chunk) {
+            return s;
+        }
         let mut total = 0.0f64;
         for_cascade_blocks(chunk.len(), |start, end| {
             let mut s0 = <T::Accum as Scalar>::zero();
@@ -294,6 +328,9 @@ pub fn waxpby_norm2<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &[T], w: &mut 
     let body = |base: usize, chunk: &mut [T]| -> f64 {
         let xs = &x[base..base + chunk.len()];
         let ys = &y[base..base + chunk.len()];
+        if let Some(s) = f3r_simd::try_waxpby_norm2(alpha, xs, beta, ys, chunk) {
+            return s;
+        }
         let mut total = 0.0f64;
         for_cascade_blocks(chunk.len(), |start, end| {
             let mut s = <T::Accum as Scalar>::zero();
@@ -358,6 +395,9 @@ pub fn waxpby<T: Scalar>(alpha: f64, x: &[T], beta: f64, y: &[T], w: &mut [T]) {
 pub fn scale<T: Scalar>(alpha: f64, x: &mut [T]) {
     let a = <T::Accum as Scalar>::from_f64(alpha);
     let body = |_base: usize, chunk: &mut [T]| {
+        if f3r_simd::try_scale(alpha, chunk) {
+            return;
+        }
         for xi in chunk.iter_mut() {
             *xi = T::narrow(xi.widen() * a);
         }
@@ -376,6 +416,9 @@ pub fn scale_into<T: Scalar>(alpha: f64, src: &[T], dst: &mut [T]) {
     let a = <T::Accum as Scalar>::from_f64(alpha);
     let body = |base: usize, chunk: &mut [T]| {
         let xs = &src[base..base + chunk.len()];
+        if f3r_simd::try_scale_into(alpha, xs, chunk) {
+            return;
+        }
         for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
             *di = T::narrow(si.widen() * a);
         }
@@ -462,6 +505,11 @@ pub fn narrow_scaled_into<T: Scalar, S: Scalar>(alpha: f64, src: &[T], dst: &mut
         // (one read + one write sweep, no extra max-reduction pass).
         let body = |base: usize, chunk: &mut [S]| {
             let xs = &src[base..base + chunk.len()];
+            // `c = 1` compress: multiplying by one is exact, so the SIMD
+            // kernel stores exactly `si.widen().into_scalar()` too.
+            if f3r_simd::try_compress(1.0, xs, chunk) {
+                return;
+            }
             for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
                 *di = si.widen().into_scalar();
             }
@@ -490,6 +538,9 @@ pub fn narrow_scaled_into<T: Scalar, S: Scalar>(alpha: f64, src: &[T], dst: &mut
         let inv = <T::Accum as Scalar>::from_f64(inv_f64);
         let body = |base: usize, chunk: &mut [S]| {
             let xs = &src[base..base + chunk.len()];
+            if f3r_simd::try_compress(inv_f64, xs, chunk) {
+                return;
+            }
             for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
                 *di = (si.widen() * inv).into_scalar();
             }
@@ -526,6 +577,9 @@ pub fn widen_scaled_into<S: Scalar, T: Scalar>(scale: f64, src: &[S], dst: &mut 
         let a = <T::Accum as Scalar>::from_f64(scale);
         let body = |base: usize, chunk: &mut [T]| {
             let xs = &src[base..base + chunk.len()];
+            if f3r_simd::try_widen_scaled(scale, xs, chunk) {
+                return;
+            }
             for (di, &si) in chunk.iter_mut().zip(xs.iter()) {
                 *di = T::narrow(<T::Accum as FromScalar>::from_scalar(si) * a);
             }
@@ -554,6 +608,9 @@ pub fn widen_scaled_into<S: Scalar, T: Scalar>(scale: f64, src: &[S], dst: &mut 
 /// precision, `v` stored, result in `f64` *without* the amplitude scale.
 #[inline]
 fn dot_stored_chunk<T: Scalar, S: Scalar>(x: &[T], v: &[S]) -> f64 {
+    if let Some(d) = f3r_simd::try_dot_stored(x, v) {
+        return d;
+    }
     let mut total = 0.0f64;
     for_cascade_blocks(x.len(), |start, end| {
         let (xb, vb) = (&x[start..end], &v[start..end]);
@@ -600,6 +657,10 @@ pub fn dot_compressed<T: Scalar, S: Scalar>(x: &[T], v: &[S], scale: f64) -> f64
 /// This is the compressed counterpart of [`dot2`] for the FGMRES classical
 /// Gram–Schmidt projections — `x` (the new Krylov direction) streams once per
 /// *pair* of basis vectors instead of once per vector.
+///
+/// Stays on the scalar path: the mixed-precision two-vector fusion has no
+/// `f3r-simd` entry point yet, and the single-dot core it decomposes into
+/// ([`dot_compressed`]) is already vectorised.
 #[must_use]
 pub fn dot2_compressed<T: Scalar, S: Scalar>(
     x: &[T],
@@ -660,6 +721,9 @@ pub fn axpy_scaled_from<T: Scalar, S: Scalar>(alpha: f64, v: &[S], scale: f64, y
         let a = <T::Accum as Scalar>::from_f64(c);
         let body = |base: usize, chunk: &mut [T]| {
             let xs = &v[base..base + chunk.len()];
+            if f3r_simd::try_axpy_stored(c, xs, chunk) {
+                return;
+            }
             for (yi, &xi) in chunk.iter_mut().zip(xs.iter()) {
                 *yi = T::narrow(<T::Accum as FromScalar>::from_scalar(xi) * a + yi.widen());
             }
@@ -688,6 +752,10 @@ pub fn axpy_scaled_from<T: Scalar, S: Scalar>(alpha: f64, v: &[S], scale: f64, y
 /// sweep — the compressed counterpart of [`axpy_norm2`], used for the last
 /// FGMRES orthogonalisation update so `y` is not swept again for
 /// `h_{j+1,j}`.
+///
+/// Stays on the scalar path (no mixed-precision fused `f3r-simd` entry point
+/// yet); it runs once per FGMRES iteration against `j` vectorised
+/// [`axpy_scaled_from`] calls, so the scalar cost is amortised.
 #[must_use]
 pub fn axpy_scaled_norm2<T: Scalar, S: Scalar>(
     alpha: f64,
@@ -760,27 +828,97 @@ pub fn set_zero<T: Scalar>(x: &mut [T]) {
 }
 
 /// Element-wise product `z ← x ⊙ y` (used by diagonal preconditioning).
+///
+/// Follows the single-widening convention (one widening per operand, one
+/// [`Scalar::narrow`] per element), unrolled by four so LLVM vectorises the
+/// fp32/fp64 instantiations, and dispatches to the worker pool above
+/// [`PAR_LEN_THRESHOLD`] like the other element-wise kernels.
 pub fn hadamard<T: Scalar>(x: &[T], y: &[T], z: &mut [T]) {
     assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
     assert_eq!(x.len(), z.len(), "hadamard: length mismatch");
-    for i in 0..x.len() {
-        z[i] = T::narrow(x[i].widen() * y[i].widen());
+    let body = |base: usize, chunk: &mut [T]| {
+        let xs = &x[base..base + chunk.len()];
+        let ys = &y[base..base + chunk.len()];
+        let n4 = chunk.len() & !3;
+        let mut i = 0;
+        while i < n4 {
+            for k in 0..4 {
+                chunk[i + k] = T::narrow(xs[i + k].widen() * ys[i + k].widen());
+            }
+            i += 4;
+        }
+        for j in n4..chunk.len() {
+            chunk[j] = T::narrow(xs[j].widen() * ys[j].widen());
+        }
+    };
+    if x.len() >= PAR_LEN_THRESHOLD {
+        f3r_parallel::par_chunks_mut(z, MIN_LEN_PER_TASK, body);
+    } else {
+        body(0, z);
     }
 }
 
 /// Maximum absolute entry `‖x‖_∞`.
+///
+/// Four independent max chains (max selection commutes, so the unrolled fold
+/// is exactly the sequential fold); each element is widened once into
+/// `T::Accum` before the comparison.  NaN entries never replace the running
+/// max — the `>` comparison is false for NaN — matching the scalar fold this
+/// kernel always used, and the SIMD backend replicates exactly.
 #[must_use]
 pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
-    x.iter()
-        .map(|v| v.widen().abs())
-        .fold(<T::Accum as Scalar>::zero(), |m, v| if v > m { v } else { m })
-        .to_f64()
+    if let Some(m) = f3r_simd::try_norm_inf(x) {
+        return m;
+    }
+    let mut m = [<T::Accum as Scalar>::zero(); 4];
+    let mut x4 = x.chunks_exact(4);
+    for c in &mut x4 {
+        for k in 0..4 {
+            let v = c[k].widen().abs();
+            if v > m[k] {
+                m[k] = v;
+            }
+        }
+    }
+    let mut best = <T::Accum as Scalar>::zero();
+    for mk in m {
+        if mk > best {
+            best = mk;
+        }
+    }
+    for &v in x4.remainder() {
+        let v = v.widen().abs();
+        if v > best {
+            best = v;
+        }
+    }
+    best.to_f64()
 }
 
-/// Sum of the entries, accumulated in `f64`.
+/// Sum of the entries, accumulated in `T::Accum` over eight independent
+/// chains with the shared `f64` cascade every 4096 elements — the same
+/// single-widening reduction scheme as [`dot`].
 #[must_use]
 pub fn sum<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|v| v.to_f64()).sum()
+    let mut total = 0.0f64;
+    for_cascade_blocks(x.len(), |start, end| {
+        let xb = &x[start..end];
+        let mut acc = [<T::Accum as Scalar>::zero(); 8];
+        let mut x8 = xb.chunks_exact(8);
+        for c in &mut x8 {
+            for k in 0..8 {
+                acc[k] += c[k].widen();
+            }
+        }
+        let mut tail = <T::Accum as Scalar>::zero();
+        for &v in x8.remainder() {
+            tail += v.widen();
+        }
+        let p0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        let p1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+        total += ((p0 + p1) + tail).to_f64();
+    });
+    total
 }
 
 #[cfg(test)]

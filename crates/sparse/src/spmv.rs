@@ -33,6 +33,22 @@
 //! on the persistent `f3r-parallel` worker pool); the un-suffixed entry
 //! points dispatch on problem size so small systems do not pay even the
 //! pool's (small) dispatch overhead.
+//!
+//! # SIMD backend
+//!
+//! Row accumulators are computed through the runtime-dispatched `f3r-simd`
+//! backend when it is active: CSR rows with at least eight entries go
+//! through gather-based vector kernels ([`f3r_simd::try_spmv_row`]), SELL
+//! chunks whose height is a multiple of eight are processed eight rows at a
+//! time ([`f3r_simd::try_sell_group8`]).  Whether a given row takes the SIMD
+//! or the scalar path depends only on *global* properties (latched backend,
+//! row length, chunk geometry, vector length) — never on which parallel task
+//! computes it — so the sequential and parallel variants stay bit-identical,
+//! as the tests assert.  Accumulation order inside a SIMD row differs from
+//! the scalar chains (8/4 lanes with FMA instead of 4/2 scalar chains), so
+//! row results agree with the scalar backend within the usual reduction
+//! bounds rather than bitwise; everything downstream of the row accumulator
+//! (narrowing, scale folds, fused dots) is unchanged.
 
 use f3r_precision::{FromScalar, Scalar};
 
@@ -83,6 +99,23 @@ fn spmv_row<TA: Scalar, TV: Scalar>(cols: &[u32], vals: &[TA], x: &[TV]) -> TV::
     (acc0 + acc1) + (acc2 + acc3)
 }
 
+/// One CSR row through the kernel backend: the SIMD gather kernel when the
+/// backend accepts the row (active backend, ≥ 8 entries, gather-safe vector
+/// length), the scalar [`spmv_row`] otherwise.  The acceptance conditions
+/// are global per (matrix, vector) pair, so sequential and parallel sweeps
+/// make identical per-row choices.
+#[inline(always)]
+fn row_acc<TA: Scalar, TV: Scalar>(cols: &[u32], vals: &[TA], x: &[TV]) -> TV::Accum {
+    // SAFETY: `try_spmv_row` requires every column index to be a valid index
+    // into `x` — the CsrMatrix constructor invariant plus the public kernels'
+    // `x.len() == n_cols` assertion (the same contract `spmv_row`'s unchecked
+    // gathers rely on).
+    if let Some(acc) = unsafe { f3r_simd::try_spmv_row(cols, vals, x) } {
+        return acc;
+    }
+    spmv_row(cols, vals, x)
+}
+
 /// Sequential CSR SpMV: `y = A x`.
 ///
 /// # Panics
@@ -92,7 +125,7 @@ pub fn spmv_seq<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV
     assert_eq!(y.len(), a.n_rows(), "spmv: y length mismatch");
     for (row, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row_entries(row);
-        *yi = TV::narrow(spmv_row(cols, vals, x));
+        *yi = TV::narrow(row_acc(cols, vals, x));
     }
 }
 
@@ -103,7 +136,7 @@ pub fn spmv_par<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], y: &mut [TV
     f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
         for (i, yi) in chunk.iter_mut().enumerate() {
             let (cols, vals) = a.row_entries(base + i);
-            *yi = TV::narrow(spmv_row(cols, vals, x));
+            *yi = TV::narrow(row_acc(cols, vals, x));
         }
     });
 }
@@ -136,7 +169,7 @@ pub fn spmv_residual<TA: Scalar, TV: Scalar>(
         for (i, ri) in chunk.iter_mut().enumerate() {
             let row = base + i;
             let (cols, vals) = a.row_entries(row);
-            let ax = spmv_row(cols, vals, x);
+            let ax = row_acc(cols, vals, x);
             *ri = TV::narrow(b[row].widen() - ax);
         }
     };
@@ -168,7 +201,7 @@ pub fn spmv_dot2<TA: Scalar, TV: Scalar>(
         for (i, yi) in chunk.iter_mut().enumerate() {
             let row = base + i;
             let (cols, vals) = a.row_entries(row);
-            let acc = spmv_row(cols, vals, x);
+            let acc = row_acc(cols, vals, x);
             // Round once, then accumulate the dots on the *stored* value so
             // the result is bit-identical to running the dots after the SpMV.
             let stored = TV::narrow(acc);
@@ -219,7 +252,7 @@ pub fn spmv_scaled_seq<TA: Scalar, TV: Scalar>(a: &ScaledCsr<TA>, x: &[TV], y: &
     let (m, scales) = (a.matrix(), a.row_scales());
     for (row, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = m.row_entries(row);
-        *yi = fold_scale::<TV>(spmv_row(cols, vals, x), scales[row]);
+        *yi = fold_scale::<TV>(row_acc(cols, vals, x), scales[row]);
     }
 }
 
@@ -231,7 +264,7 @@ pub fn spmv_scaled_par<TA: Scalar, TV: Scalar>(a: &ScaledCsr<TA>, x: &[TV], y: &
     f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
         for (i, yi) in chunk.iter_mut().enumerate() {
             let (cols, vals) = m.row_entries(base + i);
-            *yi = fold_scale::<TV>(spmv_row(cols, vals, x), scales[base + i]);
+            *yi = fold_scale::<TV>(row_acc(cols, vals, x), scales[base + i]);
         }
     });
 }
@@ -262,7 +295,7 @@ pub fn spmv_scaled_residual<TA: Scalar, TV: Scalar>(
         for (i, ri) in chunk.iter_mut().enumerate() {
             let row = base + i;
             let (cols, vals) = m.row_entries(row);
-            let ax = spmv_row(cols, vals, x).to_f64() * scales[row];
+            let ax = row_acc(cols, vals, x).to_f64() * scales[row];
             *ri = TV::from_f64(b[row].to_f64() - ax);
         }
     };
@@ -292,7 +325,7 @@ pub fn spmv_scaled_dot2<TA: Scalar, TV: Scalar>(
         for (i, yi) in chunk.iter_mut().enumerate() {
             let row = base + i;
             let (cols, vals) = m.row_entries(row);
-            let stored = fold_scale::<TV>(spmv_row(cols, vals, x), scales[row]);
+            let stored = fold_scale::<TV>(row_acc(cols, vals, x), scales[row]);
             *yi = stored;
             let w = stored.to_f64();
             uy += u[row].to_f64() * w;
@@ -319,9 +352,9 @@ pub fn spmv_scaled_sell_seq<TA: Scalar, TV: Scalar>(
     assert_eq!(x.len(), a.n_cols(), "scaled sell spmv: x length mismatch");
     assert_eq!(y.len(), a.n_rows(), "scaled sell spmv: y length mismatch");
     let (m, scales) = (a.matrix(), a.row_scales());
-    for (row, yi) in y.iter_mut().enumerate() {
-        *yi = fold_scale::<TV>(sell_row(m, row, x), scales[row]);
-    }
+    sell_sweep(m, x, 0, y.len(), |row, acc| {
+        y[row] = fold_scale::<TV>(acc, scales[row]);
+    });
 }
 
 /// Thread-parallel scaled sliced-ELLPACK SpMV.
@@ -334,9 +367,9 @@ pub fn spmv_scaled_sell_par<TA: Scalar, TV: Scalar>(
     assert_eq!(y.len(), a.n_rows(), "scaled sell spmv: y length mismatch");
     let (m, scales) = (a.matrix(), a.row_scales());
     f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
-        for (i, yi) in chunk.iter_mut().enumerate() {
-            *yi = fold_scale::<TV>(sell_row(m, base + i, x), scales[base + i]);
-        }
+        sell_sweep(m, x, base, chunk.len(), |row, acc| {
+            chunk[row - base] = fold_scale::<TV>(acc, scales[row]);
+        });
     });
 }
 
@@ -356,9 +389,9 @@ pub fn spmv_scaled_sell<TA: Scalar, TV: Scalar>(a: &ScaledSell<TA>, x: &[TV], y:
 pub fn spmv_sell_seq<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &mut [TV]) {
     assert_eq!(x.len(), a.n_cols(), "sell spmv: x length mismatch");
     assert_eq!(y.len(), a.n_rows(), "sell spmv: y length mismatch");
-    for (row, yi) in y.iter_mut().enumerate() {
-        *yi = TV::narrow(sell_row(a, row, x));
-    }
+    sell_sweep(a, x, 0, y.len(), |row, acc| {
+        y[row] = TV::narrow(acc);
+    });
 }
 
 /// Thread-parallel sliced-ELLPACK SpMV.
@@ -366,9 +399,9 @@ pub fn spmv_sell_par<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &m
     assert_eq!(x.len(), a.n_cols(), "sell spmv: x length mismatch");
     assert_eq!(y.len(), a.n_rows(), "sell spmv: y length mismatch");
     f3r_parallel::par_chunks_mut(y, MIN_ROWS_PER_TASK, |base, chunk| {
-        for (i, yi) in chunk.iter_mut().enumerate() {
-            *yi = TV::narrow(sell_row(a, base + i, x));
-        }
+        sell_sweep(a, x, base, chunk.len(), |row, acc| {
+            chunk[row - base] = TV::narrow(acc);
+        });
     });
 }
 
@@ -378,6 +411,60 @@ pub fn spmv_sell<TA: Scalar, TV: Scalar>(a: &SellMatrix<TA>, x: &[TV], y: &mut [
         spmv_sell_par(a, x, y);
     } else {
         spmv_sell_seq(a, x, y);
+    }
+}
+
+/// Compute SELL rows `base .. base + count`, handing each row's accumulator
+/// to `emit(row, acc)` (absolute row index).
+///
+/// When the SIMD backend is active and the chunk height is a multiple of
+/// eight, rows are processed in *globally aligned* groups of eight
+/// (rows `[8g, 8g + 8)`, all inside one chunk by the alignment): the column
+/// lanes of the whole group load as one vector per lane position, so the
+/// column-major SELL layout streams contiguously instead of gathering.  A
+/// parallel task whose boundary cuts through a group computes the **full**
+/// group and emits only its own rows — the few boundary rows are computed
+/// twice (cheap, read-only) so every row's accumulator is identical no
+/// matter which task computes it, keeping the sequential and parallel
+/// variants bit-identical.  The trailing partial group (when `n_rows % 8 !=
+/// 0`) and every row of a declined group fall back to the scalar
+/// [`sell_row`], again a global property, so backend choice is per-row
+/// deterministic.
+#[inline(always)]
+fn sell_sweep<TA: Scalar, TV: Scalar>(
+    a: &SellMatrix<TA>,
+    x: &[TV],
+    base: usize,
+    count: usize,
+    mut emit: impl FnMut(usize, TV::Accum),
+) {
+    let end = base + count;
+    let grouped = a.chunk_size().is_multiple_of(8)
+        && x.len() <= f3r_simd::MAX_GATHER_LEN
+        && f3r_simd::kernel_backend().is_simd();
+    let mut row = base;
+    while row < end {
+        let g0 = row & !7;
+        if grouped && g0 + 8 <= a.n_rows() {
+            let (cols, vals, stride, width) = a.row_lanes(g0);
+            // SAFETY: column indices are bounded by n_cols (SellMatrix
+            // construction; padding lanes store the row's own index) and the
+            // public kernels assert x.len() == n_cols.  The lane window is in
+            // bounds: row_lanes(g0) slices run to the end of the chunk, whose
+            // height is a multiple of 8 and whose lane offset g0 % chunk is
+            // too, so `(width - 1) * stride + 8 <= slice length`.
+            if let Some(accs) = unsafe { f3r_simd::try_sell_group8(cols, vals, stride, width, x) }
+            {
+                let hi = end.min(g0 + 8);
+                while row < hi {
+                    emit(row, accs[row - g0]);
+                    row += 1;
+                }
+                continue;
+            }
+        }
+        emit(row, sell_row(a, row, x));
+        row += 1;
     }
 }
 

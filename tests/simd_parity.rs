@@ -1,0 +1,607 @@
+//! SIMD/scalar parity sweep for the runtime-dispatched kernel backend.
+//!
+//! The `f3r-simd` crate intercepts the hot kernels in `f3r_sparse::{spmv,
+//! blas1}` when the CPU supports F16C/AVX2/FMA.  This suite drives the
+//! *dispatched* kernels (whatever backend the process latched — `auto` on
+//! CI's main legs, `scalar` on the forced leg) against the naive
+//! `f3r_sparse::reference` kernels and against each other, over the inputs
+//! where vectorised code paths earn their keep and where they historically
+//! go wrong:
+//!
+//! * odd lengths and remainder tails (1, 7, 9, 17, 31, …) around the 8-wide
+//!   unroll and the 4096-element cascade boundary,
+//! * CSR rows dense enough (≥ 8 nnz) that the gather-based SpMV row kernel
+//!   actually engages, alongside empty rows and sub-width rows,
+//! * SELL chunks that are and are not multiples of the 8-row group kernel,
+//! * extreme amplitudes: fp16 subnormals, and `f64` magnitudes far outside
+//!   the fp16/fp32 exponent range through the compressed-basis kernels.
+//!
+//! # Tolerances
+//!
+//! The bounds are the ones documented in `crates/simd/src/lib.rs` and
+//! `tests/proptest_kernels.rs`:
+//!
+//! * **Element-wise kernels** (axpy, waxpby, scale, hadamard, compress /
+//!   decompress): the SIMD kernels are bit-identical to the scalar unrolled
+//!   kernels, so the only divergence from the *reference* is the final
+//!   rounding of differently-associated arithmetic — one storage-precision
+//!   ulp relative to the operand magnitudes entering the rounding.
+//! * **Reductions** (dot, SpMV rows, norms, sum): both sides accumulate in
+//!   `T::Accum` but in different orders (8-wide SIMD lanes vs. sequential),
+//!   so they may differ by the standard summation bound, a small multiple
+//!   of `n · ε_accum · Σ|terms|`.
+//! * **`norm_inf`**: exactly equal — `max` commutes, and the SIMD kernel
+//!   reproduces the scalar NaN-dropping `>` semantics.
+//! * **Fused vs. unfused** (`axpy` vs. `axpy_norm2` vector output,
+//!   `scale` vs. `scale_into`, seq vs. par): bit-identical by design; these
+//!   are asserted with `assert_eq!` on the bits.
+
+use f3r::precision::{Precision, Scalar};
+use f3r::sparse::reference;
+use f3r::sparse::spmv::{
+    spmv_dot2, spmv_par, spmv_residual, spmv_scaled_seq, spmv_scaled_sell_seq, spmv_seq,
+    spmv_sell_par, spmv_sell_seq,
+};
+use f3r::sparse::{blas1, CooMatrix, CsrMatrix, ScaledCsr, ScaledSell, SellMatrix};
+use half::f16;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lengths that stress the 8-wide unroll, its remainder tail, and the
+/// 4096-element cascade boundary.
+const LENGTHS: &[usize] = &[1, 2, 7, 8, 9, 16, 17, 31, 63, 100, 255, 1023, 4095, 4096, 4097];
+
+fn rng_for(test: &str, case: u64) -> StdRng {
+    let tag: u64 = test.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    StdRng::seed_from_u64(tag ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One ulp of `v` in a precision with the given epsilon (floored so
+/// zero-adjacent comparisons stay meaningful).
+fn ulp(v: f64, eps: f64) -> f64 {
+    v.abs().max(1e-30) * eps
+}
+
+/// Square CSR matrix whose every row has exactly `per_row` distinct entries
+/// (consecutive columns starting at the diagonal, wrapping), so the
+/// gather-based SIMD row kernel engages whenever `per_row >= 8`.
+fn dense_rows_csr(rng: &mut StdRng, n: usize, per_row: usize) -> CsrMatrix<f64> {
+    assert!(per_row <= n);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        for k in 0..per_row {
+            let j = (i + k) % n;
+            let v = if k == 0 { rng.gen_range(1.0..2.0) } else { rng.gen_range(-1.0..1.0) };
+            coo.push(i, j, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Row-wise `Σ|aᵢⱼ·xⱼ|`, the conditioning term of the summation bound.
+fn row_abs_sum<TA: Scalar, TV: Scalar>(a: &CsrMatrix<TA>, x: &[TV], row: usize) -> f64 {
+    let (cols, vals) = a.row_entries(row);
+    cols.iter()
+        .zip(vals.iter())
+        .map(|(&c, v)| (v.to_f64() * x[c as usize].to_f64()).abs())
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// SpMV: dense rows (SIMD gather path), empty rows, SELL groups
+// ---------------------------------------------------------------------------
+
+fn spmv_dense_rows_parity<TA: Scalar, TV: Scalar>(case: u64) {
+    let mut rng = rng_for("simd_spmv", case);
+    // Row widths straddling the `>= 8 nnz` SIMD gate: 8 (exactly one group
+    // of gathers, no tail), 11 and 19 (tails of 3), plus sub-width 5 rows.
+    let per_row = [5, 8, 11, 19][(case % 4) as usize];
+    let n = rng.gen_range(9..48.max(per_row + 1));
+    let per_row = per_row.min(n);
+    let a64 = dense_rows_csr(&mut rng, n, per_row);
+    let a: CsrMatrix<TA> = a64.to_precision();
+    let x: Vec<TV> = (0..n).map(|_| TV::from_f64(rng.gen_range(-1.0..1.0))).collect();
+    let b: Vec<TV> = (0..n).map(|_| TV::from_f64(rng.gen_range(-1.0..1.0))).collect();
+    let eps_accum = <TV::Accum as Scalar>::epsilon();
+
+    let mut y_new = vec![TV::zero(); n];
+    let mut y_par = vec![TV::zero(); n];
+    let mut y_ref = vec![TV::zero(); n];
+    spmv_seq(&a, &x, &mut y_new);
+    spmv_par(&a, &x, &mut y_par);
+    reference::spmv_seq_naive(&a, &x, &mut y_ref);
+    for row in 0..n {
+        // seq and par must agree bit-for-bit: path choice depends only on
+        // the row, never on which task computes it.
+        assert_eq!(
+            y_new[row].to_f64(),
+            y_par[row].to_f64(),
+            "case {case} {}x{} seq/par row {row}",
+            TA::name(),
+            TV::name()
+        );
+        let abs_sum = row_abs_sum(&a, &x, row);
+        let tol = 4.0 * (per_row as f64) * eps_accum * abs_sum
+            + ulp(y_ref[row].to_f64(), TV::epsilon());
+        assert!(
+            (y_new[row].to_f64() - y_ref[row].to_f64()).abs() <= tol,
+            "case {case} {}x{} row {row} ({} nnz): {} vs {} (tol {tol:e})",
+            TA::name(),
+            TV::name(),
+            per_row,
+            y_new[row],
+            y_ref[row],
+        );
+    }
+
+    // Fused residual: same row sums, minus b, same bound structure as the
+    // reference (which rounds A·x into TV before subtracting).
+    let mut r_new = vec![TV::zero(); n];
+    let mut r_ref = vec![TV::zero(); n];
+    spmv_residual(&a, &x, &b, &mut r_new);
+    reference::spmv_residual_naive(&a, &x, &b, &mut r_ref);
+    for row in 0..n {
+        let abs_sum = row_abs_sum(&a, &x, row) + b[row].to_f64().abs();
+        let tol = 4.0 * (per_row as f64) * eps_accum * abs_sum
+            + 2.0 * TV::epsilon() * abs_sum
+            + 2.0 * ulp(r_ref[row].to_f64(), TV::epsilon());
+        assert!(
+            (r_new[row].to_f64() - r_ref[row].to_f64()).abs() <= tol,
+            "case {case} residual {}x{} row {row}",
+            TA::name(),
+            TV::name(),
+        );
+    }
+
+    // Fused SpMV + dual dot: stored vector bit-identical to the plain SpMV.
+    let mut y_fused = vec![TV::zero(); n];
+    let (uy, yy) = spmv_dot2(&a, &x, &b, &mut y_fused);
+    for row in 0..n {
+        assert_eq!(
+            y_fused[row].to_f64(),
+            y_new[row].to_f64(),
+            "case {case} fused spmv row {row}"
+        );
+    }
+    let uy_ref: f64 = b.iter().zip(&y_new).map(|(u, y)| u.to_f64() * y.to_f64()).sum();
+    let yy_ref: f64 = y_new.iter().map(|y| y.to_f64() * y.to_f64()).sum();
+    let dot_tol = 8.0 * (n as f64) * eps_accum * (1.0 + uy_ref.abs().max(yy_ref));
+    assert!((uy - uy_ref).abs() <= dot_tol, "case {case} fused uy");
+    assert!((yy - yy_ref).abs() <= dot_tol, "case {case} fused yy");
+}
+
+#[test]
+fn spmv_dense_rows_match_reference_all_pairs() {
+    for case in 0..24 {
+        spmv_dense_rows_parity::<f64, f64>(case);
+        spmv_dense_rows_parity::<f64, f32>(case);
+        spmv_dense_rows_parity::<f64, f16>(case);
+        spmv_dense_rows_parity::<f32, f64>(case);
+        spmv_dense_rows_parity::<f32, f32>(case);
+        spmv_dense_rows_parity::<f32, f16>(case);
+        spmv_dense_rows_parity::<f16, f64>(case);
+        spmv_dense_rows_parity::<f16, f32>(case);
+        spmv_dense_rows_parity::<f16, f16>(case);
+    }
+}
+
+#[test]
+fn spmv_handles_empty_and_short_rows() {
+    // Matrix mixing empty rows, 1-entry rows, and 12-entry rows: the SIMD
+    // gate is per-row, so each takes its own path inside one sweep.
+    let mut rng = rng_for("simd_empty_rows", 0);
+    let n = 24;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        match i % 3 {
+            0 => {} // empty row
+            1 => coo.push(i, i, rng.gen_range(0.5..1.5)),
+            _ => {
+                for k in 0..12 {
+                    coo.push(i, (i + k) % n, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let a16: CsrMatrix<f16> = a.to_precision();
+    let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+    let mut y_new = vec![0.0f32; n];
+    let mut y_ref = vec![0.0f32; n];
+    spmv_seq(&a16, &x, &mut y_new);
+    reference::spmv_seq_naive(&a16, &x, &mut y_ref);
+    for row in 0..n {
+        if row % 3 == 0 {
+            assert_eq!(y_new[row], 0.0, "empty row {row}");
+        }
+        let abs_sum = row_abs_sum(&a16, &x, row);
+        let tol = 48.0 * f64::from(f32::EPSILON) * abs_sum + ulp(f64::from(y_ref[row]), 1e-7);
+        assert!(
+            (f64::from(y_new[row]) - f64::from(y_ref[row])).abs() <= tol,
+            "row {row}: {} vs {}",
+            y_new[row],
+            y_ref[row]
+        );
+    }
+}
+
+fn sell_parity<TA: Scalar, TV: Scalar>(case: u64, chunk: usize) {
+    let mut rng = rng_for("simd_sell", case * 101 + chunk as u64);
+    // Sizes that leave a partial trailing group/chunk on purpose.
+    let n = rng.gen_range(8..70);
+    let per_row = rng.gen_range(3..14usize).min(n);
+    let a64 = dense_rows_csr(&mut rng, n, per_row);
+    let a: CsrMatrix<TA> = a64.to_precision();
+    let sell: SellMatrix<TA> = SellMatrix::from_csr(&a, chunk);
+    let x: Vec<TV> = (0..n).map(|_| TV::from_f64(rng.gen_range(-1.0..1.0))).collect();
+    let eps_accum = <TV::Accum as Scalar>::epsilon();
+
+    let mut y_csr = vec![TV::zero(); n];
+    let mut y_seq = vec![TV::zero(); n];
+    let mut y_par = vec![TV::zero(); n];
+    spmv_seq(&a, &x, &mut y_csr);
+    spmv_sell_seq(&sell, &x, &mut y_seq);
+    spmv_sell_par(&sell, &x, &mut y_par);
+    for row in 0..n {
+        // seq == par bit-for-bit: a task whose boundary cuts a group of 8
+        // computes the full group and emits only its own rows.
+        assert_eq!(
+            y_seq[row].to_f64(),
+            y_par[row].to_f64(),
+            "case {case} chunk {chunk} {}x{} sell seq/par row {row}",
+            TA::name(),
+            TV::name()
+        );
+        // SELL vs CSR: same terms, both orders are legal accumulation
+        // orders, so the summation bound applies.
+        let abs_sum = row_abs_sum(&a, &x, row);
+        let tol = 4.0 * (per_row as f64) * eps_accum * abs_sum
+            + ulp(y_csr[row].to_f64(), TV::epsilon());
+        assert!(
+            (y_seq[row].to_f64() - y_csr[row].to_f64()).abs() <= tol,
+            "case {case} chunk {chunk} {}x{} sell/csr row {row}: {} vs {}",
+            TA::name(),
+            TV::name(),
+            y_seq[row],
+            y_csr[row],
+        );
+    }
+}
+
+#[test]
+fn sell_agrees_with_csr_across_chunk_sizes() {
+    for case in 0..8 {
+        // chunk 4: group kernel gated off (not a multiple of 8); chunk 8 and
+        // 32: the 8-row SIMD group path engages where the backend allows.
+        for &chunk in &[4usize, 8, 32] {
+            sell_parity::<f64, f64>(case, chunk);
+            sell_parity::<f16, f32>(case, chunk);
+            sell_parity::<f16, f16>(case, chunk);
+            sell_parity::<f32, f64>(case, chunk);
+        }
+    }
+}
+
+#[test]
+fn scaled_spmv_matches_unscaled_reference() {
+    for case in 0..8 {
+        let mut rng = rng_for("simd_scaled", case);
+        let n = rng.gen_range(10..50);
+        let per_row = rng.gen_range(8..12usize).min(n);
+        let a64 = dense_rows_csr(&mut rng, n, per_row);
+        let scaled: ScaledCsr<f16> = ScaledCsr::from_f64(&a64);
+        let ssell: ScaledSell<f16> = ScaledSell::from_csr_f64(&a64, 8);
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+
+        let mut y_scaled = vec![0.0f32; n];
+        let mut y_sell = vec![0.0f32; n];
+        spmv_scaled_seq(&scaled, &x, &mut y_scaled);
+        spmv_scaled_sell_seq(&ssell, &x, &mut y_sell);
+
+        // Reference: row sums of the *stored* fp16 matrix accumulated in
+        // f64, then the exact per-row f64 scale applied.
+        for row in 0..n {
+            let (cols, vals) = scaled.matrix().row_entries(row);
+            let exact: f64 = cols
+                .iter()
+                .zip(vals.iter())
+                .map(|(&c, v)| v.to_f64() * f64::from(x[c as usize]))
+                .sum::<f64>()
+                * scaled.row_scales()[row];
+            let abs_sum: f64 = cols
+                .iter()
+                .zip(vals.iter())
+                .map(|(&c, v)| (v.to_f64() * f64::from(x[c as usize])).abs())
+                .sum::<f64>()
+                * scaled.row_scales()[row].abs();
+            let tol = 8.0 * (per_row as f64) * f64::from(f32::EPSILON) * abs_sum
+                + 2.0 * ulp(exact, f64::from(f32::EPSILON));
+            assert!(
+                (f64::from(y_scaled[row]) - exact).abs() <= tol,
+                "case {case} scaled csr row {row}: {} vs {exact}",
+                y_scaled[row]
+            );
+            assert!(
+                (f64::from(y_sell[row]) - exact).abs() <= tol,
+                "case {case} scaled sell row {row}: {} vs {exact}",
+                y_sell[row]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1: odd lengths, remainder tails, cascade boundary, fp16 subnormals
+// ---------------------------------------------------------------------------
+
+fn blas1_parity_at_len<T: Scalar>(len: usize, amp: f64, case: u64) {
+    let mut rng = rng_for("simd_blas1", case * 131 + len as u64);
+    let x: Vec<T> = (0..len).map(|_| T::from_f64(rng.gen_range(-1.0..1.0) * amp)).collect();
+    let y: Vec<T> = (0..len).map(|_| T::from_f64(rng.gen_range(-1.0..1.0) * amp)).collect();
+    let eps_accum = <T::Accum as Scalar>::epsilon();
+    // Scalars exactly representable in fp16, as in proptest_kernels.
+    let alpha = [0.5, -1.25, 2.0, 0.375][rng.gen_range(0..4usize)];
+    let beta = [0.25, -0.5, 1.5, -2.0][rng.gen_range(0..4usize)];
+    // Below the smallest normal of `T` the rounding error is absolute (one
+    // subnormal quantum), not relative, so the element-wise bound carries
+    // that floor: 2^-24 for fp16, 2^-149 for fp32 (f64 subnormals are far
+    // below every tolerance here).
+    let subnormal_q = match T::PRECISION {
+        Precision::Fp16 => 2.0f64.powi(-24),
+        Precision::Fp32 => 2.0f64.powi(-149),
+        Precision::Fp64 => 0.0,
+    };
+    let one_ulp = |m: f64| (T::epsilon() + 4.0 * eps_accum) * m.max(1e-30) + subnormal_q + 1e-300;
+
+    // Reductions against the naive reference.
+    let d_new = blas1::dot(&x, &y);
+    let d_ref = reference::dot_naive(&x, &y);
+    let abs_sum: f64 = x.iter().zip(&y).map(|(a, b)| (a.to_f64() * b.to_f64()).abs()).sum();
+    let tol = 4.0 * (len.max(1) as f64) * eps_accum * abs_sum + 1e-300;
+    assert!(
+        (d_new - d_ref).abs() <= tol,
+        "len {len} dot {}: {d_new} vs {d_ref} (tol {tol:e})",
+        T::name()
+    );
+    let (d2a, d2b) = blas1::dot2(&x, &y, &y, &x);
+    assert!((d2a - d_new).abs() <= tol, "len {len} dot2.0 {}", T::name());
+    assert!((d2b - d_new).abs() <= tol, "len {len} dot2.1 {}", T::name());
+
+    // sum: same single-widening reduction scheme as dot.
+    let s_new = blas1::sum(&x);
+    let s_ref: f64 = {
+        let mut acc = <T::Accum as Scalar>::zero();
+        for v in &x {
+            acc += v.widen();
+        }
+        acc.to_f64()
+    };
+    let abs_x: f64 = x.iter().map(|v| v.to_f64().abs()).sum();
+    assert!(
+        (s_new - s_ref).abs() <= 4.0 * (len.max(1) as f64) * eps_accum * abs_x + 1e-300,
+        "len {len} sum {}: {s_new} vs {s_ref}",
+        T::name()
+    );
+
+    // norm_inf: exactly the NaN-dropping max fold, whatever the backend.
+    let m_new = blas1::norm_inf(&x);
+    let m_ref = x.iter().fold(0.0f64, |m, v| {
+        let a = v.widen().abs().to_f64();
+        if a > m {
+            a
+        } else {
+            m
+        }
+    });
+    assert_eq!(m_new, m_ref, "len {len} norm_inf {}", T::name());
+
+    // axpy and the fused axpy_norm2: identical vector output, bit for bit.
+    let mut y_new = y.clone();
+    let mut y_ref = y.clone();
+    let mut y_fused = y.clone();
+    blas1::axpy(alpha, &x, &mut y_new);
+    reference::axpy_naive(alpha, &x, &mut y_ref);
+    let sq = blas1::axpy_norm2(alpha, &x, &mut y_fused);
+    for i in 0..len {
+        let (a, b) = (y_new[i].to_f64(), y_ref[i].to_f64());
+        let m = (alpha * x[i].to_f64()).abs() + y[i].to_f64().abs();
+        assert!((a - b).abs() <= one_ulp(m), "len {len} axpy {} [{i}]: {a} vs {b}", T::name());
+        assert_eq!(y_fused[i].to_f64(), a, "len {len} axpy_norm2 vec {} [{i}]", T::name());
+    }
+    let sq_ref = blas1::dot(&y_new, &y_new);
+    assert!(
+        (sq - sq_ref).abs() <= 16.0 * (len.max(1) as f64) * eps_accum * sq_ref.max(1e-30),
+        "len {len} axpy_norm2 {}: {sq} vs {sq_ref}",
+        T::name()
+    );
+
+    // waxpby_norm2 against the reference waxpby.
+    let mut w_new = vec![T::zero(); len];
+    let mut w_ref = vec![T::zero(); len];
+    let wsq = blas1::waxpby_norm2(alpha, &x, beta, &y, &mut w_new);
+    reference::waxpby_naive(alpha, &x, beta, &y, &mut w_ref);
+    for i in 0..len {
+        let (a, b) = (w_new[i].to_f64(), w_ref[i].to_f64());
+        let m = (alpha * x[i].to_f64()).abs() + (beta * y[i].to_f64()).abs();
+        assert!((a - b).abs() <= 2.0 * one_ulp(m), "len {len} waxpby_norm2 {} [{i}]", T::name());
+    }
+    let wsq_ref = blas1::dot(&w_new, &w_new);
+    assert!(
+        (wsq - wsq_ref).abs() <= 16.0 * (len.max(1) as f64) * eps_accum * wsq_ref.max(1e-30),
+        "len {len} waxpby_norm2 {}",
+        T::name()
+    );
+
+    // scale (aliased) and scale_into (disjoint): identical outputs.
+    let mut s_aliased = x.clone();
+    let mut s_refv = x.clone();
+    let mut s_into = vec![T::zero(); len];
+    blas1::scale(beta, &mut s_aliased);
+    reference::scale_naive(beta, &mut s_refv);
+    blas1::scale_into(beta, &x, &mut s_into);
+    for i in 0..len {
+        let (a, b) = (s_aliased[i].to_f64(), s_refv[i].to_f64());
+        let m = (beta * x[i].to_f64()).abs();
+        assert!((a - b).abs() <= one_ulp(m), "len {len} scale {} [{i}]", T::name());
+        assert_eq!(a, s_into[i].to_f64(), "len {len} scale/scale_into {} [{i}]", T::name());
+    }
+
+    // hadamard: single product, single narrow on both paths — exact match
+    // with the per-element definition.
+    let mut z = vec![T::zero(); len];
+    blas1::hadamard(&x, &y, &mut z);
+    for i in 0..len {
+        let want = T::narrow(x[i].widen() * y[i].widen()).to_f64();
+        assert_eq!(z[i].to_f64(), want, "len {len} hadamard {} [{i}]", T::name());
+    }
+}
+
+#[test]
+fn blas1_parity_odd_lengths_and_tails() {
+    for (case, &len) in LENGTHS.iter().enumerate() {
+        blas1_parity_at_len::<f64>(len, 1.0, case as u64);
+        blas1_parity_at_len::<f32>(len, 1.0, case as u64);
+        blas1_parity_at_len::<f16>(len, 1.0, case as u64);
+    }
+}
+
+#[test]
+fn blas1_parity_extreme_amplitudes() {
+    // fp16 subnormal territory (2^-14 ≈ 6.1e-5 is the smallest normal) and
+    // near the top of each type's range; the F16C conversion path must
+    // handle subnormals identically to the softfloat reference.
+    for &len in &[9usize, 31, 100, 4097] {
+        blas1_parity_at_len::<f16>(len, 6.0e-5, 100);
+        blas1_parity_at_len::<f16>(len, 1.0e-6, 101);
+        blas1_parity_at_len::<f16>(len, 1.0e4, 102);
+        // High amplitudes are capped so dot products (amp²·n) stay inside
+        // the accumulator's range — overflow to ±inf is out of contract.
+        blas1_parity_at_len::<f32>(len, 1.0e-38, 103);
+        blas1_parity_at_len::<f32>(len, 1.0e15, 104);
+        blas1_parity_at_len::<f64>(len, 1.0e-300, 105);
+        blas1_parity_at_len::<f64>(len, 1.0e150, 106);
+    }
+}
+
+#[test]
+fn blas1_empty_inputs() {
+    let x: Vec<f16> = vec![];
+    let y: Vec<f16> = vec![];
+    assert_eq!(blas1::dot(&x, &y), 0.0);
+    assert_eq!(blas1::norm_inf(&x), 0.0);
+    assert_eq!(blas1::sum(&x), 0.0);
+    let mut z: Vec<f16> = vec![];
+    blas1::hadamard(&x, &y, &mut z);
+    let mut w: Vec<f16> = vec![];
+    assert_eq!(blas1::waxpby_norm2(1.0, &x, 2.0, &y, &mut w), 0.0);
+    let mut e: Vec<f16> = vec![];
+    blas1::scale(2.0, &mut e);
+    assert_eq!(blas1::axpy_norm2(0.5, &x, &mut e), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Compressed-basis kernels: round-trips and extreme amplitudes
+// ---------------------------------------------------------------------------
+
+fn compress_roundtrip_case(len: usize, amp: f64, case: u64) {
+    let mut rng = rng_for("simd_compress", case * 17 + len as u64);
+    let src: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0) * amp).collect();
+    let amax = src.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+
+    // fp16-compressed storage: stored = src / 2^k with |stored| <= 1; the
+    // only per-element rounding is one f16 narrowing, so the round-trip
+    // error is one fp16 ulp of the element plus one subnormal quantum of
+    // the scale (2^k <= 2·amax).
+    let mut stored = vec![f16::ZERO; len];
+    let scale = blas1::narrow_scaled_into(1.0, &src, &mut stored);
+    let mut back = vec![0.0f64; len];
+    blas1::widen_scaled_into(scale, &stored, &mut back);
+    for i in 0..len {
+        let tol = f64::from(f16::EPSILON) * src[i].abs() + 2.0 * amax * 2.0f64.powi(-24) + 1e-300;
+        assert!(
+            (back[i] - src[i]).abs() <= tol,
+            "len {len} amp {amp:e} roundtrip [{i}]: {} vs {} (tol {tol:e})",
+            back[i],
+            src[i]
+        );
+    }
+
+    // dot_compressed against the represented values in f64.
+    let x: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let d_new = blas1::dot_compressed(&x, &stored, scale);
+    let d_ref: f64 = x
+        .iter()
+        .zip(&stored)
+        .map(|(xi, si)| xi * si.to_f64())
+        .sum::<f64>()
+        * scale;
+    let abs_sum: f64 = x
+        .iter()
+        .zip(&stored)
+        .map(|(xi, si)| (xi * si.to_f64()).abs())
+        .sum::<f64>()
+        * scale.abs();
+    let tol = 8.0 * (len.max(1) as f64) * f64::EPSILON * abs_sum + ulp(d_ref, f64::EPSILON);
+    assert!(
+        (d_new - d_ref).abs() <= tol,
+        "len {len} amp {amp:e} dot_compressed: {d_new} vs {d_ref}"
+    );
+
+    // axpy_scaled_from against a per-element reference on the represented
+    // vector: y += (alpha·scale) · stored.
+    let alpha = 0.75f64;
+    let y0: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0) * amp.max(1.0)).collect();
+    let mut y_new = y0.clone();
+    blas1::axpy_scaled_from(alpha, &stored, scale, &mut y_new);
+    for i in 0..len {
+        let want = y0[i] + alpha * scale * stored[i].to_f64();
+        let m = (alpha * scale * stored[i].to_f64()).abs() + y0[i].abs();
+        assert!(
+            (y_new[i] - want).abs() <= 4.0 * f64::EPSILON * m.max(1e-30) + 1e-300,
+            "len {len} amp {amp:e} axpy_scaled_from [{i}]: {} vs {want}",
+            y_new[i]
+        );
+    }
+}
+
+#[test]
+fn compressed_roundtrip_extreme_amplitudes() {
+    // Amplitudes spanning far beyond fp16's exponent range (and f32's): the
+    // power-of-two scale absorbs the magnitude, and the coefficient
+    // fallback path covers scales outside the f32 accumulator's range.
+    for &len in &[1usize, 9, 31, 100, 4097] {
+        for (case, &amp) in [1.0, 1.0e-6, 6.0e4, 1.0e38, 1.0e-38, 1.0e300, 1.0e-300]
+            .iter()
+            .enumerate()
+        {
+            compress_roundtrip_case(len, amp, case as u64);
+        }
+    }
+}
+
+#[test]
+fn same_precision_compress_is_lossless() {
+    // S == T storage skips normalisation and stores verbatim.
+    let mut rng = rng_for("simd_compress_same", 0);
+    for &len in &[7usize, 64, 4097] {
+        let src: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0e3..1.0e3) as f32).collect();
+        let mut stored = vec![0.0f32; len];
+        let scale = blas1::narrow_scaled_into(1.5, &src, &mut stored);
+        assert_eq!(scale, 1.5, "len {len}");
+        for i in 0..len {
+            assert_eq!(stored[i].to_bits(), src[i].to_bits(), "len {len} [{i}]");
+        }
+    }
+}
+
+#[test]
+fn zero_vector_compresses_to_zero_scale() {
+    let src = vec![0.0f64; 33];
+    let mut stored = vec![f16::ZERO; 33];
+    let scale = blas1::narrow_scaled_into(2.0, &src, &mut stored);
+    assert_eq!(scale, 0.0);
+    assert!(stored.iter().all(|v| v.to_f64() == 0.0));
+    assert_eq!(blas1::dot_compressed(&src, &stored, scale), 0.0);
+}

@@ -9,8 +9,12 @@
 //!
 //! The bit-level conversion routines are standard IEEE 754 binary16 ↔
 //! binary32 algorithms covering normals, subnormals, infinities and NaN.
+//! The [`mod@slice`] module adds bulk slice conversions that use the F16C /
+//! AVX-512 hardware converters when the CPU has them.
 
 #![warn(missing_docs)]
+
+pub mod slice;
 
 use core::cmp::Ordering;
 use core::fmt;

@@ -1,0 +1,366 @@
+//! Bulk `f16` ↔ `f32`/`f64` slice conversions with hardware acceleration.
+//!
+//! The scalar conversions in the crate root cost tens of cycles per element,
+//! which makes every fp16 sweep conversion-bound instead of bandwidth-bound.
+//! This module provides slice-granular entry points that use the F16C
+//! (`vcvtph2ps`/`vcvtps2ph`) and AVX-512F (`vcvtph2ps zmm`) instructions when
+//! the CPU has them, falling back to the scalar routines otherwise.
+//!
+//! # Semantics
+//!
+//! For every finite or infinite input the dispatched conversions are
+//! **bit-identical** to the scalar [`f16::to_f32`](crate::f16::to_f32) /
+//! [`f16::to_f64`](crate::f16::to_f64) /
+//! [`f16::from_f32`](crate::f16::from_f32) routines: widening is exact and
+//! narrowing is a single
+//! round-to-nearest-even, on hardware and in software alike (the agreement is
+//! checked exhaustively in this module's tests and in `f3r-simd`'s
+//! `f16c_agreement` integration test).  NaNs stay NaNs in every tier, but the
+//! *payload* of a narrowed NaN may differ between tiers (the software
+//! narrowing canonicalises to `0x7E00`, `vcvtps2ph` propagates truncated
+//! payloads).  There is deliberately **no** bulk `f64 → f16` entry point:
+//! hardware offers no single-rounding path (`vcvtpd2ps` + `vcvtps2ph` double
+//! rounds), so callers must keep using [`f16::from_f64`](crate::f16::from_f64)
+//! per element.
+//!
+//! # Tier selection
+//!
+//! The implementation tier is resolved once per process, on first use, from
+//! the `F3R_KERNEL_BACKEND` environment variable (`scalar` forces the scalar
+//! tier; `avx2` caps at the 256-bit F16C tier; `avx512`/`auto`/unset pick the
+//! widest supported tier) and the CPU features reported by
+//! `is_x86_feature_detected!`.  [`force_scalar`] lets the `f3r-simd` dispatch
+//! layer pin the scalar tier programmatically before first use; after first
+//! use the tier is latched so a process never mixes tiers mid-run.
+
+use crate::f16;
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// Unresolved sentinel for the tier latch.
+const TIER_UNSET: u8 = 0;
+/// Scalar software conversions only.
+const TIER_SCALAR: u8 = 1;
+/// 256-bit F16C conversions (requires the `f16c` CPU feature).
+const TIER_F16C: u8 = 2;
+/// 512-bit conversions (requires `avx512f` in addition to `f16c`).
+const TIER_AVX512: u8 = 3;
+
+/// Latched implementation tier; `TIER_UNSET` until first use.  Both racing
+/// initialisers compute the same value, so a relaxed race is benign.
+static TIER: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+/// Force the scalar conversion tier for the rest of the process.
+///
+/// Called by the `f3r-simd` dispatch layer when the kernel backend resolves
+/// to scalar (programmatically or via `F3R_KERNEL_BACKEND=scalar`), so the
+/// conversion tier and the kernel backend stay consistent.  Has no effect if
+/// a SIMD tier was already latched by an earlier conversion call.
+pub fn force_scalar() {
+    let _ = TIER.compare_exchange(TIER_UNSET, TIER_SCALAR, Ordering::Relaxed, Ordering::Relaxed);
+}
+
+/// The latched tier, resolving (and latching) it on first call.
+#[inline]
+fn tier() -> u8 {
+    let t = TIER.load(Ordering::Relaxed);
+    if t != TIER_UNSET {
+        return t;
+    }
+    let resolved = resolve_tier();
+    TIER.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Widest tier the CPU supports, capped by `F3R_KERNEL_BACKEND`.
+fn resolve_tier() -> u8 {
+    let cap = match std::env::var("F3R_KERNEL_BACKEND") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" => TIER_SCALAR,
+            "avx2" => TIER_F16C,
+            // Unknown values behave like "auto"; the f3r-simd layer owns the
+            // user-facing diagnostics for the variable.
+            _ => TIER_AVX512,
+        },
+        Err(_) => TIER_AVX512,
+    };
+    cap.min(detected_tier())
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detected_tier() -> u8 {
+    if is_x86_feature_detected!("f16c") {
+        if is_x86_feature_detected!("avx512f") {
+            TIER_AVX512
+        } else {
+            TIER_F16C
+        }
+    } else {
+        TIER_SCALAR
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detected_tier() -> u8 {
+    TIER_SCALAR
+}
+
+/// Name of the latched conversion tier, for diagnostics and bench metadata.
+pub fn tier_name() -> &'static str {
+    match tier() {
+        TIER_F16C => "f16c",
+        TIER_AVX512 => "avx512",
+        _ => "scalar",
+    }
+}
+
+/// Widen `src` into `dst` element by element (`f16 → f32`, exact).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn widen_slice(src: &[f16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "widen_slice: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        let t = tier();
+        if t >= TIER_F16C {
+            // SAFETY: `tier()` only returns TIER_F16C/TIER_AVX512 after
+            // `is_x86_feature_detected!("f16c")` (and "avx512f" for the
+            // 512-bit tier) reported the features at runtime.
+            unsafe {
+                if t == TIER_AVX512 {
+                    x86::widen_avx512(src, dst);
+                } else {
+                    x86::widen_f16c(src, dst);
+                }
+            }
+            return;
+        }
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+/// Widen `src` into `dst` element by element (`f16 → f64`, exact).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn widen_slice_f64(src: &[f16], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "widen_slice_f64: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if tier() >= TIER_F16C {
+            // SAFETY: `tier()` only returns a SIMD tier after
+            // `is_x86_feature_detected!("f16c")` reported F16C at runtime
+            // (the f64 path uses 256-bit F16C conversions in both tiers).
+            unsafe { x86::widen_f64_f16c(src, dst) };
+            return;
+        }
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f64();
+    }
+}
+
+/// Narrow `src` into `dst` element by element (`f32 → f16`, one
+/// round-to-nearest-even per element).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn narrow_slice(src: &[f32], dst: &mut [f16]) {
+    assert_eq!(src.len(), dst.len(), "narrow_slice: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        let t = tier();
+        if t >= TIER_F16C {
+            // SAFETY: `tier()` only returns TIER_F16C/TIER_AVX512 after
+            // `is_x86_feature_detected!("f16c")` (and "avx512f" for the
+            // 512-bit tier) reported the features at runtime.
+            unsafe {
+                if t == TIER_AVX512 {
+                    x86::narrow_avx512(src, dst);
+                } else {
+                    x86::narrow_f16c(src, dst);
+                }
+            }
+            return;
+        }
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = f16::from_f32(*s);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! F16C / AVX-512F conversion loops.  All functions here are `unsafe fn`
+    //! gated on `#[target_feature]`; callers must have verified the matching
+    //! CPU features at runtime (done once in [`super::tier`]).
+
+    use crate::f16;
+    use core::arch::x86_64::*;
+
+    /// `f16` is `#[repr(transparent)]` over `u16`, so a `&[f16]` is layout-
+    /// compatible with a `*const u16` of the same length.
+    #[inline(always)]
+    fn u16_ptr(s: &[f16]) -> *const u16 {
+        s.as_ptr().cast::<u16>()
+    }
+
+    #[target_feature(enable = "f16c")]
+    pub(super) unsafe fn widen_f16c(src: &[f16], dst: &mut [f32]) {
+        let n = src.len();
+        let sp = u16_ptr(src);
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        // SAFETY (loads/stores): i + 8 <= n == dst.len() keeps every unaligned
+        // 128-bit load and 256-bit store inside the slices.
+        while i + 8 <= n {
+            let h = _mm_loadu_si128(sp.add(i).cast::<__m128i>());
+            _mm256_storeu_ps(dp.add(i), _mm256_cvtph_ps(h));
+            i += 8;
+        }
+        for j in i..n {
+            dst[j] = src[j].to_f32();
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn widen_avx512(src: &[f16], dst: &mut [f32]) {
+        let n = src.len();
+        let sp = u16_ptr(src);
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        // SAFETY: i + 16 <= n keeps every 256-bit load / 512-bit store in
+        // bounds; the sub-16 remainder reuses the F16C loop, whose feature is
+        // implied by the runtime check that selected this tier.
+        while i + 16 <= n {
+            let h = _mm256_loadu_si256(sp.add(i).cast::<__m256i>());
+            _mm512_storeu_ps(dp.add(i).cast::<f32>(), _mm512_cvtph_ps(h));
+            i += 16;
+        }
+        widen_f16c(&src[i..], &mut dst[i..]);
+    }
+
+    #[target_feature(enable = "f16c")]
+    pub(super) unsafe fn widen_f64_f16c(src: &[f16], dst: &mut [f64]) {
+        let n = src.len();
+        let sp = u16_ptr(src);
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        // SAFETY: i + 8 <= n bounds the 128-bit load and both 256-bit stores.
+        // Both conversion steps (f16→f32, f32→f64) are exact widenings, so
+        // the result equals the scalar `to_f64` bit for bit.
+        while i + 8 <= n {
+            let s = _mm256_cvtph_ps(_mm_loadu_si128(sp.add(i).cast::<__m128i>()));
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(s));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(s));
+            _mm256_storeu_pd(dp.add(i), lo);
+            _mm256_storeu_pd(dp.add(i + 4), hi);
+            i += 8;
+        }
+        for j in i..n {
+            dst[j] = src[j].to_f64();
+        }
+    }
+
+    #[target_feature(enable = "f16c")]
+    pub(super) unsafe fn narrow_f16c(src: &[f32], dst: &mut [f16]) {
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<u16>();
+        let mut i = 0;
+        // SAFETY: i + 8 <= n bounds the 256-bit load and 128-bit store.
+        // _MM_FROUND_TO_NEAREST_INT selects round-to-nearest-even, matching
+        // the scalar `from_f32` on every non-NaN input.
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(sp.add(i));
+            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+            _mm_storeu_si128(dp.add(i).cast::<__m128i>(), h);
+            i += 8;
+        }
+        for j in i..n {
+            dst[j] = f16::from_f32(src[j]);
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn narrow_avx512(src: &[f32], dst: &mut [f16]) {
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<u16>();
+        let mut i = 0;
+        // SAFETY: i + 16 <= n bounds the 512-bit load and 256-bit store; the
+        // remainder reuses the F16C loop (feature implied by this tier).
+        while i + 16 <= n {
+            let v = _mm512_loadu_ps(sp.add(i).cast::<f32>());
+            let h = _mm512_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+            _mm256_storeu_si256(dp.add(i).cast::<__m256i>(), h);
+            i += 16;
+        }
+        narrow_f16c(&src[i..], &mut dst[i..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All 65536 f16 bit patterns widen (f32 and f64) identically to the
+    /// scalar conversions, through whatever tier this process latched.
+    #[test]
+    fn widen_slice_matches_scalar_exhaustively() {
+        let src: Vec<f16> = (0..=0xFFFFu16).map(f16::from_bits).collect();
+        let mut wide32 = vec![0.0f32; src.len()];
+        let mut wide64 = vec![0.0f64; src.len()];
+        widen_slice(&src, &mut wide32);
+        widen_slice_f64(&src, &mut wide64);
+        for (i, h) in src.iter().enumerate() {
+            assert_eq!(wide32[i].to_bits(), h.to_f32().to_bits(), "bits {i:#06x}");
+            assert_eq!(wide64[i].to_bits(), h.to_f64().to_bits(), "bits {i:#06x}");
+        }
+    }
+
+    /// Prime-stride sweep of the f32 bit space: dispatched narrowing matches
+    /// the scalar round-to-nearest-even (NaNs stay NaN but payloads may
+    /// differ between tiers, so they are only checked for NaN-ness).
+    #[test]
+    fn narrow_slice_matches_scalar_across_f32_sweep() {
+        let mut bits = 0u32;
+        let mut src = Vec::new();
+        loop {
+            src.push(f32::from_bits(bits));
+            let (next, overflow) = bits.overflowing_add(0x0001_000F);
+            if overflow {
+                break;
+            }
+            bits = next;
+        }
+        let mut dst = vec![f16::ZERO; src.len()];
+        narrow_slice(&src, &mut dst);
+        for (i, v) in src.iter().enumerate() {
+            if v.is_nan() {
+                assert!(dst[i].is_nan(), "NaN for {:#010x}", v.to_bits());
+            } else {
+                assert_eq!(dst[i].to_bits(), f16::from_f32(*v).to_bits(), "{:#010x}", v.to_bits());
+            }
+        }
+    }
+
+    /// Remainder tails (lengths that are not multiples of the vector width)
+    /// are converted too, and nothing outside the slice is touched.
+    #[test]
+    fn odd_lengths_and_tails() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33] {
+            let src: Vec<f16> = (0..n).map(|i| f16::from_f32(i as f32 * 0.37 - 3.0)).collect();
+            let mut dst = vec![0.0f32; n];
+            widen_slice(&src, &mut dst);
+            let mut back = vec![f16::ZERO; n];
+            narrow_slice(&dst, &mut back);
+            for i in 0..n {
+                assert_eq!(dst[i], src[i].to_f32(), "n={n} i={i}");
+                assert_eq!(back[i].to_bits(), src[i].to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+}
