@@ -1,0 +1,79 @@
+//! Batched multi-RHS solving benchmark: wall-clock and matrix-stream
+//! amortization of `SolveSession::solve_batch` on HPCG 16³.
+//!
+//! The tentpole claim of the batched path is that the SpMVs of all
+//! still-running right-hand sides fuse into ONE pass over the matrix per
+//! FGMRES iteration on every level, so the dominant matrix-stream traffic
+//! per right-hand side falls like 1/k while each system computes bitwise
+//! the same iterates as a sequential solve.  Rows:
+//!
+//! * `solve_batch/k{1,2,4,8}` — steady-state batched solve of k random
+//!   right-hand sides on a warmed session (per-iteration cost; divide by k
+//!   for the per-RHS cost),
+//! * the per-RHS matrix bytes at each k, counter-measured with the scaled
+//!   fp16 inner stream, are recorded in `BENCH_pr7.json` (acceptance:
+//!   bytes/RHS at k = 8 at most 25% of k = 1).
+//!
+//! Recorded baseline: `BENCH_pr7.json` at the repo root (see
+//! `crates/bench/README.md` for the how-to).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+use f3r_sparse::gen::{hpcg_matrix, random_rhs};
+use f3r_sparse::scaling::jacobi_scale;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Fixed at HPCG 16³ so recorded baselines stay comparable (the usual
+/// `F3R_BENCH_GRID` knob is deliberately not used).
+const GRID: usize = 16;
+
+/// FGMRES-only two-level chain over the row-scaled fp16 matrix stream: the
+/// configuration whose per-RHS traffic the batching amortizes hardest, and
+/// one whose batched columns are bitwise equal to sequential solves.
+fn prepared_fp16_stream(matrix: &Arc<ProblemMatrix>) -> Arc<PreparedSolver> {
+    SolverBuilder::new(Arc::clone(matrix))
+        .levels(vec![
+            LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres(8, Precision::Fp32, Precision::Fp16),
+        ])
+        .matrix_storage(MatrixStorage::Scaled(Precision::Fp16))
+        .build()
+}
+
+fn bench_solver_batch(c: &mut Criterion) {
+    f3r_bench::emit_parallel_meta();
+    let a = jacobi_scale(&hpcg_matrix(GRID, GRID, GRID));
+    let n = a.n_rows();
+    let matrix = Arc::new(ProblemMatrix::from_csr(a));
+    let prepared = prepared_fp16_stream(&matrix);
+    let problem = format!("hpcg_{GRID}^3");
+
+    let mut group = c.benchmark_group("solver_batch");
+    group.sample_size(10);
+
+    for k in [1usize, 2, 4, 8] {
+        let bs: Vec<Vec<f64>> = (0..k as u64).map(|s| random_rhs(n, 77 + s)).collect();
+        let mut xs = vec![Vec::new(); k];
+        let mut session = prepared.session();
+        // Warm the session so the rows time pure solve work, not workspace
+        // allocation, and pin the amortization the row claims.
+        let warm = session.solve_batch(&bs, &mut xs);
+        assert!(warm.iter().all(|r| r.converged));
+        let per_rhs = warm[0].counters.matrix_bytes_total() / k as u64;
+        eprintln!("solver_batch/{problem}: k={k} matrix bytes/RHS = {per_rhs}");
+        group.bench_function(BenchmarkId::new(format!("solve_batch_k{k}"), &problem), |bch| {
+            bch.iter(|| {
+                let results = session.solve_batch(&bs, &mut xs);
+                assert!(results.iter().all(|r| r.converged));
+                black_box(results.len())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_batch);
+criterion_main!(benches);

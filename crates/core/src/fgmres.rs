@@ -81,6 +81,7 @@ use f3r_precision::{KernelCounters, Precision, Scalar};
 use f3r_sparse::blas1;
 
 use crate::basis::CompressedBasis;
+use crate::block::{block_fgmres_cycle, BlockCycleParams, BlockFgmresWorkspace};
 use crate::inner::InnerSolver;
 use crate::operator::{MatrixStorage, ProblemMatrix};
 
@@ -422,7 +423,9 @@ pub fn fgmres_cycle<T: Scalar, S: Scalar>(
 }
 
 /// Compute a Givens rotation (c, s) such that `[c s; -s c] [a; b] = [r; 0]`.
-fn givens(a: f64, b: f64) -> (f64, f64) {
+/// Shared with the block cycle ([`crate::block`]) so both paths rotate
+/// bitwise identically.
+pub(crate) fn givens(a: f64, b: f64) -> (f64, f64) {
     if b == 0.0 {
         (1.0, 0.0)
     } else if a == 0.0 {
@@ -444,6 +447,10 @@ pub struct FgmresLevel<T: Scalar, S: Scalar = T> {
     mat_storage: MatrixStorage,
     inner: Box<dyn InnerSolver<T>>,
     ws: FgmresWorkspace<T, S>,
+    /// Block-cycle workspace for the batched path, allocated lazily on the
+    /// first [`InnerSolver::apply_panel`] call (single-RHS solves never pay
+    /// for it) and regrown only when a wider panel arrives.
+    block_ws: Option<BlockFgmresWorkspace<T, S>>,
     depth: usize,
     counters: Arc<KernelCounters>,
 }
@@ -467,6 +474,7 @@ impl<T: Scalar, S: Scalar> FgmresLevel<T, S> {
             mat_storage,
             inner,
             ws: FgmresWorkspace::new(n, m),
+            block_ws: None,
             depth,
             counters,
         }
@@ -489,6 +497,42 @@ impl<T: Scalar, S: Scalar> InnerSolver<T> for FgmresLevel<T, S> {
             progress: None,
         };
         let _ = fgmres_cycle(params, z, v, &mut self.ws);
+    }
+
+    fn apply_panel(&mut self, v: &[T], z: &mut [T], k: usize) {
+        if k <= 1 {
+            if k == 1 {
+                self.apply(v, z);
+            } else {
+                assert!(v.is_empty(), "apply_panel: zero-column panel must be empty");
+            }
+            return;
+        }
+        assert_eq!(v.len(), z.len(), "apply_panel: panel length mismatch");
+        let n = self.matrix.dim();
+        assert_eq!(v.len(), n * k, "apply_panel: panel length not a multiple of k");
+        for zi in z.iter_mut() {
+            *zi = T::zero();
+        }
+        if self.block_ws.as_ref().is_none_or(|b| b.max_columns() < k) {
+            self.block_ws = Some(BlockFgmresWorkspace::new(n, self.ws.cycle_length(), k));
+        }
+        let bws = self.block_ws.as_mut().expect("block workspace just ensured");
+        let _ = block_fgmres_cycle(
+            BlockCycleParams {
+                matrix: &self.matrix,
+                mat_storage: self.mat_storage,
+                inner: self.inner.as_mut(),
+                abs_tols: None,
+                x_nonzero: false,
+                depth: self.depth,
+                counters: &self.counters,
+            },
+            z,
+            v,
+            bws,
+            k,
+        );
     }
 
     fn name(&self) -> String {
@@ -678,6 +722,45 @@ mod tests {
         let res = pm.true_relative_residual(&z64, &v64);
         assert!(res < 0.2, "inner FGMRES(8) should reduce the residual, got {res}");
         assert!(level.name().contains("F8"));
+    }
+
+    #[test]
+    fn level_apply_panel_matches_per_column_applies() {
+        let (pm, m, counters) = setup(8);
+        let n = pm.dim();
+        let k = 3;
+        let v: Vec<f32> = (0..n * k)
+            .map(|i| ((i % 13) as f32 - 6.0) / 13.0)
+            .collect();
+
+        let mut panel_level = FgmresLevel::<f32>::new(
+            Arc::clone(&pm),
+            MatrixStorage::Plain(Precision::Fp32),
+            6,
+            Box::new(PrecondInner::<f32>::new(Arc::clone(&m), Arc::clone(&counters), 3)),
+            2,
+            Arc::clone(&counters),
+        );
+        let mut zp = vec![0.0f32; n * k];
+        panel_level.apply_panel(&v, &mut zp, k);
+
+        let mut seq_level = FgmresLevel::<f32>::new(
+            Arc::clone(&pm),
+            MatrixStorage::Plain(Precision::Fp32),
+            6,
+            Box::new(PrecondInner::<f32>::new(Arc::clone(&m), Arc::clone(&counters), 3)),
+            2,
+            Arc::clone(&counters),
+        );
+        for c in 0..k {
+            let mut z = vec![0.0f32; n];
+            seq_level.apply(&v[c * n..(c + 1) * n], &mut z);
+            assert_eq!(
+                &zp[c * n..(c + 1) * n],
+                &z[..],
+                "batched level output column {c} must be bitwise equal"
+            );
+        }
     }
 
     fn run_cycle<S: Scalar>(nx: usize, m: usize) -> (CycleOutcome, f64, u64, u64) {

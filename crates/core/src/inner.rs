@@ -30,6 +30,40 @@ pub trait InnerSolver<T: Scalar>: Send {
     /// always the zero vector, as assumed by the paper's traffic model).
     fn apply(&mut self, v: &[T], z: &mut [T]);
 
+    /// Apply this solver to every column of a column-major panel of `k`
+    /// right-hand sides (column `c` of the `n × k` panel `v` is
+    /// `v[c*n .. (c+1)*n]`), overwriting the corresponding columns of `z`.
+    ///
+    /// The default implementation is a column loop over
+    /// [`apply`](Self::apply), and every override must match its output
+    /// column for column: batching is a memory-traffic optimisation, not a
+    /// semantic change.  [`FgmresLevel`](crate::fgmres::FgmresLevel)
+    /// overrides it with a block cycle whose SpMVs fuse into one pass over
+    /// the matrix ([`crate::operator::ProblemMatrix::apply_multi`]), and
+    /// [`PrecisionBridge`] converts the whole panel so the batching reaches
+    /// the narrow inner levels where the matrix stream dominates.  Levels
+    /// with cross-apply state (the adaptive-weight Richardson sweep) keep
+    /// the default: their state evolves per application in either form.
+    ///
+    /// # Panics
+    /// Panics if `v` and `z` differ in length or their length is not a
+    /// multiple of `k`.
+    fn apply_panel(&mut self, v: &[T], z: &mut [T], k: usize) {
+        assert_eq!(v.len(), z.len(), "apply_panel: panel length mismatch");
+        if k == 0 {
+            assert!(v.is_empty(), "apply_panel: zero-column panel must be empty");
+            return;
+        }
+        assert_eq!(v.len() % k, 0, "apply_panel: panel length not a multiple of k");
+        let n = v.len() / k;
+        if n == 0 {
+            return;
+        }
+        for (vc, zc) in v.chunks_exact(n).zip(z.chunks_exact_mut(n)) {
+            self.apply(vc, zc);
+        }
+    }
+
     /// Descriptive name, e.g. `"F8(fp32)"` or `"R2(fp16, adaptive)"`.
     fn name(&self) -> String;
 
@@ -85,6 +119,9 @@ pub struct PrecisionBridge<TP, TC> {
     child: Box<dyn InnerSolver<TC>>,
     v_lo: Vec<TC>,
     z_lo: Vec<TC>,
+    /// Per-column infinity-norm scales of the last panel conversion (grown on
+    /// the first batched apply; empty on the single-vector path).
+    scales: Vec<f64>,
     _marker: std::marker::PhantomData<fn(TP)>,
 }
 
@@ -96,6 +133,7 @@ impl<TP: Scalar, TC: Scalar> PrecisionBridge<TP, TC> {
             child,
             v_lo: vec![TC::zero(); n],
             z_lo: vec![TC::zero(); n],
+            scales: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -110,13 +148,68 @@ impl<TP: Scalar, TC: Scalar> InnerSolver<TP> for PrecisionBridge<TP, TC> {
             }
             return;
         }
+        // Slice to the vector length: the buffers may have grown to hold a
+        // whole panel (`apply_panel`), and the child sees only one column.
+        let n = v.len();
         let inv = 1.0 / scale;
-        for (lo, hi) in self.v_lo.iter_mut().zip(v.iter()) {
+        for (lo, hi) in self.v_lo[..n].iter_mut().zip(v.iter()) {
             *lo = TC::from_f64(hi.to_f64() * inv);
         }
-        self.child.apply(&self.v_lo, &mut self.z_lo);
-        for (hi, lo) in z.iter_mut().zip(self.z_lo.iter()) {
+        self.child.apply(&self.v_lo[..n], &mut self.z_lo[..n]);
+        for (hi, lo) in z.iter_mut().zip(self.z_lo[..n].iter()) {
             *hi = TP::from_f64(lo.to_f64() * scale);
+        }
+    }
+
+    fn apply_panel(&mut self, v: &[TP], z: &mut [TP], k: usize) {
+        assert_eq!(v.len(), z.len(), "apply_panel: panel length mismatch");
+        if k <= 1 {
+            if k == 1 {
+                self.apply(v, z);
+            } else {
+                assert!(v.is_empty(), "apply_panel: zero-column panel must be empty");
+            }
+            return;
+        }
+        assert_eq!(v.len() % k, 0, "apply_panel: panel length not a multiple of k");
+        let n = v.len() / k;
+        if self.v_lo.len() < n * k {
+            self.v_lo.resize(n * k, TC::zero());
+            self.z_lo.resize(n * k, TC::zero());
+        }
+        // Per-column infinity-norm scaling, exactly as the single-vector
+        // path: a zero column skips the scaling and pins its output column
+        // to zero, so each output column is what `apply` would produce.
+        self.scales.clear();
+        for c in 0..k {
+            let col = &v[c * n..(c + 1) * n];
+            let scale = col.iter().map(|x| x.to_f64().abs()).fold(0.0f64, f64::max);
+            let dst = &mut self.v_lo[c * n..(c + 1) * n];
+            if scale == 0.0 {
+                for lo in dst.iter_mut() {
+                    *lo = TC::zero();
+                }
+            } else {
+                let inv = 1.0 / scale;
+                for (lo, hi) in dst.iter_mut().zip(col.iter()) {
+                    *lo = TC::from_f64(hi.to_f64() * inv);
+                }
+            }
+            self.scales.push(scale);
+        }
+        self.child
+            .apply_panel(&self.v_lo[..n * k], &mut self.z_lo[..n * k], k);
+        for (c, &scale) in self.scales.iter().enumerate() {
+            let zc = &mut z[c * n..(c + 1) * n];
+            if scale == 0.0 {
+                for hi in zc.iter_mut() {
+                    *hi = TP::zero();
+                }
+            } else {
+                for (hi, lo) in zc.iter_mut().zip(self.z_lo[c * n..(c + 1) * n].iter()) {
+                    *hi = TP::from_f64(lo.to_f64() * scale);
+                }
+            }
         }
     }
 
@@ -185,6 +278,54 @@ mod tests {
             assert!((z[i] - 2.0 * v[i]).abs() < 1e-12 + 2e-3 * v[i].abs());
         }
         assert!(bridge.name().contains("fp64→fp16"));
+    }
+
+    #[test]
+    fn default_apply_panel_matches_per_column_applies() {
+        let n = 9;
+        let k = 4;
+        let v: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut panel = vec![0.0f64; n * k];
+        let mut d = Doubler { depth: 2 };
+        d.apply_panel(&v, &mut panel, k);
+        for c in 0..k {
+            let mut z = vec![0.0f64; n];
+            d.apply(&v[c * n..(c + 1) * n], &mut z);
+            assert_eq!(&panel[c * n..(c + 1) * n], &z[..], "column {c}");
+        }
+        // k = 0 on an empty panel is a no-op.
+        InnerSolver::<f64>::apply_panel(&mut d, &[], &mut [], 0);
+    }
+
+    #[test]
+    fn bridge_apply_panel_matches_per_column_bridge_applies() {
+        let n = 6;
+        let k = 3;
+        // Column 1 is identically zero: the bridge must pin its output to
+        // zero exactly as the single-vector path does.
+        let mut v = vec![0.0f64; n * k];
+        for (i, vi) in v.iter_mut().enumerate() {
+            let c = i / n;
+            *vi = if c == 1 { 0.0 } else { ((i as f64) * 0.23 - 1.0) * 1e-9 };
+        }
+        let mut panel = vec![7.0f64; n * k];
+        let mut bridged = PrecisionBridge::<f64, f16>::new(Box::new(Doubler { depth: 2 }), n);
+        bridged.apply_panel(&v, &mut panel, k);
+        let mut reference = PrecisionBridge::<f64, f16>::new(Box::new(Doubler { depth: 2 }), n);
+        for c in 0..k {
+            let mut z = vec![7.0f64; n];
+            reference.apply(&v[c * n..(c + 1) * n], &mut z);
+            assert_eq!(&panel[c * n..(c + 1) * n], &z[..], "column {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "apply_panel: panel length not a multiple of k")]
+    fn apply_panel_length_mismatch_panics() {
+        let mut d = Doubler { depth: 2 };
+        let v = vec![0.0f64; 7];
+        let mut z = vec![0.0f64; 7];
+        d.apply_panel(&v, &mut z, 2);
     }
 
     #[test]

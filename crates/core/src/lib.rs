@@ -8,7 +8,12 @@
 //!   [`SolverBuilder`] compiles problem + spec + preconditioner into an
 //!   immutable, `Arc`-shareable [`PreparedSolver`]; concurrent
 //!   [`SolveSession`]s own the mutable workspaces (warm starts, per-solve
-//!   overrides, `solve_many`, observers),
+//!   overrides, `solve_many`/`solve_batch`, observers),
+//! * batched multi-RHS solving ([`block`]): `k` independent FGMRES
+//!   recurrences share one matrix pass per iteration
+//!   (`ProblemMatrix::apply_multi`), cutting the dominant per-RHS matrix
+//!   traffic to `1/k` while staying bitwise equal, per column, to `k`
+//!   sequential solves,
 //! * the nested-solver framework ([`nested`]): declarative [`NestedSpec`]s
 //!   built from FGMRES and Richardson levels with per-level matrix/vector
 //!   precisions (the legacy [`NestedSolver`] remains as a deprecated shim),
@@ -69,6 +74,7 @@
 
 pub mod baseline;
 pub mod basis;
+pub mod block;
 pub mod convergence;
 pub mod cost_model;
 pub mod f3r;
@@ -84,6 +90,7 @@ pub mod session;
 pub mod prelude {
     pub use crate::baseline::{BaselineConfig, BiCgStabSolver, CgSolver, RestartedFgmresSolver};
     pub use crate::basis::CompressedBasis;
+    pub use crate::block::BlockFgmresWorkspace;
     pub use crate::convergence::{SolveResult, SparseSolver, StopReason};
     pub use crate::f3r::{
         f2_spec, f3_spec, f3r_spec, f3r_spec_fixed_weight, f4_spec, fp16_f2_spec, fp16_f3_spec,

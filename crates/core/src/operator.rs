@@ -31,8 +31,8 @@ use f3r_precision::{f16, KernelCounters, Precision, Scalar};
 use f3r_precision::traffic::TrafficModel;
 use f3r_sparse::blas1;
 use f3r_sparse::spmv::{
-    spmv, spmv_dot2, spmv_residual, spmv_scaled, spmv_scaled_dot2, spmv_scaled_residual,
-    spmv_scaled_sell, spmv_sell,
+    spmv, spmv_dot2, spmv_multi, spmv_residual, spmv_scaled, spmv_scaled_dot2, spmv_scaled_multi,
+    spmv_scaled_residual, spmv_scaled_sell, spmv_scaled_sell_multi, spmv_sell, spmv_sell_multi,
 };
 use f3r_sparse::{CsrMatrix, ScaledCsr, ScaledSell, SellMatrix};
 
@@ -430,6 +430,50 @@ impl ProblemMatrix {
         );
     }
 
+    /// Compute `Y = A X` on a column-major panel of `k` vectors, streaming
+    /// the variant selected by `storage` **once** for the whole panel.
+    ///
+    /// Column `c` of the result is bitwise identical to
+    /// [`apply`](Self::apply) on column `c` of `xs` — the batched solver's
+    /// per-column parity rests on this.  The traffic is recorded through
+    /// [`KernelCounters::record_spmm`]: the shared matrix stream once (that
+    /// is the physical truth and the whole point of batching) plus `k`
+    /// vector sweeps, with the panel width tracked so experiments can
+    /// amortize the stream per batch column.
+    ///
+    /// # Panics
+    /// Panics if the panel lengths are not `k` times the matrix dimension.
+    pub fn apply_multi<TV: Scalar>(
+        &self,
+        storage: MatrixStorage,
+        xs: &[TV],
+        ys: &mut [TV],
+        k: usize,
+        counters: &KernelCounters,
+    ) {
+        let p = storage.precision();
+        let v = TV::PRECISION;
+        let (total, matrix_stream) = if storage.is_scaled() {
+            (
+                TrafficModel::spmm_scaled_bytes(self.nnz, self.n, p, v, k),
+                TrafficModel::scaled_matrix_stream_bytes(self.nnz, self.n, p),
+            )
+        } else {
+            (
+                TrafficModel::spmm_bytes(self.nnz, self.n, p, v, k),
+                TrafficModel::matrix_stream_bytes(self.nnz, self.n, p),
+            )
+        };
+        counters.record_spmm(p, total, k as u64);
+        counters.record_matrix_traffic(p, matrix_stream);
+        with_variant!(self.variant(storage),
+            |c| spmv_multi(c, xs, ys, k),
+            |s| spmv_sell_multi(s, xs, ys, k),
+            |sc| spmv_scaled_multi(sc, xs, ys, k),
+            |ss| spmv_scaled_sell_multi(ss, xs, ys, k),
+        );
+    }
+
     /// Compute `y = A x` and, in the same sweep, the two dot products
     /// `(uᵀ y, yᵀ y)` — the reduction pair behind CG's `(p, Ap)`, BiCGStab's
     /// `(t, s)/(t, t)` and the adaptive Richardson weight.
@@ -680,6 +724,49 @@ mod tests {
         pm.materialize(MatrixStorage::Scaled(Precision::Fp16));
         pm.materialize(MatrixStorage::Plain(Precision::Fp32));
         assert_eq!(pm.materialized_variants().len(), 3);
+    }
+
+    #[test]
+    fn apply_multi_columns_match_apply_and_amortize_matrix_stream() {
+        let a = hpcg_matrix(4, 4, 4);
+        let n = a.n_rows();
+        let nnz = a.nnz();
+        for pm in [
+            ProblemMatrix::from_csr(a.clone()),
+            ProblemMatrix::new(a.clone(), SpmvBackend::Sell { chunk: 32 }),
+        ] {
+            for storage in [
+                MatrixStorage::Plain(Precision::Fp64),
+                MatrixStorage::Scaled(Precision::Fp16),
+            ] {
+                let k = 4;
+                let xs: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.013).sin()).collect();
+                let counters = KernelCounters::new_shared();
+                let mut ys = vec![0.0f64; n * k];
+                pm.apply_multi(storage, &xs, &mut ys, k, &counters);
+                for c in 0..k {
+                    let mut y1 = vec![0.0f64; n];
+                    pm.apply(storage, &xs[c * n..(c + 1) * n], &mut y1, &counters);
+                    assert_eq!(&ys[c * n..(c + 1) * n], &y1[..], "{storage} col {c}");
+                }
+                let snap = counters.snapshot();
+                // One SpMM (k columns) + k parity SpMVs; the matrix stream
+                // was attributed once for the panel and once per SpMV.
+                assert_eq!(snap.total_spmm(), 1);
+                assert_eq!(snap.spmm_columns_total(), k as u64);
+                assert_eq!(snap.total_spmv(), k as u64);
+                let stream = if storage.is_scaled() {
+                    TrafficModel::scaled_matrix_stream_bytes(nnz, n, storage.precision())
+                } else {
+                    TrafficModel::matrix_stream_bytes(nnz, n, storage.precision())
+                };
+                assert_eq!(
+                    snap.matrix_bytes_in(storage.precision()),
+                    stream * (k as u64 + 1),
+                    "{storage}"
+                );
+            }
+        }
     }
 
     #[test]

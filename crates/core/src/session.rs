@@ -73,6 +73,7 @@ use f3r_precision::{f16, KernelCounters, Precision, Scalar};
 use f3r_precond::PrecondKind;
 use f3r_sparse::blas1;
 
+use crate::block::{block_fgmres_cycle, BlockCycleParams, BlockFgmresWorkspace};
 use crate::convergence::{SolveResult, SparseSolver, StopReason};
 use crate::f3r::{f3r_spec, F3rParams, F3rScheme, SolverSettings};
 use crate::fgmres::{fgmres_cycle, CycleOutcome, CycleParams, CycleProgress, FgmresLevel, FgmresWorkspace};
@@ -219,6 +220,50 @@ impl OuterWorkspace {
             OuterWorkspace::F64(ws) => fgmres_cycle(params, x, b, ws),
             OuterWorkspace::F32(ws) => fgmres_cycle(params, x, b, ws),
             OuterWorkspace::F16(ws) => fgmres_cycle(params, x, b, ws),
+        }
+    }
+}
+
+/// Outermost block-FGMRES workspace for [`SolveSession::solve_batch`],
+/// instantiated for the spec's basis storage precision like
+/// [`OuterWorkspace`].
+enum OuterBlockWorkspace {
+    /// Uncompressed fp64 basis storage.
+    F64(BlockFgmresWorkspace<f64, f64>),
+    /// fp32-compressed basis storage.
+    F32(BlockFgmresWorkspace<f64, f32>),
+    /// fp16-compressed basis storage.
+    F16(BlockFgmresWorkspace<f64, f16>),
+}
+
+impl OuterBlockWorkspace {
+    fn new(basis_prec: Precision, n: usize, m: usize, k: usize) -> Self {
+        match basis_prec {
+            Precision::Fp64 => OuterBlockWorkspace::F64(BlockFgmresWorkspace::new(n, m, k)),
+            Precision::Fp32 => OuterBlockWorkspace::F32(BlockFgmresWorkspace::new(n, m, k)),
+            Precision::Fp16 => OuterBlockWorkspace::F16(BlockFgmresWorkspace::new(n, m, k)),
+        }
+    }
+
+    fn max_columns(&self) -> usize {
+        match self {
+            OuterBlockWorkspace::F64(ws) => ws.max_columns(),
+            OuterBlockWorkspace::F32(ws) => ws.max_columns(),
+            OuterBlockWorkspace::F16(ws) => ws.max_columns(),
+        }
+    }
+
+    fn run_cycle(
+        &mut self,
+        params: BlockCycleParams<'_, f64>,
+        xs: &mut [f64],
+        bs: &[f64],
+        k: usize,
+    ) -> Vec<CycleOutcome> {
+        match self {
+            OuterBlockWorkspace::F64(ws) => block_fgmres_cycle(params, xs, bs, ws, k),
+            OuterBlockWorkspace::F32(ws) => block_fgmres_cycle(params, xs, bs, ws, k),
+            OuterBlockWorkspace::F16(ws) => block_fgmres_cycle(params, xs, bs, ws, k),
         }
     }
 }
@@ -712,6 +757,21 @@ struct SessionWork {
     inner: Box<dyn InnerSolver<f64>>,
     outer: OuterWorkspace,
     residual: Vec<f64>,
+    /// Batched-path state, allocated on the first [`SolveSession::solve_batch`]
+    /// and regrown only for wider batches.  Single-RHS solves never touch it,
+    /// and allocating it does not bump the workspace generation: the
+    /// generation tracks the per-session workspaces every solve shares.
+    block: Option<BlockWork>,
+}
+
+/// Outer block workspace plus the packed right-hand-side / solution panels of
+/// the batched path (reused across `solve_batch` calls).
+struct BlockWork {
+    outer: OuterBlockWorkspace,
+    /// Column-major RHS panel over the still-running columns.
+    bp: Vec<f64>,
+    /// Column-major solution panel over the still-running columns.
+    xp: Vec<f64>,
 }
 
 /// One solve stream over a [`PreparedSolver`]: owns the mutable level
@@ -781,6 +841,7 @@ impl SolveSession {
             inner,
             outer,
             residual: vec![0.0; matrix.dim()],
+            block: None,
         });
         self.generation += 1;
     }
@@ -810,24 +871,239 @@ impl SolveSession {
     }
 
     /// Solve one system per right-hand side, reusing the session workspaces
-    /// across solves (after the first solve, nothing proportional to the
-    /// problem size is allocated — only the per-result bookkeeping).  Each
-    /// `xs[i]` is resized to the matrix dimension and overwritten.
+    /// across solves.  Each `xs[i]` is resized to the matrix dimension and
+    /// overwritten; every system starts from the zero initial guess and uses
+    /// the spec's tolerance and cycle budget.
+    ///
+    /// With two or more right-hand sides this delegates to
+    /// [`solve_batch`](Self::solve_batch): since all systems share one
+    /// matrix and one tolerance, batching is profitable from `k = 2` on —
+    /// every batched matrix pass serves all still-running systems, so the
+    /// dominant matrix-stream traffic drops to roughly `1/k` per right-hand
+    /// side with no change to any system's convergence path (each column
+    /// computes the same floating-point sequence as its sequential solve;
+    /// see [`crate::block`]).  The only observable differences are the ones
+    /// documented on `solve_batch`: per-result counters and timings report
+    /// batch totals, and adaptive Richardson weights see the interleaved
+    /// application order.  A single right-hand side takes the plain
+    /// [`solve`](Self::solve) path unchanged.
     ///
     /// # Panics
-    /// Panics if `bs` and `xs` have different lengths.
+    /// Panics if `bs` and `xs` have different lengths (the same contract,
+    /// with the same wording, as `solve_batch`) or a right-hand side has the
+    /// wrong length.
     pub fn solve_many<B: AsRef<[f64]>>(&mut self, bs: &[B], xs: &mut [Vec<f64>]) -> Vec<SolveResult> {
         assert_eq!(
             bs.len(),
             xs.len(),
             "solve_many: need one solution vector per right-hand side"
         );
+        if bs.len() >= 2 {
+            return self.solve_batch(bs, xs);
+        }
         let n = self.prepared.dim();
         bs.iter()
             .zip(xs.iter_mut())
             .map(|(b, x)| {
                 x.resize(n, 0.0);
                 self.solve(b.as_ref(), x)
+            })
+            .collect()
+    }
+
+    /// Solve the `k = bs.len()` systems `A x_c = b_c` together, marching all
+    /// right-hand sides through shared outer FGMRES cycles, and return one
+    /// [`SolveResult`] per system (in input order).  Each `xs[c]` is resized
+    /// to the matrix dimension and overwritten; every system starts from the
+    /// zero initial guess and uses the spec's tolerance and cycle budget.
+    ///
+    /// Per iteration, the SpMVs of all still-running systems fuse into one
+    /// pass over the matrix ([`ProblemMatrix::apply_multi`]) on every FGMRES
+    /// level of the nesting hierarchy, so the dominant matrix-stream traffic
+    /// is paid once per batch instead of once per right-hand side.  Each
+    /// column still runs its own independent recurrence — same Arnoldi
+    /// process, same convergence checks against the same tolerance, bitwise
+    /// the same floating-point sequence as a sequential [`solve`](Self::solve)
+    /// (except under adaptive Richardson levels, whose weight state evolves
+    /// in application order; such specs still converge to the same
+    /// tolerance, just not bitwise identically).  Convergence is tracked per
+    /// column: a system that converges (true relative residual below the
+    /// spec tolerance) or breaks down is *deflated* — later cycles and
+    /// batched kernel calls no longer carry its column.
+    ///
+    /// A single right-hand side falls back to the plain sequential path;
+    /// with `k = 0` an empty result vector is returned.
+    ///
+    /// Because the whole batch shares this session's kernel counters (reset
+    /// once at batch start), the `counters`, `precond_applications` and
+    /// `seconds` fields of every returned result report **batch totals**,
+    /// not per-system shares.  Per-system fields (`converged`,
+    /// `outer_iterations`, `residual_history`,
+    /// `final_relative_residual`, …) are tracked individually.  Batched
+    /// matrix passes are attributed through
+    /// [`KernelCounters::record_spmm`], so
+    /// `counters.matrix_bytes_total() / counters.spmm_columns_total()`
+    /// exposes the per-RHS matrix traffic the batching saves.
+    ///
+    /// # Panics
+    /// Panics if `bs` and `xs` have different lengths or a right-hand side
+    /// is not `dim()` elements long.
+    pub fn solve_batch<B: AsRef<[f64]>>(&mut self, bs: &[B], xs: &mut [Vec<f64>]) -> Vec<SolveResult> {
+        assert_eq!(
+            bs.len(),
+            xs.len(),
+            "solve_batch: need one solution vector per right-hand side"
+        );
+        let k = bs.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let n = self.prepared.dim();
+        if k == 1 {
+            xs[0].resize(n, 0.0);
+            return vec![self.solve(bs[0].as_ref(), &mut xs[0])];
+        }
+        for b in bs {
+            assert_eq!(b.as_ref().len(), n, "solve_batch: b length mismatch");
+        }
+        let start = Instant::now();
+        self.ensure_work();
+        self.counters.reset();
+        let tol = self.prepared.spec.tol;
+        let max_cycles = self.prepared.spec.max_outer_cycles;
+        for x in xs.iter_mut() {
+            x.clear();
+            x.resize(n, 0.0);
+        }
+
+        // Per-column convergence bookkeeping (the O(k·cycles) result state
+        // every batch allocates — panels and workspaces are reused).
+        struct ColRun {
+            converged: bool,
+            stop_reason: StopReason,
+            outer_iterations: usize,
+            history: Vec<f64>,
+            done: bool,
+        }
+        let bnorms: Vec<f64> = bs.iter().map(|b| blas1::norm2(b.as_ref())).collect();
+        let mut runs: Vec<ColRun> = bnorms
+            .iter()
+            .map(|&bnorm| {
+                // x = 0 is the exact solution of a zero-RHS column, exactly
+                // as in the sequential path.
+                let trivial = bnorm == 0.0;
+                ColRun {
+                    converged: trivial,
+                    stop_reason: if trivial {
+                        StopReason::Converged
+                    } else {
+                        StopReason::MaxIterations
+                    },
+                    outer_iterations: 0,
+                    history: Vec::new(),
+                    done: trivial,
+                }
+            })
+            .collect();
+        let abs_tols: Vec<f64> = bnorms.iter().map(|&bnorm| tol * bnorm).collect();
+
+        let spec = &self.prepared.spec;
+        let work = self.work.as_mut().expect("workspaces allocated by ensure_work");
+        if work.block.as_ref().is_none_or(|bw| bw.outer.max_columns() < k) {
+            let outer_basis = spec.levels[0].basis_precision().unwrap_or(Precision::Fp64);
+            work.block = Some(BlockWork {
+                outer: OuterBlockWorkspace::new(outer_basis, n, spec.levels[0].iterations(), k),
+                bp: vec![0.0; n * k],
+                xp: vec![0.0; n * k],
+            });
+        }
+        let SessionWork {
+            inner,
+            block,
+            residual,
+            ..
+        } = work;
+        let block = block.as_mut().expect("block workspaces just ensured");
+
+        let mut packed: Vec<usize> = Vec::with_capacity(k);
+        let mut tols: Vec<f64> = Vec::with_capacity(k);
+        for cycle in 0..max_cycles {
+            packed.clear();
+            packed.extend(
+                runs.iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.done)
+                    .map(|(c, _)| c),
+            );
+            let ka = packed.len();
+            if ka == 0 {
+                break;
+            }
+            // Pack the still-running columns into contiguous panels; deflated
+            // columns stop paying for matrix, preconditioner and basis work.
+            for (p, &c) in packed.iter().enumerate() {
+                block.bp[p * n..(p + 1) * n].copy_from_slice(bs[c].as_ref());
+                block.xp[p * n..(p + 1) * n].copy_from_slice(&xs[c]);
+            }
+            tols.clear();
+            tols.extend(packed.iter().map(|&c| abs_tols[c]));
+            let outcomes = block.outer.run_cycle(
+                BlockCycleParams {
+                    matrix: &self.prepared.matrix,
+                    mat_storage: spec.levels[0].matrix_storage(),
+                    inner: inner.as_mut(),
+                    abs_tols: Some(&tols),
+                    x_nonzero: cycle > 0,
+                    depth: 1,
+                    counters: &self.counters,
+                },
+                &mut block.xp[..ka * n],
+                &block.bp[..ka * n],
+                ka,
+            );
+            for (p, &c) in packed.iter().enumerate() {
+                xs[c].copy_from_slice(&block.xp[p * n..(p + 1) * n]);
+                let run = &mut runs[c];
+                let outcome = &outcomes[p];
+                run.outer_iterations += outcome.iterations;
+                let true_rel = self
+                    .prepared
+                    .matrix
+                    .true_relative_residual_with(&xs[c], bs[c].as_ref(), residual);
+                run.history.push(true_rel);
+                if !true_rel.is_finite() {
+                    run.stop_reason = StopReason::Breakdown;
+                    run.done = true;
+                    continue;
+                }
+                if true_rel < tol {
+                    run.converged = true;
+                    run.stop_reason = StopReason::Converged;
+                    run.done = true;
+                    continue;
+                }
+                // As in the sequential path, a breakdown that still produced
+                // iterations restarts; only a sterile cycle is terminal.
+                if outcome.breakdown && outcome.iterations == 0 {
+                    run.stop_reason = StopReason::Breakdown;
+                    run.done = true;
+                }
+            }
+        }
+
+        let seconds = start.elapsed().as_secs_f64();
+        let snapshot = self.counters.snapshot();
+        runs.into_iter()
+            .map(|run| SolveResult {
+                converged: run.converged,
+                stop_reason: run.stop_reason,
+                outer_iterations: run.outer_iterations,
+                precond_applications: snapshot.precond_applies,
+                final_relative_residual: run.history.last().copied().unwrap_or(0.0),
+                seconds,
+                residual_history: run.history,
+                counters: snapshot,
+                solver_name: self.prepared.spec.name.clone(),
             })
             .collect()
     }
@@ -1261,6 +1537,89 @@ mod tests {
             assert!(prepared.matrix().true_relative_residual(&x_ref, &bs[i]) < 1e-8);
         }
         assert_eq!(session.workspace_generation(), 1);
+    }
+
+    #[test]
+    fn solve_batch_columns_are_bitwise_equal_to_sequential_solves() {
+        // FGMRES-only chain: every batched column computes the exact
+        // floating-point sequence of its sequential solve, so solutions,
+        // iteration counts and residual histories must match bitwise.
+        let prepared = small_prepared();
+        let n = prepared.dim();
+        let k = 4;
+        let bs: Vec<Vec<f64>> = (0..k).map(|s| random_rhs(n, 200 + s as u64)).collect();
+        let mut xs = vec![Vec::new(); k];
+        let mut session = prepared.session();
+        let results = session.solve_batch(&bs, &mut xs);
+        assert_eq!(results.len(), k);
+        assert_eq!(session.workspace_generation(), 1);
+        for c in 0..k {
+            let mut x_ref = vec![0.0; n];
+            let r_ref = prepared.session().solve(&bs[c], &mut x_ref);
+            assert!(results[c].converged, "rhs {c}: {}", results[c]);
+            assert_eq!(results[c].converged, r_ref.converged);
+            assert_eq!(results[c].stop_reason, r_ref.stop_reason);
+            assert_eq!(results[c].outer_iterations, r_ref.outer_iterations, "rhs {c}");
+            assert_eq!(results[c].residual_history, r_ref.residual_history, "rhs {c}");
+            assert_eq!(xs[c], x_ref, "rhs {c}: batched column diverged bitwise");
+        }
+        // One batched matrix pass per outer iteration, each serving every
+        // still-running column.
+        let cnt = &results[0].counters;
+        assert!(cnt.total_spmm() > 0);
+        assert!(cnt.spmm_columns_total() >= cnt.total_spmm() * 2);
+    }
+
+    #[test]
+    fn solve_batch_deflates_trivial_and_easy_columns() {
+        let prepared = small_prepared();
+        let n = prepared.dim();
+        // Column 1 is the all-zero RHS: converged before the first cycle,
+        // with an empty history, while its neighbours still iterate.
+        let bs = vec![random_rhs(n, 31), vec![0.0; n], random_rhs(n, 32)];
+        let mut xs = vec![Vec::new(); 3];
+        let results = prepared.session().solve_batch(&bs, &mut xs);
+        assert!(results.iter().all(|r| r.converged));
+        assert_eq!(results[1].outer_iterations, 0);
+        assert!(results[1].residual_history.is_empty());
+        assert!(xs[1].iter().all(|&v| v == 0.0));
+        for c in [0usize, 2] {
+            assert!(results[c].outer_iterations > 0);
+            assert!(prepared.matrix().true_relative_residual(&xs[c], &bs[c]) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solve_many_delegates_to_the_batched_path() {
+        let prepared = small_prepared();
+        let n = prepared.dim();
+        let bs: Vec<Vec<f64>> = (0..2).map(|s| random_rhs(n, 300 + s)).collect();
+        let mut xs = vec![Vec::new(); 2];
+        let results = prepared.session().solve_many(&bs, &mut xs);
+        // Batched matrix passes only exist on the solve_batch path.
+        assert!(results[0].counters.total_spmm() > 0);
+        let mut xb = vec![Vec::new(); 2];
+        let batched = prepared.session().solve_batch(&bs, &mut xb);
+        assert_eq!(xs, xb);
+        assert_eq!(results[0].outer_iterations, batched[0].outer_iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "solve_batch: need one solution vector per right-hand side")]
+    fn solve_batch_mismatched_lengths_panic() {
+        let prepared = small_prepared();
+        let bs = vec![vec![0.0; prepared.dim()]; 2];
+        let mut xs = vec![Vec::new(); 3];
+        let _ = prepared.session().solve_batch(&bs, &mut xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "solve_batch: b length mismatch")]
+    fn solve_batch_short_rhs_panics() {
+        let prepared = small_prepared();
+        let bs = vec![vec![0.0; prepared.dim()], vec![0.0; 3]];
+        let mut xs = vec![Vec::new(); 2];
+        let _ = prepared.session().solve_batch(&bs, &mut xs);
     }
 
     #[test]

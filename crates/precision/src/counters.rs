@@ -49,6 +49,14 @@ pub struct KernelCounters {
     level_iterations: [AtomicU64; 8],
     /// Number of Richardson adaptive-weight updates (ω′ computations).
     weight_updates: AtomicU64,
+    /// Batched multi-RHS SpMV (SpMM) invocations, indexed by matrix-value
+    /// precision.  Each call streams the matrix once for all panel columns.
+    spmm_calls: [AtomicU64; 3],
+    /// Total panel columns processed by the SpMM calls above, indexed by
+    /// matrix-value precision: `spmm_columns / spmm_calls` is the mean batch
+    /// width, and the per-batch-column matrix traffic is
+    /// `matrix_bytes / column count` because the stream is shared.
+    spmm_columns: [AtomicU64; 3],
 }
 
 const fn precision_index(p: Precision) -> usize {
@@ -81,6 +89,22 @@ impl KernelCounters {
     pub fn record_spmv(&self, p: Precision, bytes: u64) {
         self.spmv_calls[precision_index(p)].fetch_add(1, Ordering::Relaxed);
         self.bytes_moved[precision_index(p)].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one batched multi-RHS SpMV (SpMM) over a `columns`-wide panel
+    /// with matrix values stored in precision `p`, moving an estimated
+    /// `bytes` of memory **in total** (matrix stream once + `columns` vector
+    /// sweeps).
+    ///
+    /// The matrix stream is physically shared by the whole panel, so it is
+    /// recorded once per call, not once per column; the separate column
+    /// count is what lets experiments amortize it per batch column
+    /// (`matrix_bytes_total / spmm_columns_total` = matrix bytes per RHS).
+    pub fn record_spmm(&self, p: Precision, bytes: u64, columns: u64) {
+        let i = precision_index(p);
+        self.spmm_calls[i].fetch_add(1, Ordering::Relaxed);
+        self.spmm_columns[i].fetch_add(columns, Ordering::Relaxed);
+        self.bytes_moved[i].fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Record one BLAS-1 kernel on vectors of precision `p`, moving an
@@ -154,6 +178,12 @@ impl KernelCounters {
         for c in &self.level_iterations {
             c.store(0, Ordering::Relaxed);
         }
+        for c in &self.spmm_calls {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.spmm_columns {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Take a plain-data snapshot of the current counter values.
@@ -182,6 +212,8 @@ impl KernelCounters {
                 out
             },
             weight_updates: self.weight_updates.load(Ordering::Relaxed),
+            spmm_calls: load3(&self.spmm_calls),
+            spmm_columns: load3(&self.spmm_columns),
         }
     }
 }
@@ -210,6 +242,11 @@ pub struct CounterSnapshot {
     pub level_iterations: [u64; 8],
     /// Number of adaptive Richardson weight updates performed.
     pub weight_updates: u64,
+    /// Batched SpMM calls per matrix-value precision, ordered
+    /// `[fp16, fp32, fp64]` (each call streamed the matrix once).
+    pub spmm_calls: [u64; 3],
+    /// Total panel columns processed by those SpMM calls, same order.
+    pub spmm_columns: [u64; 3],
 }
 
 impl CounterSnapshot {
@@ -269,6 +306,38 @@ impl CounterSnapshot {
         self.spmv_calls[precision_index(p)]
     }
 
+    /// Total batched SpMM calls across all precisions.
+    #[must_use]
+    pub fn total_spmm(&self) -> u64 {
+        self.spmm_calls.iter().sum()
+    }
+
+    /// Total panel columns processed by batched SpMM calls across all
+    /// precisions.  Combined with a matrix-traffic counter this yields the
+    /// per-batch-column (per-RHS) matrix stream:
+    /// `matrix_bytes_total() / spmm_columns_total()` when every SpMV in the
+    /// measured phase went through the batched path.
+    #[must_use]
+    pub fn spmm_columns_total(&self) -> u64 {
+        self.spmm_columns.iter().sum()
+    }
+
+    /// Batched SpMM calls with matrix values in a given precision.
+    #[must_use]
+    pub fn spmm_in(&self, p: Precision) -> u64 {
+        self.spmm_calls[precision_index(p)]
+    }
+
+    /// Mean SpMM batch width (0.0 if no SpMM ran).
+    #[must_use]
+    pub fn mean_spmm_width(&self) -> f64 {
+        let calls = self.total_spmm();
+        if calls == 0 {
+            return 0.0;
+        }
+        self.spmm_columns_total() as f64 / calls as f64
+    }
+
     /// Modeled bytes moved in a given precision.
     #[must_use]
     pub fn bytes_in(&self, p: Precision) -> u64 {
@@ -305,6 +374,8 @@ impl CounterSnapshot {
             matrix_bytes_read: sub3(self.matrix_bytes_read, earlier.matrix_bytes_read),
             level_iterations,
             weight_updates: self.weight_updates.saturating_sub(earlier.weight_updates),
+            spmm_calls: sub3(self.spmm_calls, earlier.spmm_calls),
+            spmm_columns: sub3(self.spmm_columns, earlier.spmm_columns),
         }
     }
 }
@@ -440,6 +511,30 @@ mod tests {
         assert_eq!(diff.matrix_bytes_in(Precision::Fp16), 300);
         c.reset();
         assert_eq!(c.snapshot().matrix_bytes_total(), 0);
+    }
+
+    #[test]
+    fn spmm_traffic_attributes_per_batch_column() {
+        let c = KernelCounters::new_shared();
+        // One 8-wide SpMM: matrix stream once, attributed once, 8 columns.
+        c.record_spmm(Precision::Fp16, 1000, 8);
+        c.record_matrix_traffic(Precision::Fp16, 700);
+        let s = c.snapshot();
+        assert_eq!(s.total_spmm(), 1);
+        assert_eq!(s.spmm_in(Precision::Fp16), 1);
+        assert_eq!(s.spmm_columns_total(), 8);
+        assert_eq!(s.mean_spmm_width(), 8.0);
+        assert_eq!(s.total_bytes(), 1000);
+        // Per-RHS matrix stream: shared bytes over processed columns.
+        assert_eq!(s.matrix_bytes_total() / s.spmm_columns_total(), 87);
+        let first = s;
+        c.record_spmm(Precision::Fp16, 500, 4);
+        let diff = c.snapshot().since(&first);
+        assert_eq!(diff.spmm_calls, [1, 0, 0]);
+        assert_eq!(diff.spmm_columns, [4, 0, 0]);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+        assert_eq!(c.snapshot().mean_spmm_width(), 0.0);
     }
 
     #[test]

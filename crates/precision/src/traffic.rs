@@ -113,6 +113,39 @@ impl TrafficModel {
         (n as u64) * (reads + writes) as u64 * v.bytes() as u64
     }
 
+    /// Bytes moved by one CSR SpMM `Y = A X` over a `k`-column panel: the
+    /// matrix stream is paid **once** (the point of the batched kernels)
+    /// while the vector read/write traffic scales with the panel width.
+    ///
+    /// `spmm_bytes(nnz, n, a, v, 1) == spmv_bytes(nnz, n, a, v)`, and the
+    /// per-RHS matrix traffic of a k-wide panel is `1/k` of the
+    /// single-vector kernel's — the amortization the batched solver's
+    /// counters measure.
+    #[must_use]
+    pub fn spmm_bytes(nnz: usize, n: usize, a: Precision, v: Precision, k: usize) -> u64 {
+        Self::matrix_stream_bytes(nnz, n, a) + (n as u64) * 2 * (k as u64) * v.bytes() as u64
+    }
+
+    /// [`spmm_bytes`](Self::spmm_bytes) for *scaled* matrix storage, which
+    /// additionally streams one `f64` amplitude scale per row (once per
+    /// panel, like the rest of the matrix stream).
+    #[must_use]
+    pub fn spmm_scaled_bytes(nnz: usize, n: usize, a: Precision, v: Precision, k: usize) -> u64 {
+        Self::spmm_bytes(nnz, n, a, v, k) + 8 * n as u64
+    }
+
+    /// Bytes moved through stored basis vectors by one panel sweep touching
+    /// `vectors` basis vectors *per column* across a `k`-column panel (the
+    /// batched twin of [`basis_bytes`](Self::basis_bytes)).
+    ///
+    /// Unlike the matrix stream, basis vectors are **per-column state** — a
+    /// batch of k recurrences stores k distinct bases — so this traffic
+    /// scales linearly with the panel width rather than amortizing.
+    #[must_use]
+    pub fn batched_basis_bytes(n: usize, vectors: usize, k: usize, s: Precision) -> u64 {
+        Self::basis_bytes(n, vectors, s) * k as u64
+    }
+
     /// Bytes moved through stored Krylov/flexible basis vectors by one sweep
     /// touching `vectors` basis vectors of length `n` held in storage
     /// precision `s`.
@@ -286,6 +319,37 @@ mod tests {
         assert_eq!(
             TrafficModel::blas1_bytes(100, 2, 1, Precision::Fp32),
             100 * 3 * 4
+        );
+    }
+
+    #[test]
+    fn spmm_bytes_amortize_the_matrix_stream() {
+        let (nnz, n) = (1000, 100);
+        let (a, v) = (Precision::Fp16, Precision::Fp32);
+        // k = 1 degenerates to the single-vector kernel.
+        assert_eq!(
+            TrafficModel::spmm_bytes(nnz, n, a, v, 1),
+            TrafficModel::spmv_bytes(nnz, n, a, v)
+        );
+        // A k-wide panel pays the matrix stream once plus k vector sweeps,
+        // so per-RHS traffic decays toward 2·n·v.bytes() as k grows.
+        let k = 8;
+        assert_eq!(
+            TrafficModel::spmm_bytes(nnz, n, a, v, k),
+            TrafficModel::matrix_stream_bytes(nnz, n, a) + (n as u64) * 2 * 8 * 4
+        );
+        assert!(
+            TrafficModel::spmm_bytes(nnz, n, a, v, k)
+                < TrafficModel::spmv_bytes(nnz, n, a, v) * k as u64
+        );
+        assert_eq!(
+            TrafficModel::spmm_scaled_bytes(nnz, n, a, v, k),
+            TrafficModel::spmm_bytes(nnz, n, a, v, k) + 8 * n as u64
+        );
+        // Basis traffic is per-column state: no amortization.
+        assert_eq!(
+            TrafficModel::batched_basis_bytes(n, 30, k, Precision::Fp16),
+            TrafficModel::basis_bytes(n, 30, Precision::Fp16) * k as u64
         );
     }
 }

@@ -39,8 +39,9 @@
 use f3r::precision::{Precision, Scalar};
 use f3r::sparse::reference;
 use f3r::sparse::spmv::{
-    spmv_dot2, spmv_par, spmv_residual, spmv_scaled_seq, spmv_scaled_sell_seq, spmv_seq,
-    spmv_sell_par, spmv_sell_seq,
+    spmv_dot2, spmv_multi, spmv_multi_par, spmv_multi_seq, spmv_par, spmv_residual,
+    spmv_scaled_multi, spmv_scaled_seq, spmv_scaled_sell_multi, spmv_scaled_sell_seq, spmv_seq,
+    spmv_sell_multi, spmv_sell_par, spmv_sell_seq,
 };
 use f3r::sparse::{blas1, CooMatrix, CsrMatrix, ScaledCsr, ScaledSell, SellMatrix};
 use half::f16;
@@ -604,4 +605,184 @@ fn zero_vector_compresses_to_zero_scale() {
     assert_eq!(scale, 0.0);
     assert!(stored.iter().all(|v| v.to_f64() == 0.0));
     assert_eq!(blas1::dot_compressed(&src, &stored, scale), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SpMM (multi-RHS) kernels: per-column bitwise parity with single-vector SpMV
+// ---------------------------------------------------------------------------
+
+/// Matrix mixing empty rows, 1-entry rows, and rows wide enough (11 nnz)
+/// to engage the gather-based SIMD row kernel — each row takes its own path
+/// inside one SpMM sweep, and the path choice must be the same for every
+/// panel column.
+fn mixed_rows_csr(rng: &mut StdRng, n: usize) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        match i % 4 {
+            0 => {} // empty row
+            1 => coo.push(i, i, rng.gen_range(0.5..1.5)),
+            _ => {
+                for t in 0..11.min(n) {
+                    coo.push(i, (i + t) % n, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn spmm_parity<TA: Scalar, TV: Scalar>(case: u64, k: usize) {
+    let mut rng = rng_for("simd_spmm", case * 37 + k as u64);
+    let n = rng.gen_range(9..40);
+    let a64 = mixed_rows_csr(&mut rng, n);
+    let a: CsrMatrix<TA> = a64.to_precision();
+    let sell: SellMatrix<TA> = SellMatrix::from_csr(&a, 8);
+    let xs: Vec<TV> = (0..n * k).map(|_| TV::from_f64(rng.gen_range(-1.0..1.0))).collect();
+
+    let mut ys = vec![TV::zero(); n * k];
+    let mut ys_seq = vec![TV::zero(); n * k];
+    let mut ys_par = vec![TV::zero(); n * k];
+    spmv_multi(&a, &xs, &mut ys, k);
+    spmv_multi_seq(&a, &xs, &mut ys_seq, k);
+    spmv_multi_par(&a, &xs, &mut ys_par, k);
+    let mut ys_sell = vec![TV::zero(); n * k];
+    spmv_sell_multi(&sell, &xs, &mut ys_sell, k);
+    for c in 0..k {
+        let xcol = &xs[c * n..(c + 1) * n];
+        let mut y_csr = vec![TV::zero(); n];
+        let mut y_sell = vec![TV::zero(); n];
+        spmv_seq(&a, xcol, &mut y_csr);
+        spmv_sell_seq(&sell, xcol, &mut y_sell);
+        for row in 0..n {
+            // Column c of the SpMM is the single-vector SpMV of column c,
+            // bit for bit: the SIMD row/group gate depends only on the row.
+            assert_eq!(
+                ys[c * n + row].to_f64(),
+                y_csr[row].to_f64(),
+                "case {case} k {k} {}x{} csr col {c} row {row}",
+                TA::name(),
+                TV::name()
+            );
+            assert_eq!(
+                ys_seq[c * n + row].to_f64(),
+                ys[c * n + row].to_f64(),
+                "case {case} k {k} seq col {c} row {row}"
+            );
+            assert_eq!(
+                ys_par[c * n + row].to_f64(),
+                ys[c * n + row].to_f64(),
+                "case {case} k {k} par col {c} row {row}"
+            );
+            assert_eq!(
+                ys_sell[c * n + row].to_f64(),
+                y_sell[row].to_f64(),
+                "case {case} k {k} {}x{} sell col {c} row {row}",
+                TA::name(),
+                TV::name()
+            );
+            if row % 4 == 0 {
+                assert_eq!(ys[c * n + row].to_f64(), 0.0, "empty row {row} col {c}");
+            }
+        }
+    }
+}
+
+#[test]
+fn spmm_columns_match_single_vector_spmv() {
+    // Odd widths and the k = 1 degenerate panel; mixed empty/short/SIMD rows.
+    for case in 0..4 {
+        for &k in &[1usize, 2, 3, 5, 8] {
+            spmm_parity::<f64, f64>(case, k);
+            spmm_parity::<f32, f64>(case, k);
+            spmm_parity::<f16, f32>(case, k);
+            spmm_parity::<f16, f16>(case, k);
+        }
+    }
+}
+
+#[test]
+fn scaled_spmm_columns_match_single_vector_scaled_spmv() {
+    for case in 0..4 {
+        for &k in &[1usize, 3, 5] {
+            let mut rng = rng_for("simd_spmm_scaled", case * 13 + k as u64);
+            let n = rng.gen_range(10..40);
+            let a64 = mixed_rows_csr(&mut rng, n);
+            let scaled: ScaledCsr<f16> = ScaledCsr::from_f64(&a64);
+            let ssell: ScaledSell<f16> = ScaledSell::from_csr_f64(&a64, 8);
+            let xs: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0) as f32).collect();
+            let mut ys = vec![0.0f32; n * k];
+            let mut ys_sell = vec![0.0f32; n * k];
+            spmv_scaled_multi(&scaled, &xs, &mut ys, k);
+            spmv_scaled_sell_multi(&ssell, &xs, &mut ys_sell, k);
+            for c in 0..k {
+                let xcol = &xs[c * n..(c + 1) * n];
+                let mut y_csr = vec![0.0f32; n];
+                let mut y_sell = vec![0.0f32; n];
+                spmv_scaled_seq(&scaled, xcol, &mut y_csr);
+                spmv_scaled_sell_seq(&ssell, xcol, &mut y_sell);
+                for row in 0..n {
+                    assert_eq!(
+                        ys[c * n + row], y_csr[row],
+                        "case {case} k {k} scaled csr col {c} row {row}"
+                    );
+                    assert_eq!(
+                        ys_sell[c * n + row], y_sell[row],
+                        "case {case} k {k} scaled sell col {c} row {row}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panel BLAS-1: per-column bitwise parity with the single-vector kernels
+// ---------------------------------------------------------------------------
+
+fn panel_blas1_parity<T: Scalar>(len: usize, k: usize, case: u64) {
+    let mut rng = rng_for("simd_panel", case * 71 + (len * 8 + k) as u64);
+    let xs: Vec<T> = (0..len * k).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect();
+    let ys: Vec<T> = (0..len * k).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect();
+    let alphas: Vec<f64> = (0..k).map(|_| [0.5, -1.25, 2.0, 0.375][rng.gen_range(0..4usize)]).collect();
+
+    // The panel kernels are documented per-column loops over the dispatched
+    // single-vector kernels (columns are disjoint streams — nothing to
+    // amortize), so every column must match bit for bit.
+    let dots = blas1::dot_panel(&xs, &ys, k);
+    let norms = blas1::norm2_panel(&xs, k);
+    let mut axpyed = ys.clone();
+    blas1::axpy_panel(&alphas, &xs, &mut axpyed);
+    assert_eq!(dots.len(), k);
+    assert_eq!(norms.len(), k);
+    for c in 0..k {
+        let xcol = &xs[c * len..(c + 1) * len];
+        let ycol = &ys[c * len..(c + 1) * len];
+        assert_eq!(dots[c], blas1::dot(xcol, ycol), "len {len} k {k} dot col {c} {}", T::name());
+        assert_eq!(norms[c], blas1::norm2(xcol), "len {len} k {k} norm2 col {c} {}", T::name());
+        let mut y_ref = ycol.to_vec();
+        blas1::axpy(alphas[c], xcol, &mut y_ref);
+        for i in 0..len {
+            assert_eq!(
+                axpyed[c * len + i].to_f64(),
+                y_ref[i].to_f64(),
+                "len {len} k {k} axpy col {c} [{i}] {}",
+                T::name()
+            );
+        }
+    }
+}
+
+#[test]
+fn panel_blas1_matches_per_column_kernels() {
+    // Odd lengths and tails (as in the single-vector sweep) crossed with odd
+    // panel widths, plus the degenerate empty panel.
+    for (case, &len) in [0usize, 1, 9, 31, 100, 4097].iter().enumerate() {
+        for &k in &[1usize, 2, 3, 5, 8] {
+            panel_blas1_parity::<f64>(len, k, case as u64);
+            panel_blas1_parity::<f32>(len, k, case as u64);
+            panel_blas1_parity::<f16>(len, k, case as u64);
+        }
+    }
+    assert!(blas1::dot_panel::<f64>(&[], &[], 0).is_empty());
+    assert!(blas1::norm2_panel::<f64>(&[], 0).is_empty());
 }
