@@ -1,0 +1,112 @@
+//! Adaptive runtime precision benchmark: fixed Scaled(Fp32) streaming vs an
+//! adaptive session that starts from Scaled(Fp16) and escalates only when the
+//! stall detector fires.
+//!
+//! Two regimes:
+//!
+//! * `hpcg_16^3` (well-conditioned, diagonally scaled) — the adaptive session
+//!   must never escalate, so it keeps the fp16 matrix stream and moves fewer
+//!   matrix bytes than the fixed fp32 configuration (the PR's acceptance
+//!   criterion, recorded in `BENCH_pr8.json`),
+//! * `wide_laplacian_1e16` (DAD Laplacian with ~1e16 entry dynamic range) —
+//!   fixed Scaled(Fp16) stalls outright; the adaptive session escalates
+//!   mid-solve and converges hands-off, which the fixed fp32 row prices.
+//!
+//! Cycles-to-converge, matrix-stream bytes and escalation counts are printed
+//! per row (captured into the baseline JSON alongside the timings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f3r_core::prelude::*;
+use f3r_precision::Precision;
+use f3r_precond::PrecondKind;
+use f3r_sparse::gen::{hpcg_matrix, poisson2d_5pt, random_rhs};
+use f3r_sparse::scaling::jacobi_scale;
+use f3r_sparse::CsrMatrix;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Fixed at HPCG 16³ / 24×24 DAD Laplacian so recorded baselines stay
+/// comparable across machines.
+const GRID: usize = 16;
+const WIDE_NX: usize = 24;
+
+fn wide_system(nx: usize, expo: f64) -> CsrMatrix<f64> {
+    let a = jacobi_scale(&poisson2d_5pt(nx, nx));
+    let n = a.n_rows();
+    let d: Vec<f64> = (0..n)
+        .map(|i| 10f64.powf(-expo + 2.0 * expo * i as f64 / (n - 1) as f64))
+        .collect();
+    a.scale_rows_cols(&d, &d)
+}
+
+fn builder(matrix: &Arc<ProblemMatrix>, storage: MatrixStorage) -> SolverBuilder {
+    SolverBuilder::new(Arc::clone(matrix))
+        .levels(vec![
+            LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres_stored(10, storage, Precision::Fp64),
+        ])
+        .precond(PrecondKind::Jacobi)
+        .max_outer_cycles(10)
+}
+
+fn bench_adaptive_solve(c: &mut Criterion) {
+    f3r_bench::emit_parallel_meta();
+    let problems = [
+        (
+            format!("hpcg_{GRID}^3"),
+            jacobi_scale(&hpcg_matrix(GRID, GRID, GRID)),
+        ),
+        (
+            format!("wide_laplacian_1e16_{WIDE_NX}x{WIDE_NX}"),
+            wide_system(WIDE_NX, 4.0),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("adaptive_solve");
+    group.sample_size(10);
+
+    for (problem, a) in problems {
+        let matrix = Arc::new(ProblemMatrix::from_csr(a));
+        let n = matrix.dim();
+        let b = random_rhs(n, 5);
+
+        let fixed32 = builder(&matrix, MatrixStorage::Scaled(Precision::Fp32)).build();
+        let adaptive = builder(&matrix, MatrixStorage::Scaled(Precision::Fp16))
+            .adaptive_default()
+            .build();
+
+        for (variant, prepared) in [("fixed_fp32", &fixed32), ("adaptive_fp16", &adaptive)] {
+            // One measured solve on a fresh session for the counter-based
+            // metrics the baseline JSON records.
+            let mut x = vec![0.0; n];
+            let r = prepared.session().solve(&b, &mut x);
+            assert!(r.converged, "{variant}/{problem}: {r}");
+            eprintln!(
+                "adaptive_solve/{variant}/{problem}: cycles={} outer_it={} matrix_bytes={} \
+                 escalations={} deescalations={} switch_bytes={}",
+                r.residual_history.len(),
+                r.outer_iterations,
+                r.counters.matrix_bytes_total(),
+                r.counters.total_escalations(),
+                r.counters.total_deescalations(),
+                r.counters.switch_bytes,
+            );
+
+            group.bench_function(BenchmarkId::new(variant, &problem), |bch| {
+                bch.iter(|| {
+                    // Fresh session per solve: adaptive runs re-walk their
+                    // escalations, so both variants time the full cold path.
+                    let mut x = vec![0.0; n];
+                    let r = prepared.session().solve(&b, &mut x);
+                    assert!(r.converged);
+                    black_box(r.outer_iterations)
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_solve);
+criterion_main!(benches);

@@ -108,6 +108,23 @@ pub fn spec_traffic_per_outer_iteration(
     c_a + spec_inner_traffic(spec, nnz_per_row, m_nnz_per_row) + 2.5 * m1
 }
 
+/// Rank candidate specs by [`spec_traffic_per_outer_iteration`] and return
+/// the index and modeled traffic of the cheapest, or `None` for an empty
+/// candidate set.  Ties resolve to the earliest candidate, so callers can
+/// order their lists safest-first.
+#[must_use]
+pub fn cheapest_spec<'a>(
+    specs: impl IntoIterator<Item = &'a NestedSpec>,
+    nnz_per_row: f64,
+    m_nnz_per_row: f64,
+) -> Option<(usize, f64)> {
+    specs
+        .into_iter()
+        .map(|spec| spec_traffic_per_outer_iteration(spec, nnz_per_row, m_nnz_per_row))
+        .enumerate()
+        .reduce(|best, cur| if cur.1 < best.1 { cur } else { best })
+}
+
 /// Re-export of the Eq. 2 split optimisation for convenience of the
 /// experiment harness.
 #[must_use]
@@ -196,6 +213,22 @@ mod tests {
         assert!(cmp.nested_richardson < cmp.reference_fgmres);
         // Richardson alone is the cheapest of all.
         assert!(cmp.reference_richardson < cmp.nested_richardson);
+    }
+
+    #[test]
+    fn cheapest_spec_ranks_schemes_and_breaks_ties_earliest() {
+        let settings = SolverSettings::default();
+        let specs: Vec<NestedSpec> = [F3rScheme::Fp64, F3rScheme::Fp32, F3rScheme::Fp16]
+            .into_iter()
+            .map(|s| f3r_spec(F3rParams::default(), s, &settings))
+            .collect();
+        let (idx, traffic) = cheapest_spec(specs.iter(), 27.0, 27.0).unwrap();
+        assert_eq!(idx, 2, "fp16-F3R models cheapest");
+        assert!(traffic > 0.0);
+        // Duplicates tie to the earliest index.
+        let dup = [specs[2].clone(), specs[2].clone()];
+        assert_eq!(cheapest_spec(dup.iter(), 27.0, 27.0).unwrap().0, 0);
+        assert!(cheapest_spec(std::iter::empty(), 27.0, 27.0).is_none());
     }
 
     #[test]

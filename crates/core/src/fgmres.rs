@@ -25,6 +25,20 @@
 //! which receives a working-precision copy of `v_j` (one decompression per
 //! iteration).
 //!
+//! # Why swapping the inner chain mid-solve is legal
+//!
+//! Flexible preconditioning is also what makes the *adaptive* runtime
+//! precision of [`crate::adaptive`] sound: FGMRES stores every
+//! preconditioned direction `z_j` explicitly and builds the solution update
+//! from those stored vectors, so the preconditioner may be a *different*
+//! operator at every iteration — including one whose matrix/basis precisions
+//! were rebuilt between cycles.  An adaptive session therefore replaces the
+//! whole inner chain at a cycle boundary (or abandons a broken-down cycle
+//! and restarts it on the wider chain) without invalidating any outer Krylov
+//! state; the outer level only ever sees "some operator produced `z_j`".
+//! The per-iteration residual estimates that drive the stall detector reach
+//! it through [`CycleParams::progress`] ([`CycleProgress`]).
+//!
 //! # Example
 //!
 //! Run one explicitly-typed cycle with an fp16-compressed basis under an

@@ -30,6 +30,12 @@
 //!   [`basis::CompressedBasis`]); pick the storage axis per level via the
 //!   `basis_prec` field of [`LevelSpec`] or spec-wide via
 //!   [`NestedSpec::with_basis_storage`],
+//! * adaptive runtime precision ([`adaptive`]): a stall detector over the
+//!   outer residual trace escalates stalled inner levels to wider
+//!   matrix/basis variants mid-solve and de-escalates after sustained
+//!   progress ([`SolverBuilder::adaptive`](session::SolverBuilder::adaptive)),
+//!   plus a cost-model autotuner that picks the initial spec per matrix
+//!   ([`SolverBuilder::auto_spec`](session::SolverBuilder::auto_spec)),
 //! * the paper's solver presets ([`f3r`]): fp64-/fp32-/fp16-F3R (Table 1) and
 //!   the nesting-depth references F2, fp16-F2, F3, fp16-F3, F4 (Table 4),
 //! * the innermost Richardson solver with adaptive weight updating
@@ -72,6 +78,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod baseline;
 pub mod basis;
 pub mod block;
@@ -88,6 +95,9 @@ pub mod session;
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
+    pub use crate::adaptive::{
+        AdaptivePolicy, AutoTuneConfig, StallConfig, StallDetector, StallSignal,
+    };
     pub use crate::baseline::{BaselineConfig, BiCgStabSolver, CgSolver, RestartedFgmresSolver};
     pub use crate::basis::CompressedBasis;
     pub use crate::block::BlockFgmresWorkspace;
@@ -100,8 +110,8 @@ pub mod prelude {
     pub use crate::operator::{MatrixFormat, MatrixStorage, ProblemMatrix, SpmvBackend, VariantInfo};
     pub use crate::richardson::WeightStrategy;
     pub use crate::session::{
-        CycleEvent, OuterEvent, PreparedSolver, SolveControl, SolveObserver, SolveOptions,
-        SolveSession, SolverBuilder,
+        CycleEvent, OuterEvent, PrecisionSwitchEvent, PreparedSolver, SolveControl, SolveObserver,
+        SolveOptions, SolveSession, SolverBuilder,
     };
 }
 

@@ -73,6 +73,10 @@ use f3r_precision::{f16, KernelCounters, Precision, Scalar};
 use f3r_precond::PrecondKind;
 use f3r_sparse::blas1;
 
+use crate::adaptive::{
+    auto_spec_for_matrix, escalation_ladder, AdaptivePolicy, AutoTuneConfig, StallDetector,
+    StallSignal,
+};
 use crate::block::{block_fgmres_cycle, BlockCycleParams, BlockFgmresWorkspace};
 use crate::convergence::{SolveResult, SparseSolver, StopReason};
 use crate::f3r::{f3r_spec, F3rParams, F3rScheme, SolverSettings};
@@ -280,6 +284,9 @@ enum SpecSource {
     Levels(Vec<LevelSpec>),
     /// A complete pre-built spec (explicit overrides still apply on top).
     Spec(NestedSpec),
+    /// Cost-model autotuning: measure the matrix, pick the cheapest
+    /// admissible F3R candidate (see [`crate::adaptive::auto_spec_for_matrix`]).
+    Auto(AutoTuneConfig),
 }
 
 /// Fluent configuration of a nested solver: problem + level structure +
@@ -323,6 +330,7 @@ pub struct SolverBuilder {
     name: Option<String>,
     basis_storage: Option<Precision>,
     matrix_storage: Option<MatrixStorage>,
+    policy: Option<AdaptivePolicy>,
 }
 
 impl SolverBuilder {
@@ -340,6 +348,7 @@ impl SolverBuilder {
             name: None,
             basis_storage: None,
             matrix_storage: None,
+            policy: None,
         }
     }
 
@@ -376,6 +385,53 @@ impl SolverBuilder {
     pub fn spec(mut self, spec: NestedSpec) -> Self {
         self.source = Some(SpecSource::Spec(spec));
         self
+    }
+
+    /// Let the cost-model autotuner pick the level structure: the matrix's
+    /// entry statistics gate which F3R precision stacks are admissible
+    /// (plain fp16 needs every entry fp16-representable, row-scaled fp16
+    /// tolerates a bounded dynamic range) and the Section 4.1 traffic model
+    /// ranks the admissible candidates; the cheapest wins.  The chosen
+    /// spec's name is prefixed `auto:` so results stay attributable.
+    ///
+    /// Replaces a `scheme(...)` call you would otherwise have to hand-pick
+    /// per matrix; explicitly set builder fields (preconditioner, tolerance,
+    /// …) still override the chosen spec's values.  Like `levels()`/`spec()`,
+    /// this path rejects [`params`](Self::params) — pass iteration counts
+    /// through [`auto_spec_with`](Self::auto_spec_with) instead.
+    #[must_use]
+    pub fn auto_spec(mut self) -> Self {
+        self.source = Some(SpecSource::Auto(AutoTuneConfig::default()));
+        self
+    }
+
+    /// [`auto_spec`](Self::auto_spec) with explicit autotuner configuration
+    /// (candidate iteration counts, scaled-fp16 admissibility gate).
+    #[must_use]
+    pub fn auto_spec_with(mut self, config: AutoTuneConfig) -> Self {
+        self.source = Some(SpecSource::Auto(config));
+        self
+    }
+
+    /// Enable adaptive runtime precision for every session of the prepared
+    /// solver: a [`StallDetector`] watches the outer residual trace and, on
+    /// stall/divergence/breakdown, the session escalates the inner levels to
+    /// the next-wider variant of the escalation ladder mid-solve (fp16 →
+    /// fp32 → fp64 matrix streams, bases dragged along), de-escalating after
+    /// sustained progress per `policy`.  The outer Krylov state survives a
+    /// switch: FGMRES is flexible, so swapping the inner solver between (or
+    /// within) cycles is legal by construction.
+    #[must_use]
+    pub fn adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// [`adaptive`](Self::adaptive) with the default
+    /// [`AdaptivePolicy`].
+    #[must_use]
+    pub fn adaptive_default(self) -> Self {
+        self.adaptive(AdaptivePolicy::default())
     }
 
     /// Primary preconditioner kind (default: `ILU(0)` with α = 1).
@@ -448,6 +504,7 @@ impl SolverBuilder {
         }
         let mut spec = match source {
             SpecSource::Spec(spec) => spec,
+            SpecSource::Auto(config) => auto_spec_for_matrix(&self.matrix, &config),
             SpecSource::Scheme(scheme) => {
                 // Defaults come from SolverSettings; explicitly set builder
                 // fields are applied by the shared override block below.
@@ -498,7 +555,8 @@ impl SolverBuilder {
     /// # Errors
     /// Returns a [`SpecError`] if no level structure was given or the
     /// resulting spec fails [`NestedSpec::check`].
-    pub fn try_build(self) -> Result<Arc<PreparedSolver>, SpecError> {
+    pub fn try_build(mut self) -> Result<Arc<PreparedSolver>, SpecError> {
+        let policy = self.policy.take();
         let (matrix, spec) = self.resolve_spec()?;
         // Materialize exactly the matrix variants the validated level chain
         // streams (the store stays lazy for everything else — a later
@@ -515,6 +573,7 @@ impl SolverBuilder {
             matrix,
             precond,
             spec,
+            policy,
         }))
     }
 
@@ -548,6 +607,7 @@ pub struct PreparedSolver {
     matrix: Arc<ProblemMatrix>,
     precond: Arc<AnyPrecond>,
     spec: NestedSpec,
+    policy: Option<AdaptivePolicy>,
 }
 
 impl fmt::Debug for PreparedSolver {
@@ -598,16 +658,27 @@ impl PreparedSolver {
         &self.spec.name
     }
 
+    /// The adaptive-precision policy sessions of this solver run under, if
+    /// [`SolverBuilder::adaptive`] enabled one.
+    #[must_use]
+    pub fn adaptive_policy(&self) -> Option<&AdaptivePolicy> {
+        self.policy.as_ref()
+    }
+
     /// Open a new solve session: a private set of mutable level workspaces
     /// and counters over this shared setup.  Cheap — workspaces are only
     /// allocated on the session's first solve.
     #[must_use]
     pub fn session(self: &Arc<Self>) -> SolveSession {
+        let adaptive = self
+            .policy
+            .map(|policy| AdaptiveRun::new(policy, &self.spec.levels));
         SolveSession {
             prepared: Arc::clone(self),
             counters: KernelCounters::new_shared(),
             work: None,
             generation: 0,
+            adaptive,
         }
     }
 }
@@ -649,13 +720,35 @@ pub struct CycleEvent {
     pub true_relative_residual: f64,
 }
 
+/// One mid-solve precision switch of an adaptive session (see
+/// [`SolverBuilder::adaptive`]), reported as it happens.
+#[derive(Debug, Clone)]
+pub struct PrecisionSwitchEvent {
+    /// Restart-cycle index (0-based) of the cycle that triggered the switch.
+    pub cycle: usize,
+    /// Total outermost iterations executed when the switch happened.
+    pub outer_iterations: usize,
+    /// True relative residual at the switch (`NaN`/`inf` when the switch
+    /// rescued a breakdown).
+    pub true_relative_residual: f64,
+    /// `true` for an escalation (wider variants), `false` for a
+    /// de-escalation back down the ladder.
+    pub escalated: bool,
+    /// Ladder rung before the switch (0 = the spec as built).
+    pub from_rung: usize,
+    /// Ladder rung after the switch.
+    pub to_rung: usize,
+    /// The level structure the solve continues with, outermost first.
+    pub levels: Vec<LevelSpec>,
+}
+
 /// Callback interface for watching a solve as it progresses.
 ///
-/// Both methods default to [`SolveControl::Continue`]; implement whichever
-/// granularity you need.  Returning [`SolveControl::Stop`] ends the solve
-/// after the current event with [`StopReason::Stopped`] (or
-/// [`StopReason::Converged`] if the tolerance was reached in the same
-/// cycle).
+/// The control-returning methods default to [`SolveControl::Continue`];
+/// implement whichever granularity you need.  Returning
+/// [`SolveControl::Stop`] ends the solve after the current event with
+/// [`StopReason::Stopped`] (or [`StopReason::Converged`] if the tolerance
+/// was reached in the same cycle).
 pub trait SolveObserver {
     /// Called after every outermost Arnoldi iteration with the residual
     /// *estimate* (no extra kernel work is spent on these events).
@@ -672,6 +765,14 @@ pub trait SolveObserver {
     fn on_cycle_complete(&mut self, event: &CycleEvent) -> SolveControl {
         let _ = event;
         SolveControl::Continue
+    }
+
+    /// Called when an adaptive session switches its inner levels to a wider
+    /// or narrower ladder rung mid-solve.  Informational — the switch has
+    /// already happened; use [`on_outer_iteration`](Self::on_outer_iteration)
+    /// or [`on_cycle_complete`](Self::on_cycle_complete) to stop the solve.
+    fn on_precision_switch(&mut self, event: &PrecisionSwitchEvent) {
+        let _ = event;
     }
 }
 
@@ -693,6 +794,39 @@ impl CycleProgress for ProgressAdapter<'_> {
             relative_residual_estimate: residual_estimate / self.bnorm,
         };
         self.observer.on_outer_iteration(&event) == SolveControl::Continue
+    }
+}
+
+/// Per-iteration hook of the outermost cycle: forwards events to the user's
+/// observer (if any) and, on adaptive sessions, feeds the stall detector.
+/// A stall/divergence signal ends the cycle early (`switch_wanted`) so the
+/// session can escalate; a user stop always wins and is recorded separately
+/// so the two exits stay distinguishable after the cycle returns.
+struct OuterHook<'o> {
+    user: Option<ProgressAdapter<'o>>,
+    detector: Option<&'o mut StallDetector>,
+    bnorm: f64,
+    can_escalate: bool,
+    switch_wanted: bool,
+    user_stopped: bool,
+}
+
+impl CycleProgress for OuterHook<'_> {
+    fn on_iteration(&mut self, iteration_in_cycle: usize, residual_estimate: f64) -> bool {
+        if let Some(user) = self.user.as_mut() {
+            if !user.on_iteration(iteration_in_cycle, residual_estimate) {
+                self.user_stopped = true;
+                return false;
+            }
+        }
+        if let Some(detector) = self.detector.as_deref_mut() {
+            let signal = detector.observe(residual_estimate / self.bnorm);
+            if self.can_escalate && !matches!(signal, StallSignal::Progressing) {
+                self.switch_wanted = true;
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -774,6 +908,153 @@ struct BlockWork {
     xp: Vec<f64>,
 }
 
+/// Runtime state of an adaptive session: the escalation ladder derived from
+/// the prepared spec, the rung currently driving the inner chain, and the
+/// stall/health bookkeeping of the escalate → cool-down → de-escalate state
+/// machine.  The rung and its floor persist across solves of the same
+/// session (a matrix that needed fp32 last solve starts there next solve);
+/// the per-solve fields reset in [`begin_solve`](Self::begin_solve).
+struct AdaptiveRun {
+    policy: AdaptivePolicy,
+    ladder: Vec<Vec<LevelSpec>>,
+    /// Current ladder rung; `work.inner` is always built from
+    /// `ladder[rung]`.
+    rung: usize,
+    /// Lowest rung de-escalation may return to.  Starts at 0 and is pinned
+    /// upward when a probational de-escalation stalls again.
+    floor: usize,
+    /// Escalations taken in the current solve (bounded by
+    /// `policy.max_escalations`).
+    escalations: usize,
+    /// Consecutive healthy cycles at the current rung.
+    healthy_cycles: usize,
+    /// Set right after a de-escalation: the narrow rung is on probation
+    /// until it survives `deescalate_after` healthy cycles; stalling while
+    /// on probation pins `floor` at the re-escalated rung.
+    probation: bool,
+    detector: StallDetector,
+    /// True relative residual after the previous cycle at this rung (for
+    /// the cycle-boundary reduction check); `None` right after a switch.
+    last_cycle_rel: Option<f64>,
+    /// Copy of `x` from the start of the current cycle, for rolling back a
+    /// cycle that broke down before escalating.
+    x_backup: Vec<f64>,
+}
+
+impl AdaptiveRun {
+    fn new(policy: AdaptivePolicy, levels: &[LevelSpec]) -> Self {
+        Self {
+            ladder: escalation_ladder(levels),
+            rung: 0,
+            floor: 0,
+            escalations: 0,
+            healthy_cycles: 0,
+            probation: false,
+            detector: StallDetector::new(policy.stall),
+            last_cycle_rel: None,
+            x_backup: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Reset the per-solve state, keeping the rung and floor the session
+    /// has settled on.
+    fn begin_solve(&mut self, n: usize) {
+        self.escalations = 0;
+        self.healthy_cycles = 0;
+        self.probation = false;
+        self.detector.reset();
+        self.last_cycle_rel = None;
+        self.x_backup.resize(n, 0.0);
+    }
+
+    fn can_escalate(&self) -> bool {
+        self.rung + 1 < self.ladder.len() && self.escalations < self.policy.max_escalations
+    }
+}
+
+/// Shared context of a mid-solve precision switch (the immutable pieces the
+/// chain rebuild needs, plus the event data reported to the observer).
+struct SwitchContext<'a> {
+    prepared: &'a PreparedSolver,
+    counters: &'a Arc<KernelCounters>,
+    cycle: usize,
+    outer_iterations: usize,
+    true_relative_residual: f64,
+}
+
+/// Move an adaptive session to `new_rung`: materialize the rung's matrix
+/// variants from the lazy store (counting the newly faulted-in bytes),
+/// rebuild the inner-solver chain against them, attribute the per-level
+/// escalation/de-escalation events, and reset the rung-local detector
+/// state.  The outer workspace — and with it the outer Krylov state — is
+/// untouched: the outermost level never changes, and FGMRES is flexible, so
+/// a different inner solver between iterations is legal by construction.
+fn switch_rung(
+    run: &mut AdaptiveRun,
+    work: &mut SessionWork,
+    new_rung: usize,
+    ctx: &SwitchContext<'_>,
+    observer: Option<&mut (dyn SolveObserver + '_)>,
+) {
+    let escalated = new_rung > run.rung;
+    let from_rung = run.rung;
+    let new_levels = run.ladder[new_rung].clone();
+    let matrix = &ctx.prepared.matrix;
+    let bytes_before = matrix.storage_bytes();
+    for level in &new_levels[1..] {
+        matrix.materialize(level.matrix_storage());
+    }
+    let faulted = matrix.storage_bytes().saturating_sub(bytes_before);
+    if faulted > 0 {
+        ctx.counters.record_switch_bytes(faulted);
+    }
+    work.inner = if new_levels.len() == 1 {
+        Box::new(PrecondInner::<f64>::new(
+            Arc::clone(&ctx.prepared.precond),
+            Arc::clone(ctx.counters),
+            2,
+        ))
+    } else {
+        build_child::<f64>(
+            &new_levels[1..],
+            2,
+            matrix,
+            &ctx.prepared.precond,
+            ctx.counters,
+        )
+    };
+    for (depth0, (old, new)) in run.ladder[from_rung]
+        .iter()
+        .zip(new_levels.iter())
+        .enumerate()
+        .skip(1)
+    {
+        if old != new {
+            if escalated {
+                ctx.counters.record_escalation(depth0 + 1);
+            } else {
+                ctx.counters.record_deescalation(depth0 + 1);
+            }
+        }
+    }
+    run.rung = new_rung;
+    run.detector.reset();
+    run.healthy_cycles = 0;
+    run.last_cycle_rel = None;
+    if let Some(obs) = observer {
+        obs.on_precision_switch(&PrecisionSwitchEvent {
+            cycle: ctx.cycle,
+            outer_iterations: ctx.outer_iterations,
+            true_relative_residual: ctx.true_relative_residual,
+            escalated,
+            from_rung,
+            to_rung: new_rung,
+            levels: new_levels,
+        });
+    }
+}
+
 /// One solve stream over a [`PreparedSolver`]: owns the mutable level
 /// workspaces, the adaptive Richardson weights and the kernel counters.
 ///
@@ -790,6 +1071,7 @@ pub struct SolveSession {
     counters: Arc<KernelCounters>,
     work: Option<SessionWork>,
     generation: u64,
+    adaptive: Option<AdaptiveRun>,
 }
 
 impl SolveSession {
@@ -813,6 +1095,15 @@ impl SolveSession {
         self.generation
     }
 
+    /// The escalation-ladder rung an adaptive session currently runs at
+    /// (0 = the spec as built), or `None` for a fixed-precision session.
+    /// The rung persists across solves: a matrix that forced an escalation
+    /// starts the next solve of the same session already widened.
+    #[must_use]
+    pub fn adaptive_rung(&self) -> Option<usize> {
+        self.adaptive.as_ref().map(|run| run.rung)
+    }
+
     /// Allocate the level workspaces if this is the first solve.
     fn ensure_work(&mut self) {
         if self.work.is_some() {
@@ -820,7 +1111,13 @@ impl SolveSession {
         }
         let spec = &self.prepared.spec;
         let matrix = &self.prepared.matrix;
-        let inner: Box<dyn InnerSolver<f64>> = if spec.levels.len() == 1 {
+        // An adaptive session builds its inner chain from the current ladder
+        // rung (which persists across solves); rung 0 is the spec itself.
+        let levels: &[LevelSpec] = match &self.adaptive {
+            Some(run) => &run.ladder[run.rung],
+            None => &spec.levels,
+        };
+        let inner: Box<dyn InnerSolver<f64>> = if levels.len() == 1 {
             Box::new(PrecondInner::<f64>::new(
                 Arc::clone(&self.prepared.precond),
                 Arc::clone(&self.counters),
@@ -828,7 +1125,7 @@ impl SolveSession {
             ))
         } else {
             build_child::<f64>(
-                &spec.levels[1..],
+                &levels[1..],
                 2,
                 matrix,
                 &self.prepared.precond,
@@ -944,6 +1241,13 @@ impl SolveSession {
     /// [`KernelCounters::record_spmm`], so
     /// `counters.matrix_bytes_total() / counters.spmm_columns_total()`
     /// exposes the per-RHS matrix traffic the batching saves.
+    ///
+    /// On an adaptive session (see [`SolverBuilder::adaptive`]) the batch
+    /// runs at the session's current escalation-ladder rung but does not
+    /// adapt mid-batch: stall detection needs the per-column residual
+    /// trajectory, and the batched cycle reports per-cycle only.  Solve one
+    /// representative system through [`solve`](Self::solve) first if the
+    /// matrix may need a wider rung; the rung it settles on carries over.
     ///
     /// # Panics
     /// Panics if `bs` and `xs` have different lengths or a right-hand side
@@ -1159,42 +1463,101 @@ impl SolveSession {
             stop_reason = StopReason::Converged;
         } else {
             let abs_tol = tol * bnorm;
-            let spec = &self.prepared.spec;
-            let work = self.work.as_mut().expect("workspaces allocated by ensure_work");
-            'outer: for cycle in 0..max_cycles {
-                let mut progress = observer.as_deref_mut().map(|obs| ProgressAdapter {
-                    observer: obs,
+            // An adaptive session may reset its cycle budget at every
+            // precision switch (a freshly widened chain deserves a full
+            // budget), bounded by a hard cap so a pathological matrix cannot
+            // loop forever; a fixed-precision session runs the plain
+            // `max_cycles` budget.
+            let hard_cap = match &self.adaptive {
+                Some(run) => max_cycles * (2 * run.policy.max_escalations + 2),
+                None => max_cycles,
+            };
+            if let Some(run) = self.adaptive.as_mut() {
+                run.begin_solve(n);
+            }
+            let mut total_cycles = 0usize;
+            let mut cycles_since_switch = 0usize;
+            'outer: while cycles_since_switch < max_cycles && total_cycles < hard_cap {
+                let cycle = total_cycles;
+                let can_escalate = self
+                    .adaptive
+                    .as_ref()
+                    .is_some_and(AdaptiveRun::can_escalate);
+                if can_escalate {
+                    // Snapshot x so a cycle that breaks down in the narrow
+                    // chain can be rolled back and retried one rung wider.
+                    let run = self.adaptive.as_mut().expect("adaptive run present");
+                    run.x_backup.copy_from_slice(x);
+                }
+                let spec = &self.prepared.spec;
+                let work = self.work.as_mut().expect("workspaces allocated by ensure_work");
+                let mut hook = OuterHook {
+                    user: observer.as_deref_mut().map(|obs| ProgressAdapter {
+                        observer: obs,
+                        bnorm,
+                        cycle,
+                        outer_before: outer_iterations,
+                    }),
+                    detector: self.adaptive.as_mut().map(|run| &mut run.detector),
                     bnorm,
-                    cycle,
-                    outer_before: outer_iterations,
-                });
+                    can_escalate,
+                    switch_wanted: false,
+                    user_stopped: false,
+                };
+                let have_hook = hook.user.is_some() || hook.detector.is_some();
                 let outcome = work.outer.run_cycle(
                     CycleParams {
                         matrix: &self.prepared.matrix,
                         mat_storage: spec.levels[0].matrix_storage(),
                         inner: work.inner.as_mut(),
                         abs_tol: Some(abs_tol),
-                        x_nonzero: warm || cycle > 0,
+                        x_nonzero: warm || total_cycles > 0,
                         depth: 1,
                         counters: &self.counters,
-                        progress: progress
-                            .as_mut()
-                            .map(|p| p as &mut dyn CycleProgress),
+                        progress: have_hook.then_some(&mut hook as &mut dyn CycleProgress),
                     },
                     x,
                     b,
                 );
-                let observer_stopped = outcome.stopped;
+                let switch_wanted = hook.switch_wanted;
+                let observer_stopped = hook.user_stopped;
                 outer_iterations += outcome.iterations;
                 let true_rel =
                     self.prepared
                         .matrix
                         .true_relative_residual_with(x, b, &mut work.residual);
-                history.push(true_rel);
                 if !true_rel.is_finite() {
+                    if can_escalate {
+                        // Rescue: the narrow chain poisoned x — roll it back
+                        // to the cycle start and retry one rung wider (the
+                        // non-finite residual is not recorded; the rolled
+                        // back x is still the last valid iterate).
+                        let run = self.adaptive.as_mut().expect("adaptive run present");
+                        x.copy_from_slice(&run.x_backup);
+                        let new_rung = run.rung + 1;
+                        run.escalations += 1;
+                        if run.probation {
+                            run.floor = new_rung;
+                            run.probation = false;
+                        }
+                        let work = self.work.as_mut().expect("workspaces exist");
+                        let ctx = SwitchContext {
+                            prepared: &self.prepared,
+                            counters: &self.counters,
+                            cycle,
+                            outer_iterations,
+                            true_relative_residual: true_rel,
+                        };
+                        switch_rung(run, work, new_rung, &ctx, observer.as_deref_mut());
+                        cycles_since_switch = 0;
+                        total_cycles += 1;
+                        continue 'outer;
+                    }
+                    history.push(true_rel);
                     stop_reason = StopReason::Breakdown;
                     break 'outer;
                 }
+                history.push(true_rel);
                 if true_rel < tol {
                     converged = true;
                     stop_reason = StopReason::Converged;
@@ -1215,10 +1578,71 @@ impl SolveSession {
                         break 'outer;
                     }
                 }
-                if outcome.breakdown && outcome.iterations == 0 {
+                let sterile = outcome.breakdown && outcome.iterations == 0;
+                if sterile && !can_escalate {
                     stop_reason = StopReason::Breakdown;
                     break 'outer;
                 }
+                if let Some(run) = self.adaptive.as_mut() {
+                    // Cycle-boundary stall check: a full cycle that failed to
+                    // shrink the true residual by the policy's reduction
+                    // factor counts as stalled even if the per-iteration
+                    // detector stayed quiet.
+                    let boundary_stall = run
+                        .last_cycle_rel
+                        .is_some_and(|prev| prev / true_rel < run.policy.cycle_reduction);
+                    run.last_cycle_rel = Some(true_rel);
+                    if can_escalate && (switch_wanted || boundary_stall || sterile) {
+                        let new_rung = run.rung + 1;
+                        run.escalations += 1;
+                        if run.probation {
+                            run.floor = new_rung;
+                            run.probation = false;
+                        }
+                        let work = self.work.as_mut().expect("workspaces exist");
+                        let ctx = SwitchContext {
+                            prepared: &self.prepared,
+                            counters: &self.counters,
+                            cycle,
+                            outer_iterations,
+                            true_relative_residual: true_rel,
+                        };
+                        switch_rung(run, work, new_rung, &ctx, observer.as_deref_mut());
+                        cycles_since_switch = 0;
+                        total_cycles += 1;
+                        continue 'outer;
+                    }
+                    if !switch_wanted && !boundary_stall {
+                        run.healthy_cycles += 1;
+                        if let Some(after) = run.policy.deescalate_after {
+                            if run.healthy_cycles >= after {
+                                if run.probation {
+                                    // The narrow rung survived its probation:
+                                    // it is the session's rung for good.
+                                    run.probation = false;
+                                    run.healthy_cycles = 0;
+                                } else if run.rung > run.floor {
+                                    let new_rung = run.rung - 1;
+                                    let work = self.work.as_mut().expect("workspaces exist");
+                                    let ctx = SwitchContext {
+                                        prepared: &self.prepared,
+                                        counters: &self.counters,
+                                        cycle,
+                                        outer_iterations,
+                                        true_relative_residual: true_rel,
+                                    };
+                                    switch_rung(run, work, new_rung, &ctx, observer.as_deref_mut());
+                                    run.probation = true;
+                                    cycles_since_switch = 0;
+                                    total_cycles += 1;
+                                    continue 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+                total_cycles += 1;
+                cycles_since_switch += 1;
             }
         }
 
@@ -1383,6 +1807,71 @@ mod tests {
         assert!(r.converged, "{r}");
         // The scaled fp16 stream shows up in the matrix-traffic attribution.
         assert!(r.counters.matrix_bytes_in(Precision::Fp16) > 0);
+    }
+
+    #[test]
+    fn auto_spec_picks_plain_fp16_on_a_benign_matrix_and_solves() {
+        let a = jacobi_scale(&poisson2d_5pt(16, 16));
+        let prepared = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .auto_spec()
+            .precond(PrecondKind::Jacobi)
+            .build();
+        // Every entry of the diagonally scaled Laplacian fits plain fp16, so
+        // the cheapest admissible candidate is the unscaled fp16 scheme.
+        assert_eq!(prepared.name(), "auto:fp16-F3R");
+        let n = prepared.dim();
+        let b = random_rhs(n, 21);
+        let mut x = vec![0.0; n];
+        let r = prepared.session().solve(&b, &mut x);
+        assert!(r.converged, "{r}");
+    }
+
+    #[test]
+    fn auto_spec_rejects_params_like_other_non_scheme_paths() {
+        let a = jacobi_scale(&poisson2d_5pt(4, 4));
+        let err = SolverBuilder::new(Arc::new(ProblemMatrix::from_csr(a)))
+            .auto_spec()
+            .params(F3rParams::with_inner(9, 4, 2))
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("params() only applies"));
+    }
+
+    #[test]
+    fn adaptive_session_is_bitwise_fixed_spec_on_a_benign_matrix() {
+        let a = jacobi_scale(&poisson2d_5pt(16, 16));
+        let pm = Arc::new(ProblemMatrix::from_csr(a));
+        let levels = vec![
+            LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+            LevelSpec::fgmres_stored(5, MatrixStorage::Scaled(Precision::Fp16), Precision::Fp64),
+        ];
+        let fixed = SolverBuilder::new(Arc::clone(&pm))
+            .levels(levels.clone())
+            .precond(PrecondKind::Jacobi)
+            .build();
+        let adaptive = SolverBuilder::new(pm)
+            .levels(levels)
+            .precond(PrecondKind::Jacobi)
+            .adaptive_default()
+            .build();
+        assert!(adaptive.adaptive_policy().is_some());
+        let n = fixed.dim();
+        let b = random_rhs(n, 77);
+        let mut xf = vec![0.0; n];
+        let mut xa = vec![0.0; n];
+        let rf = fixed.session().solve(&b, &mut xf);
+        let mut session = adaptive.session();
+        assert_eq!(session.adaptive_rung(), Some(0));
+        let ra = session.solve(&b, &mut xa);
+        assert!(rf.converged && ra.converged);
+        // No stall on a benign matrix: no switches, and the adaptive solve
+        // runs the exact chain of the fixed spec — bitwise identical.
+        assert_eq!(ra.counters.total_escalations(), 0);
+        assert_eq!(ra.counters.total_deescalations(), 0);
+        assert_eq!(ra.counters.switch_bytes, 0);
+        assert_eq!(session.adaptive_rung(), Some(0));
+        assert_eq!(ra.outer_iterations, rf.outer_iterations);
+        assert_eq!(xa, xf);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Autotuner validation: `auto_spec` against the brute-force candidate sweep.
+//!
+//! The cost-model autotuner ([`f3r_core::adaptive::auto_spec`]) picks an
+//! initial spec from one pass of entry statistics.  This experiment checks
+//! the pick against ground truth: solve *every* candidate, find the converged
+//! one that measured the fewest matrix-stream bytes (the brute-force best),
+//! and assert the autotuner's pick models within [`ACCEPT_FACTOR`] of it.
+
+use std::sync::Arc;
+
+use f3r_core::adaptive::{auto_spec, candidate_specs, AutoTuneConfig};
+use f3r_core::prelude::*;
+use f3r_sparse::gen::hpcg::hpcg_matrix;
+use f3r_sparse::gen::laplacian::poisson2d_5pt;
+use f3r_sparse::gen::rhs::random_rhs;
+use f3r_sparse::io::EntryRangeStats;
+use f3r_sparse::scaling::jacobi_scale;
+use f3r_sparse::CsrMatrix;
+
+use crate::report::Table;
+use crate::suite::SuiteScale;
+
+/// Documented acceptance factor: the autotuner's pick must model within this
+/// factor of the brute-force-best converged candidate.  The model ranks by
+/// *traffic per outermost iteration* and deliberately ignores iteration
+/// counts, so a 2× slack absorbs precision-dependent convergence differences
+/// on well-conditioned problems without letting a category error (e.g. fp64
+/// picked where fp16 wins) slip through.
+pub const ACCEPT_FACTOR: f64 = 2.0;
+
+/// Measured outcome of one autotuner candidate on one problem.
+#[derive(Debug, Clone)]
+pub struct CandidateOutcome {
+    /// Spec name (`fp64-F3R`, `fp32-F3R`, `fp16-F3R`, `fp16-F3R-scaled`).
+    pub name: String,
+    /// Modeled traffic per outermost iteration (words per row).
+    pub modeled_traffic: f64,
+    /// Whether the entry statistics admit the candidate.
+    pub admissible: bool,
+    /// Whether the solve converged to the spec tolerance.
+    pub converged: bool,
+    /// Outer iterations of the solve.
+    pub outer_iterations: usize,
+    /// Measured matrix-stream bytes of the whole solve.
+    pub measured_matrix_bytes: u64,
+    /// Whether this is the candidate `auto_spec` picked.
+    pub chosen: bool,
+}
+
+/// The sweep result for one problem.
+#[derive(Debug, Clone)]
+pub struct AutotuneReport {
+    /// Problem label.
+    pub problem: String,
+    /// Name of the spec `auto_spec` picked (without the `auto:` prefix).
+    pub auto_pick: String,
+    /// Per-candidate measurements, in [`candidate_specs`] order.
+    pub outcomes: Vec<CandidateOutcome>,
+}
+
+impl AutotuneReport {
+    /// The converged candidate with the fewest measured matrix bytes.
+    #[must_use]
+    pub fn brute_force_best(&self) -> Option<&CandidateOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.converged)
+            .min_by_key(|o| o.measured_matrix_bytes)
+    }
+
+    /// The outcome row of the autotuner's pick.
+    #[must_use]
+    pub fn auto_outcome(&self) -> &CandidateOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.chosen)
+            .expect("auto_spec always picks one of the candidates")
+    }
+
+    /// Whether the pick's modeled traffic is within [`ACCEPT_FACTOR`] of the
+    /// brute-force best's (vacuously true when nothing converged).
+    #[must_use]
+    pub fn auto_within_factor(&self) -> bool {
+        self.brute_force_best().is_none_or(|best| {
+            self.auto_outcome().modeled_traffic <= ACCEPT_FACTOR * best.modeled_traffic
+        })
+    }
+}
+
+/// Sweep every autotuner candidate on one matrix and record the measured
+/// ground truth next to the model's pick.
+#[must_use]
+pub fn run_problem(label: &str, a: CsrMatrix<f64>) -> AutotuneReport {
+    let config = AutoTuneConfig::default();
+    let stats = EntryRangeStats::compute(&a);
+    let nnz_per_row = a.nnz() as f64 / a.n_rows().max(1) as f64;
+    let candidates = candidate_specs(&stats, nnz_per_row, &config);
+    let auto = auto_spec(&stats, nnz_per_row, &config);
+    let auto_pick = auto.name.trim_start_matches("auto:").to_string();
+
+    let matrix = Arc::new(ProblemMatrix::from_csr(a));
+    let n = matrix.dim();
+    let b = random_rhs(n, 9);
+
+    let outcomes = candidates
+        .into_iter()
+        .map(|c| {
+            let prepared = SolverBuilder::new(Arc::clone(&matrix))
+                .spec(c.spec.clone())
+                .build();
+            let mut x = vec![0.0; n];
+            let r = prepared.session().solve(&b, &mut x);
+            CandidateOutcome {
+                name: c.spec.name,
+                modeled_traffic: c.modeled_traffic,
+                admissible: c.admissible,
+                converged: r.converged,
+                outer_iterations: r.outer_iterations,
+                measured_matrix_bytes: r.counters.matrix_bytes_total(),
+                chosen: false,
+            }
+        })
+        .collect::<Vec<_>>();
+    let mut report = AutotuneReport {
+        problem: label.to_string(),
+        auto_pick,
+        outcomes,
+    };
+    for o in &mut report.outcomes {
+        o.chosen = o.name == report.auto_pick;
+    }
+    report
+}
+
+/// Run the validation sweep: the Figure 1 diagonally scaled Laplacian and the
+/// HPCG problem (16³ at the default `small` scale).
+#[must_use]
+pub fn run(scale: SuiteScale) -> Vec<AutotuneReport> {
+    let (nx, h) = match scale {
+        SuiteScale::Tiny => (16, 8),
+        SuiteScale::Small => (32, 16),
+        SuiteScale::Medium => (64, 24),
+    };
+    vec![
+        run_problem(
+            &format!("laplacian-{nx}x{nx}"),
+            jacobi_scale(&poisson2d_5pt(nx, nx)),
+        ),
+        run_problem(
+            &format!("hpcg-{h}^3"),
+            jacobi_scale(&hpcg_matrix(h, h, h)),
+        ),
+    ]
+}
+
+/// Render the sweep as a table.
+#[must_use]
+pub fn table(reports: &[AutotuneReport]) -> Table {
+    let mut t = Table::new(
+        "Autotuner validation — auto_spec vs brute-force candidate sweep",
+        &[
+            "problem", "candidate", "modeled w/row", "admissible", "converged", "outer it",
+            "matrix MiB", "auto pick", "brute best",
+        ],
+    );
+    for report in reports {
+        let best = report.brute_force_best().map(|o| o.name.clone());
+        for o in &report.outcomes {
+            t.push_row(vec![
+                report.problem.clone(),
+                o.name.clone(),
+                format!("{:.1}", o.modeled_traffic),
+                o.admissible.to_string(),
+                o.converged.to_string(),
+                o.outer_iterations.to_string(),
+                format!("{:.2}", o.measured_matrix_bytes as f64 / (1024.0 * 1024.0)),
+                if o.chosen { "<<" } else { "" }.to_string(),
+                if best.as_deref() == Some(o.name.as_str()) {
+                    "**"
+                } else {
+                    ""
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_pick_models_within_factor_of_brute_force_best() {
+        for report in run(SuiteScale::Tiny) {
+            let best = report
+                .brute_force_best()
+                .unwrap_or_else(|| panic!("{}: no candidate converged", report.problem));
+            assert!(
+                report.auto_within_factor(),
+                "{}: auto pick {} models {:.1} w/row, brute-force best {} models {:.1} \
+                 (factor {ACCEPT_FACTOR})",
+                report.problem,
+                report.auto_pick,
+                report.auto_outcome().modeled_traffic,
+                best.name,
+                best.modeled_traffic,
+            );
+            // On these benign matrices every candidate is admissible and the
+            // fp16 pick must itself converge.
+            assert!(report.auto_outcome().converged, "{}", report.problem);
+            assert!(report.outcomes.iter().all(|o| o.admissible));
+        }
+    }
+}

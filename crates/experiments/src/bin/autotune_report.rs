@@ -1,0 +1,26 @@
+//! Validate the cost-model spec autotuner against a brute-force sweep.
+
+use f3r_experiments::autotune;
+use f3r_experiments::output_dir;
+use f3r_experiments::SuiteScale;
+
+fn main() {
+    let reports = autotune::run(SuiteScale::from_env());
+    let table = autotune::table(&reports);
+    println!("{}", table.to_text());
+    for report in &reports {
+        let ok = report.auto_within_factor();
+        println!(
+            "{}: auto pick {} — within {}x of brute-force best: {}",
+            report.problem,
+            report.auto_pick,
+            autotune::ACCEPT_FACTOR,
+            if ok { "yes" } else { "NO" },
+        );
+        assert!(ok, "autotuner pick outside the acceptance factor");
+    }
+    let path = table
+        .write_to(&output_dir(), "autotune_validation")
+        .expect("write report");
+    eprintln!("wrote {}", path.display());
+}

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod cost_model_exp;
 pub mod fig1;
 pub mod fig2;

@@ -1,0 +1,232 @@
+//! End-to-end adaptive runtime precision (issue 8).
+//!
+//! The scenarios pin the contract of `SolverBuilder::adaptive`:
+//!
+//! * a matrix whose ~1e16 entry dynamic range defeats scaled-fp16 matrix
+//!   streaming must converge to 1e-8 *hands-off* — the stall detector
+//!   escalates the inner levels mid-solve,
+//! * a benign matrix must never escalate, and the adaptive run must be
+//!   bitwise the fixed-spec run (and move fewer matrix bytes than a fixed
+//!   Scaled(Fp32) configuration),
+//! * after sustained progress at a wider rung the policy de-escalates and
+//!   actually re-engages the fp16 stream, still converging,
+//! * the escalated rung persists across solves of one session.
+
+use std::sync::Arc;
+
+use f3r::core::session::{PrecisionSwitchEvent, SolveOptions};
+use f3r::prelude::*;
+use f3r::sparse::gen::{poisson2d_5pt, random_rhs};
+use f3r::sparse::scaling::jacobi_scale;
+use f3r::sparse::CsrMatrix;
+
+/// Diagonally scaled 2-D Laplacian re-scaled by `D A D` with
+/// `D = diag(10^(-expo) .. 10^(expo))`: entry dynamic range ~`10^(4·expo)`.
+/// `expo = 4` (~1e16) stalls Scaled(Fp16) streaming outright; `expo = 3.5`
+/// merely slows it down (it still converges, just at a stall-grade rate).
+fn wide_system(nx: usize, expo: f64) -> CsrMatrix<f64> {
+    let a = jacobi_scale(&poisson2d_5pt(nx, nx));
+    let n = a.n_rows();
+    let d: Vec<f64> = (0..n)
+        .map(|i| 10f64.powf(-expo + 2.0 * expo * i as f64 / (n - 1) as f64))
+        .collect();
+    a.scale_rows_cols(&d, &d)
+}
+
+fn two_level(inner: MatrixStorage) -> Vec<LevelSpec> {
+    vec![
+        LevelSpec::fgmres(30, Precision::Fp64, Precision::Fp64),
+        LevelSpec::fgmres_stored(10, inner, Precision::Fp64),
+    ]
+}
+
+#[derive(Default)]
+struct SwitchLog(Vec<PrecisionSwitchEvent>);
+
+impl SolveObserver for SwitchLog {
+    fn on_precision_switch(&mut self, event: &PrecisionSwitchEvent) {
+        self.0.push(event.clone());
+    }
+}
+
+fn has_fp16_matrix(levels: &[LevelSpec]) -> bool {
+    levels
+        .iter()
+        .any(|l| l.matrix_precision() == Precision::Fp16)
+}
+
+#[test]
+fn stalled_scaled_fp16_escalates_and_converges_hands_off() {
+    let pm = Arc::new(ProblemMatrix::from_csr(wide_system(24, 4.0)));
+    let n = pm.dim();
+    let b = random_rhs(n, 42);
+
+    // Fixed Scaled(Fp16) stalls on this matrix: no convergence in the budget.
+    let fixed = SolverBuilder::new(Arc::clone(&pm))
+        .levels(two_level(MatrixStorage::Scaled(Precision::Fp16)))
+        .precond(PrecondKind::Jacobi)
+        .max_outer_cycles(10)
+        .build();
+    let r_fixed = fixed.session().solve(&b, &mut vec![0.0; n]);
+    assert!(
+        !r_fixed.converged,
+        "expected the fixed Scaled(Fp16) spec to stall, got {r_fixed}"
+    );
+
+    // The same spec with the default adaptive policy converges hands-off.
+    let adaptive = SolverBuilder::new(pm)
+        .levels(two_level(MatrixStorage::Scaled(Precision::Fp16)))
+        .precond(PrecondKind::Jacobi)
+        .max_outer_cycles(10)
+        .adaptive_default()
+        .build();
+    let mut session = adaptive.session();
+    let mut x = vec![0.0; n];
+    let mut log = SwitchLog::default();
+    let r = session.solve_observed(&b, &mut x, &SolveOptions::new(), &mut log);
+
+    assert!(r.converged, "adaptive solve should converge: {r}");
+    assert!(r.final_relative_residual < 1e-8);
+    assert!(r.counters.total_escalations() >= 1, "{:?}", r.counters);
+    assert!(!log.0.is_empty());
+    let first = &log.0[0];
+    assert!(first.escalated);
+    assert_eq!(first.from_rung, 0);
+    assert_eq!(first.to_rung, 1);
+    // The widened variants were materialized (bytes accounted) and streamed.
+    assert!(r.counters.switch_bytes > 0);
+    assert!(
+        r.counters.matrix_bytes_in(Precision::Fp32) > 0
+            || r.counters.matrix_bytes_in(Precision::Fp64) > 0
+    );
+    assert!(session.adaptive_rung().unwrap() >= 1);
+}
+
+#[test]
+fn benign_matrix_never_escalates_and_undercuts_fixed_fp32_bytes() {
+    let pm = Arc::new(ProblemMatrix::from_csr(jacobi_scale(&poisson2d_5pt(
+        24, 24,
+    ))));
+    let n = pm.dim();
+    let b = random_rhs(n, 7);
+
+    let solve_fixed = |storage| {
+        let prepared = SolverBuilder::new(Arc::clone(&pm))
+            .levels(two_level(storage))
+            .precond(PrecondKind::Jacobi)
+            .build();
+        let mut x = vec![0.0; n];
+        let r = prepared.session().solve(&b, &mut x);
+        assert!(r.converged, "{r}");
+        (r, x)
+    };
+    let (r16, x16) = solve_fixed(MatrixStorage::Scaled(Precision::Fp16));
+    let (r32, _) = solve_fixed(MatrixStorage::Scaled(Precision::Fp32));
+
+    let adaptive = SolverBuilder::new(Arc::clone(&pm))
+        .levels(two_level(MatrixStorage::Scaled(Precision::Fp16)))
+        .precond(PrecondKind::Jacobi)
+        .adaptive_default()
+        .build();
+    let mut session = adaptive.session();
+    let mut x = vec![0.0; n];
+    let mut log = SwitchLog::default();
+    let r = session.solve_observed(&b, &mut x, &SolveOptions::new(), &mut log);
+
+    assert!(r.converged, "{r}");
+    // Never escalates on a benign matrix ...
+    assert_eq!(r.counters.total_escalations(), 0);
+    assert_eq!(r.counters.switch_bytes, 0);
+    assert!(log.0.is_empty());
+    assert_eq!(session.adaptive_rung(), Some(0));
+    // ... and is bitwise the fixed fp16 run (parity well within the issue's
+    // one-outer-iteration tolerance).
+    assert_eq!(r.outer_iterations, r16.outer_iterations);
+    assert_eq!(x, x16);
+    // Acceptance criterion: adaptive-from-fp16 moves no more matrix bytes
+    // than a fixed Scaled(Fp32) configuration on the benign suite.
+    assert!(
+        r.counters.matrix_bytes_total() <= r32.counters.matrix_bytes_total(),
+        "adaptive {} bytes vs fixed fp32 {} bytes",
+        r.counters.matrix_bytes_total(),
+        r32.counters.matrix_bytes_total()
+    );
+}
+
+#[test]
+fn deescalation_reengages_fp16_and_still_converges() {
+    // expo = 3.5: Scaled(Fp16) converges standalone but at a stall-grade
+    // rate, so the detector escalates once; Scaled(Fp32) then makes healthy
+    // progress and the (aggressive) policy hands the solve back to fp16,
+    // which finishes the job.  max_escalations = 1 keeps the ladder pinned
+    // to [Scaled(Fp16), Scaled(Fp32)] dynamics.
+    let pm = Arc::new(ProblemMatrix::from_csr(wide_system(24, 3.5)));
+    let n = pm.dim();
+    let b = random_rhs(n, 42);
+
+    let policy = AdaptivePolicy {
+        max_escalations: 1,
+        deescalate_after: Some(1),
+        ..AdaptivePolicy::default()
+    };
+    let adaptive = SolverBuilder::new(pm)
+        .levels(two_level(MatrixStorage::Scaled(Precision::Fp16)))
+        .precond(PrecondKind::Jacobi)
+        .max_outer_cycles(10)
+        .adaptive(policy)
+        .build();
+    let mut session = adaptive.session();
+    let mut x = vec![0.0; n];
+    let mut log = SwitchLog::default();
+    let r = session.solve_observed(&b, &mut x, &SolveOptions::new(), &mut log);
+
+    assert!(r.converged, "{r}");
+    assert_eq!(r.counters.total_escalations(), 1, "{:?}", log.0);
+    assert!(r.counters.total_deescalations() >= 1, "{:?}", log.0);
+    // The de-escalation switch re-engaged a half-precision matrix stream.
+    let down = log
+        .0
+        .iter()
+        .find(|ev| !ev.escalated)
+        .expect("a de-escalation event");
+    assert!(down.to_rung < down.from_rung);
+    assert!(has_fp16_matrix(&down.levels));
+    // And fp16 matrix traffic resumed after the switch back.
+    assert!(r.counters.matrix_bytes_in(Precision::Fp16) > 0);
+}
+
+#[test]
+fn escalated_rung_persists_across_solves_of_a_session() {
+    let pm = Arc::new(ProblemMatrix::from_csr(wide_system(24, 4.0)));
+    let n = pm.dim();
+    let adaptive = SolverBuilder::new(pm)
+        .levels(two_level(MatrixStorage::Scaled(Precision::Fp16)))
+        .precond(PrecondKind::Jacobi)
+        .max_outer_cycles(10)
+        .adaptive_default()
+        .build();
+    let mut session = adaptive.session();
+
+    let b1 = random_rhs(n, 1);
+    let mut x = vec![0.0; n];
+    let r1 = session.solve(&b1, &mut x);
+    assert!(r1.converged, "{r1}");
+    let rung = session.adaptive_rung().unwrap();
+    assert!(rung >= 1);
+    let first_escalations = r1.counters.total_escalations();
+    assert!(first_escalations >= 1);
+
+    // A second solve starts at the already-escalated rung: it converges
+    // without re-walking the rungs the first solve already climbed.
+    let b2 = random_rhs(n, 2);
+    let mut x2 = vec![0.0; n];
+    let r2 = session.solve(&b2, &mut x2);
+    assert!(r2.converged, "{r2}");
+    assert!(
+        r2.counters.total_escalations() < first_escalations
+            || r2.counters.total_escalations() == 0,
+        "second solve escalated {} times vs {} on the first",
+        r2.counters.total_escalations(),
+        first_escalations
+    );
+}
