@@ -1,0 +1,76 @@
+//! # f3r-lint — first-party invariant checker
+//!
+//! A registry-free static-analysis pass for this workspace.  It carries its
+//! own small Rust lexer ([`lexer`]) — raw strings, nested block comments,
+//! char literals vs lifetimes, doc comments — so rules fire on *code*, never
+//! on text inside strings or comments, and enforces the repository's
+//! documented invariants as named rules ([`rules`]) with `file:line`
+//! diagnostics, per-site suppression, a `--deny` mode for CI, and a JSON
+//! report ([`report`]) with a per-crate `unsafe` inventory.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p f3r-lint --release -- --deny --json lint_report.json
+//! ```
+//!
+//! Suppress a single site with a justified allow comment on, or directly
+//! above, the offending line:
+//!
+//! ```text
+//! // f3r-lint: allow(no-raw-float-casts-in-kernels): seed-parity reference path
+//! ```
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+use report::Inventory;
+use rules::{Suppressed, Violation};
+
+/// Aggregated result of linting a source tree.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// All suppressed sites, same order.
+    pub suppressed: Vec<Suppressed>,
+    /// Per-crate `unsafe` inventory.
+    pub inventory: Inventory,
+}
+
+impl LintRun {
+    /// Render the JSON report for this run.
+    pub fn to_json(&self) -> String {
+        report::render(self.files_scanned, &self.violations, &self.suppressed, &self.inventory)
+    }
+}
+
+/// Lint every first-party `.rs` file under `root`.
+pub fn lint_root(root: &Path) -> std::io::Result<LintRun> {
+    let files = walk::collect(root)?;
+    let mut run = LintRun { files_scanned: files.len(), ..LintRun::default() };
+    for f in &files {
+        let src = fs::read_to_string(&f.abs)?;
+        let outcome = rules::check_file(&f.rel, &src);
+        run.violations.extend(outcome.violations);
+        run.suppressed.extend(outcome.suppressed);
+        if !outcome.unsafe_sites.is_empty() {
+            let entry = run.inventory.entry(f.crate_name.clone()).or_default();
+            entry.extend(outcome.unsafe_sites.into_iter().map(|s| (f.rel.clone(), s)));
+        }
+    }
+    run.violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    run.suppressed.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(run)
+}

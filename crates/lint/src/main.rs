@@ -1,0 +1,122 @@
+//! CLI entry point for `f3r-lint`.
+//!
+//! ```text
+//! f3r-lint [--deny] [--json PATH] [--root PATH] [--quiet]
+//! ```
+//!
+//! Without `--root`, the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`.
+//! `--deny` exits non-zero when any violation is found (CI mode).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use f3r_lint::{lint_root, rules::RULES};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: f3r-lint [--deny] [--json PATH] [--root PATH] [--quiet]");
+    eprintln!();
+    eprintln!("rules:");
+    for (name, desc) in RULES {
+        eprintln!("  {name:<34} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut quiet = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("f3r-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let run = match lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("f3r-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json {
+        if let Err(e) = write_report(path, &run.to_json()) {
+            eprintln!("f3r-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet {
+        for v in &run.violations {
+            eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        let total_unsafe: usize = run.inventory.values().map(|v| v.len()).sum();
+        let documented: usize = run
+            .inventory
+            .values()
+            .map(|v| v.iter().filter(|(_, s)| s.documented).count())
+            .sum();
+        eprintln!(
+            "f3r-lint: {} files, {} violation(s), {} suppressed, \
+             unsafe sites: {documented}/{total_unsafe} documented",
+            run.files_scanned,
+            run.violations.len(),
+            run.suppressed.len(),
+        );
+    }
+
+    if deny && !run.violations.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_report(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}

@@ -1,0 +1,160 @@
+//! JSON report emission (hand-rolled — the workspace carries no serde).
+//!
+//! Schema (`lint_report.json`):
+//!
+//! ```text
+//! {
+//!   "schema": "f3r-lint-report/1",
+//!   "files_scanned": <int>,
+//!   "rules": [{"name": …, "description": …}, …],
+//!   "violations": [{"rule", "file", "line", "message"}, …],
+//!   "suppressed": [{"rule", "file", "line", "reason"}, …],
+//!   "unsafe_inventory": {
+//!     "<crate>": {"total", "documented", "by_kind": {"block": n, …},
+//!                  "sites": [{"file", "line", "kind", "documented"}, …]},
+//!     …
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Suppressed, UnsafeSite, Violation, RULES};
+
+/// Per-crate unsafe inventory entry: `(file, site)` pairs.
+pub type Inventory = BTreeMap<String, Vec<(String, UnsafeSite)>>;
+
+/// Escape a string for JSON output.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report as pretty-printed JSON.
+pub fn render(
+    files_scanned: usize,
+    violations: &[Violation],
+    suppressed: &[Suppressed],
+    inventory: &Inventory,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"f3r-lint-report/1\",\n");
+    let _ = writeln!(s, "  \"files_scanned\": {files_scanned},");
+
+    s.push_str("  \"rules\": [\n");
+    for (i, (name, desc)) in RULES.iter().enumerate() {
+        let comma = if i + 1 < RULES.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"description\": \"{}\"}}{comma}",
+            esc(name),
+            esc(desc)
+        );
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        let comma = if i + 1 < violations.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{comma}",
+            esc(v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.message)
+        );
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"suppressed\": [\n");
+    for (i, v) in suppressed.iter().enumerate() {
+        let comma = if i + 1 < suppressed.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{comma}",
+            esc(&v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.reason)
+        );
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"unsafe_inventory\": {\n");
+    let n_crates = inventory.len();
+    for (ci, (crate_name, sites)) in inventory.iter().enumerate() {
+        let documented = sites.iter().filter(|(_, s)| s.documented).count();
+        let mut by_kind: BTreeMap<&str, usize> = BTreeMap::new();
+        for (_, site) in sites {
+            *by_kind.entry(site.kind.name()).or_insert(0) += 1;
+        }
+        let _ = writeln!(s, "    \"{}\": {{", esc(crate_name));
+        let _ = writeln!(s, "      \"total\": {},", sites.len());
+        let _ = writeln!(s, "      \"documented\": {documented},");
+        let kinds: Vec<String> =
+            by_kind.iter().map(|(k, n)| format!("\"{k}\": {n}")).collect();
+        let _ = writeln!(s, "      \"by_kind\": {{{}}},", kinds.join(", "));
+        s.push_str("      \"sites\": [\n");
+        for (i, (file, site)) in sites.iter().enumerate() {
+            let comma = if i + 1 < sites.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \
+                 \"documented\": {}}}{comma}",
+                esc(file),
+                site.line,
+                site.kind.name(),
+                site.documented
+            );
+        }
+        s.push_str("      ]\n");
+        let comma = if ci + 1 < n_crates { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::UnsafeKind;
+
+    #[test]
+    fn escapes_and_shape() {
+        let violations = vec![Violation {
+            rule: "x",
+            file: "a\\b.rs".into(),
+            line: 3,
+            message: "say \"hi\"\n".into(),
+        }];
+        let mut inv = Inventory::new();
+        inv.insert(
+            "c".into(),
+            vec![("f.rs".into(), UnsafeSite { line: 1, kind: UnsafeKind::Block, documented: true })],
+        );
+        let s = render(2, &violations, &[], &inv);
+        assert!(s.contains("\"a\\\\b.rs\""));
+        assert!(s.contains("say \\\"hi\\\"\\n"));
+        assert!(s.contains("\"files_scanned\": 2"));
+        assert!(s.contains("\"by_kind\": {\"block\": 1}"));
+        assert!(s.contains("\"documented\": 1,"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace traversal: find every first-party `.rs` file and attribute it
+//! to its owning crate.
+//!
+//! `third_party/` (vendored dep shims), `target/`, and hidden directories
+//! are skipped — the lint enforces *this* repo's conventions, not its
+//! vendored dependencies'.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Root-relative path with forward slashes (rule scoping keys off this).
+    pub rel: String,
+    /// Package name from the nearest ancestor `Cargo.toml`.
+    pub crate_name: String,
+}
+
+const SKIP_DIRS: &[&str] = &["target", "third_party", ".git", "node_modules"];
+
+/// Collect every lintable `.rs` file under `root`, sorted by relative path.
+pub fn collect(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    walk_dir(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    for f in &mut files {
+        f.crate_name = crate_name_for(root, &f.abs);
+    }
+    Ok(files)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile { abs: path, rel, crate_name: String::new() });
+        }
+    }
+    Ok(())
+}
+
+/// Read the `name = "…"` from the `[package]` section of the nearest
+/// ancestor `Cargo.toml`; falls back to the parent directory name.
+fn crate_name_for(root: &Path, file: &Path) -> String {
+    let mut dir = file.parent();
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if let Some(name) = package_name(&text) {
+                    return name;
+                }
+            }
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent();
+    }
+    file.parent()
+        .and_then(|p| p.file_name())
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Minimal TOML scrape: `name = "…"` inside the `[package]` table.
+fn package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix('[') {
+            in_package = rest.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let v = rest.trim().trim_matches('"');
+                    if !v.is_empty() {
+                        return Some(v.to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_scrape() {
+        let toml = "[workspace]\nmembers = []\n\n[package]\nname = \"f3r-lint\"\nversion = \"0.1.0\"\n";
+        assert_eq!(package_name(toml).as_deref(), Some("f3r-lint"));
+        assert_eq!(package_name("[dependencies]\nfoo = \"1\"\n"), None);
+    }
+}

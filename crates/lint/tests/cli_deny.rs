@@ -1,0 +1,137 @@
+//! End-to-end CLI test: `f3r-lint --deny` must exit non-zero on a seeded
+//! violation tree (written to a temp directory at test time) and zero on a
+//! clean tree, and `--json` must produce the report artifact.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_f3r-lint")
+}
+
+struct TempTree(PathBuf);
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("f3r-lint-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp tree");
+        TempTree(dir)
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, contents).unwrap();
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Mirror the workspace layout so path-scoped rules engage.
+fn seed_violation_tree(t: &TempTree) {
+    t.write("Cargo.toml", "[workspace]\nmembers = [\"crates/sparse\"]\n");
+    t.write("crates/sparse/Cargo.toml", "[package]\nname = \"f3r-sparse\"\n");
+    t.write(
+        "crates/sparse/src/blas1.rs",
+        "const MIN_LEN_PER_TASK: usize = 1 << 15;\n\
+         fn f(x: f64, y: f32) -> f32 {\n\
+             let bad = x as f32;\n\
+             unsafe { core::hint::unreachable_unchecked() }\n\
+         }\n",
+    );
+    t.write(
+        "crates/sparse/src/spmv.rs",
+        "fn g(a: f32, x: f32, y: f32) -> f32 { x.mul_add(a, y) }\n",
+    );
+}
+
+fn seed_clean_tree(t: &TempTree) {
+    t.write("Cargo.toml", "[workspace]\nmembers = [\"crates/sparse\"]\n");
+    t.write("crates/sparse/Cargo.toml", "[package]\nname = \"f3r-sparse\"\n");
+    t.write(
+        "crates/sparse/src/blas1.rs",
+        "use f3r_parallel::thresholds::MIN_LEN_PER_TASK;\n\
+         fn f(n: usize) -> f64 {\n\
+             // SAFETY: n is non-zero by the caller's contract.\n\
+             unsafe { core::hint::assert_unchecked(n > 0) };\n\
+             n as f64\n\
+         }\n",
+    );
+}
+
+#[test]
+fn deny_exits_nonzero_on_seeded_tree_and_zero_on_clean_tree() {
+    let seeded = TempTree::new("seeded");
+    seed_violation_tree(&seeded);
+    let out = Command::new(bin())
+        .args(["--deny", "--root"])
+        .arg(seeded.path())
+        .output()
+        .expect("run f3r-lint");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "--deny must fail on seeded tree:\n{stderr}");
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    for rule in [
+        "par-thresholds-single-home",
+        "no-raw-float-casts-in-kernels",
+        "unsafe-needs-safety-comment",
+        "no-mul-add-in-elementwise-kernels",
+    ] {
+        assert!(stderr.contains(rule), "missing {rule} in:\n{stderr}");
+    }
+
+    let clean = TempTree::new("clean");
+    seed_clean_tree(&clean);
+    let out = Command::new(bin())
+        .args(["--deny", "--root"])
+        .arg(clean.path())
+        .output()
+        .expect("run f3r-lint");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "--deny must pass on clean tree:\n{stderr}");
+}
+
+#[test]
+fn json_report_is_written_and_structured() {
+    let seeded = TempTree::new("json");
+    seed_violation_tree(&seeded);
+    let report_path = seeded.path().join("lint_report.json");
+    let out = Command::new(bin())
+        .args(["--quiet", "--json"])
+        .arg(&report_path)
+        .arg("--root")
+        .arg(seeded.path())
+        .output()
+        .expect("run f3r-lint");
+    // Without --deny the exit code stays zero even with violations.
+    assert!(out.status.success());
+    let json = fs::read_to_string(&report_path).expect("report written");
+    assert!(json.contains("\"schema\": \"f3r-lint-report/1\""));
+    assert!(json.contains("\"rule\": \"no-raw-float-casts-in-kernels\""));
+    assert!(json.contains("\"file\": \"crates/sparse/src/blas1.rs\""));
+    assert!(json.contains("\"unsafe_inventory\""));
+    assert!(json.contains("\"f3r-sparse\""));
+}
+
+#[test]
+fn deny_is_green_on_this_repository() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(bin())
+        .args(["--deny", "--quiet", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run f3r-lint");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "repo HEAD must be --deny clean:\n{stderr}");
+}

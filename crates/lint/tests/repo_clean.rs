@@ -1,0 +1,39 @@
+//! The repository HEAD must be lint-clean: zero violations, every `unsafe`
+//! site documented.  This is the acceptance pin for the dogfooding pass —
+//! any new violation fails this test (and CI's `--deny` job) with a
+//! `file:line` diagnostic in the assertion message.
+
+use std::path::Path;
+
+#[test]
+fn repo_head_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run = f3r_lint::lint_root(&root).expect("walk workspace");
+    assert!(run.files_scanned > 50, "suspiciously few files: {}", run.files_scanned);
+    let rendered: Vec<String> = run
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(rendered.is_empty(), "repo is not lint-clean:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn repo_unsafe_inventory_is_fully_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run = f3r_lint::lint_root(&root).expect("walk workspace");
+    let undocumented: Vec<String> = run
+        .inventory
+        .iter()
+        .flat_map(|(krate, sites)| {
+            sites.iter().filter(|(_, s)| !s.documented).map(move |(file, s)| {
+                format!("{krate}: {file}:{} ({})", s.line, s.kind.name())
+            })
+        })
+        .collect();
+    assert!(undocumented.is_empty(), "undocumented unsafe:\n{}", undocumented.join("\n"));
+    // The SIMD backend is the repo's unsafe hotspot; if the inventory stops
+    // seeing it, the walker or classifier has regressed.
+    let simd = run.inventory.get("f3r-simd").expect("f3r-simd in inventory");
+    assert!(simd.len() >= 30, "f3r-simd inventory shrank: {}", simd.len());
+}

@@ -87,6 +87,8 @@ static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// even though `n` is returned.
 pub fn set_num_threads(n: usize) -> usize {
     let n = n.max(1);
+    // ordering: Relaxed — a plain configuration cell; the pool's OnceLock
+    // initialization is the synchronization point that publishes it.
     CONFIGURED_THREADS.store(n, Ordering::Relaxed);
     POOL.get().map_or(n, |p| p.threads)
 }
@@ -94,6 +96,8 @@ pub fn set_num_threads(n: usize) -> usize {
 /// Resolve the thread count from configuration without touching the pool:
 /// [`set_num_threads`] > `F3R_NUM_THREADS` > available parallelism.
 fn configured_threads() -> usize {
+    // ordering: Relaxed — pairs with the Relaxed store in `set_num_threads`;
+    // only the value matters, no other memory is published through it.
     let set = CONFIGURED_THREADS.load(Ordering::Relaxed);
     if set != 0 {
         return set;
@@ -227,6 +231,9 @@ fn execute(task: Task) {
             *slot = Some(payload);
         }
     }
+    // ordering: AcqRel — Release publishes this task's writes to whoever
+    // observes the count hit zero; Acquire on the last decrement makes every
+    // other task's writes visible to the caller before it is unparked.
     if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         caller.unpark();
     }
@@ -266,6 +273,8 @@ fn run_batch<F: Fn(usize) + Sync>(count: usize, f: &F) {
     }
 
     /// Monomorphised trampoline: recover the closure and run chunk `index`.
+    // SAFETY: callers must pass a `job` pointer created from the same `F`
+    // this instantiation was monomorphised for (run_batch builds both).
     unsafe fn call_task<F: Fn(usize)>(job: *const (), index: usize) {
         // SAFETY: `job` points at the live `F` borrowed by `run_batch`.
         unsafe { (*job.cast::<F>())(index) }
@@ -303,6 +312,8 @@ fn run_batch<F: Fn(usize) + Sync>(count: usize, f: &F) {
     // Park until the last in-flight task unparks us.  `park` may wake
     // spuriously (or from a stale token left by our own last-task unpark),
     // so re-check the counter each time.
+    // ordering: Acquire — pairs with the AcqRel decrement in `execute`; once
+    // zero is observed, every task's writes happen-before this point.
     while batch.remaining.load(Ordering::Acquire) > 0 {
         thread::park();
     }

@@ -36,3 +36,20 @@ pub const PAR_LEN_THRESHOLD: usize = 1 << 15;
 /// Per-block triangular solves are heavier per row than an SpMV row (two
 /// sweeps, data dependencies), so this matches [`PAR_ROW_THRESHOLD`].
 pub const PAR_BLOCK_ROW_THRESHOLD: usize = 1 << 14;
+
+/// Minimum elements per pool task in BLAS-1 sweeps.  A 2^15-element chunk
+/// streams 128–512 KiB depending on precision — tens of microseconds of
+/// memory traffic against the pool's ~1 µs dispatch cost, while still
+/// letting vectors just above [`PAR_LEN_THRESHOLD`] split across workers.
+/// The grain doubled from 2^14 when the SIMD backend landed: vectorised
+/// sweeps finish a chunk roughly 2–8× faster (most dramatically for fp16),
+/// so the old grain left the per-task dispatch overhead a visible fraction
+/// of the chunk runtime.
+pub const MIN_LEN_PER_TASK: usize = 1 << 15;
+
+/// Minimum rows handled per pool task in SpMV-shaped kernels.  A 2^12-row
+/// chunk of a typical stencil matrix moves a few hundred KiB of
+/// values/indices/vector traffic — comfortably above the pool's ~1 µs
+/// dispatch cost — while letting systems just past [`PAR_ROW_THRESHOLD`]
+/// still split across workers.
+pub const MIN_ROWS_PER_TASK: usize = 1 << 12;

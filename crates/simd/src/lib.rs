@@ -60,7 +60,7 @@
 use core::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-use f3r_precision::Scalar;
+use f3r_precision::{FromScalar, Scalar};
 
 #[cfg(target_arch = "x86_64")]
 use f3r_precision::{SliceView as V, SliceViewMut as VM};
@@ -394,12 +394,12 @@ pub fn try_axpy_stored<T: Scalar, S: Scalar>(c: f64, v: &[S], y: &mut [T]) -> bo
         // SAFETY: see module note above the dispatchers.
         unsafe {
             match (S::view(v), T::view_mut(y)) {
-                (V::F16(a), VM::F16(b)) => x86::axpy_stored_a(c as f32, a, b),
-                (V::F32(a), VM::F16(b)) => x86::axpy_stored_a(c as f32, a, b),
-                (V::F64(a), VM::F16(b)) => x86::axpy_stored_a(c as f32, a, b),
-                (V::F16(a), VM::F32(b)) => x86::axpy_stored_a(c as f32, a, b),
-                (V::F32(a), VM::F32(b)) => x86::axpy_stored_a(c as f32, a, b),
-                (V::F64(a), VM::F32(b)) => x86::axpy_stored_a(c as f32, a, b),
+                (V::F16(a), VM::F16(b)) => x86::axpy_stored_a(f32::from_scalar(c), a, b),
+                (V::F32(a), VM::F16(b)) => x86::axpy_stored_a(f32::from_scalar(c), a, b),
+                (V::F64(a), VM::F16(b)) => x86::axpy_stored_a(f32::from_scalar(c), a, b),
+                (V::F16(a), VM::F32(b)) => x86::axpy_stored_a(f32::from_scalar(c), a, b),
+                (V::F32(a), VM::F32(b)) => x86::axpy_stored_a(f32::from_scalar(c), a, b),
+                (V::F64(a), VM::F32(b)) => x86::axpy_stored_a(f32::from_scalar(c), a, b),
                 (V::F16(a), VM::F64(b)) => x86::axpy_stored_b(c, a, b),
                 (V::F32(a), VM::F64(b)) => x86::axpy_stored_b(c, a, b),
                 (V::F64(a), VM::F64(b)) => x86::axpy_stored_b(c, a, b),
@@ -426,8 +426,8 @@ pub fn try_axpy_norm2<T: Scalar>(alpha: f64, x: &[T], y: &mut [T]) -> Option<f64
         // SAFETY: see module note above the dispatchers.
         let s = unsafe {
             match (T::view(x), T::view_mut(y)) {
-                (V::F16(a), VM::F16(b)) => x86::axpy_norm2_a(alpha as f32, a, b),
-                (V::F32(a), VM::F32(b)) => x86::axpy_norm2_a(alpha as f32, a, b),
+                (V::F16(a), VM::F16(b)) => x86::axpy_norm2_a(f32::from_scalar(alpha), a, b),
+                (V::F32(a), VM::F32(b)) => x86::axpy_norm2_a(f32::from_scalar(alpha), a, b),
                 (V::F64(a), VM::F64(b)) => x86::axpy_norm2_b(alpha, a, b),
                 _ => return None, // unreachable: both share T
             }
@@ -460,10 +460,10 @@ pub fn try_waxpby_norm2<T: Scalar>(
         let s = unsafe {
             match (T::view(x), T::view(y), T::view_mut(w)) {
                 (V::F16(a), V::F16(b), VM::F16(c)) => {
-                    x86::waxpby_norm2_a(alpha as f32, a, beta as f32, b, c)
+                    x86::waxpby_norm2_a(f32::from_scalar(alpha), a, f32::from_scalar(beta), b, c)
                 }
                 (V::F32(a), V::F32(b), VM::F32(c)) => {
-                    x86::waxpby_norm2_a(alpha as f32, a, beta as f32, b, c)
+                    x86::waxpby_norm2_a(f32::from_scalar(alpha), a, f32::from_scalar(beta), b, c)
                 }
                 (V::F64(a), V::F64(b), VM::F64(c)) => x86::waxpby_norm2_b(alpha, a, beta, b, c),
                 _ => return None, // unreachable: all three share T
@@ -490,8 +490,8 @@ pub fn try_scale_into<T: Scalar>(c: f64, src: &[T], dst: &mut [T]) -> bool {
         // borrows so the pointer ranges cannot overlap.
         unsafe {
             match (T::view(src), T::view_mut(dst)) {
-                (V::F16(s), VM::F16(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F32(s), VM::F32(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F16(s), VM::F16(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F32(s), VM::F32(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
                 (V::F64(s), VM::F64(d)) => x86::scale_b(c, s.as_ptr(), d.as_mut_ptr(), n),
                 _ => return false, // unreachable: both share T
             }
@@ -513,8 +513,8 @@ pub fn try_scale<T: Scalar>(c: f64, x: &mut [T]) -> bool {
         // each block before writing it, so full aliasing (src == dst) is fine.
         unsafe {
             match T::view_mut(x) {
-                VM::F16(s) => x86::scale_a(c as f32, s.as_ptr(), s.as_mut_ptr(), n),
-                VM::F32(s) => x86::scale_a(c as f32, s.as_ptr(), s.as_mut_ptr(), n),
+                VM::F16(s) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), s.as_mut_ptr(), n),
+                VM::F32(s) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), s.as_mut_ptr(), n),
                 VM::F64(s) => x86::scale_b(c, s.as_ptr(), s.as_mut_ptr(), n),
             }
         }
@@ -543,10 +543,10 @@ pub fn try_compress<T: Scalar, S: Scalar>(c: f64, src: &[T], dst: &mut [S]) -> b
         // borrows so the pointer ranges cannot overlap.
         unsafe {
             match (T::view(src), S::view_mut(dst)) {
-                (V::F16(s), VM::F16(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F16(s), VM::F32(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F32(s), VM::F16(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F32(s), VM::F32(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F16(s), VM::F16(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F16(s), VM::F32(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F32(s), VM::F16(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F32(s), VM::F32(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
                 (V::F64(s), VM::F32(d)) => x86::scale_b(c, s.as_ptr(), d.as_mut_ptr(), n),
                 (V::F64(s), VM::F64(d)) => x86::scale_b(c, s.as_ptr(), d.as_mut_ptr(), n),
                 // f64 → f16 (double rounding) and narrow-to-wider pairs that
@@ -576,12 +576,12 @@ pub fn try_widen_scaled<S: Scalar, T: Scalar>(c: f64, src: &[S], dst: &mut [T]) 
         // borrows so the pointer ranges cannot overlap.
         unsafe {
             match (S::view(src), T::view_mut(dst)) {
-                (V::F16(s), VM::F16(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F32(s), VM::F16(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F64(s), VM::F16(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F16(s), VM::F32(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F32(s), VM::F32(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
-                (V::F64(s), VM::F32(d)) => x86::scale_a(c as f32, s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F16(s), VM::F16(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F32(s), VM::F16(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F64(s), VM::F16(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F16(s), VM::F32(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F32(s), VM::F32(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
+                (V::F64(s), VM::F32(d)) => x86::scale_a(f32::from_scalar(c), s.as_ptr(), d.as_mut_ptr(), n),
                 (V::F16(s), VM::F64(d)) => x86::scale_b(c, s.as_ptr(), d.as_mut_ptr(), n),
                 (V::F32(s), VM::F64(d)) => x86::scale_b(c, s.as_ptr(), d.as_mut_ptr(), n),
                 (V::F64(s), VM::F64(d)) => x86::scale_b(c, s.as_ptr(), d.as_mut_ptr(), n),

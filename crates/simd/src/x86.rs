@@ -64,6 +64,8 @@ pub(crate) trait Gather8: Lane8 {
 }
 
 impl Lane8 for f16 {
+    // SAFETY: per the Lane8 contract — caller guarantees 8 readable f16
+    // at `p` and an AVX2+F16C context.
     #[inline(always)]
     unsafe fn ld8(p: *const Self) -> __m256 {
         // f16 is #[repr(transparent)] over u16, so the pointer cast is
@@ -74,6 +76,7 @@ impl Lane8 for f16 {
 }
 
 impl Lane8Dst for f16 {
+    // SAFETY: per the Lane8Dst contract — 8 writable f16 at `p`, F16C on.
     #[inline(always)]
     unsafe fn st8(p: *mut Self, v: __m256) {
         // vcvtps2ph with round-to-nearest-even == f16::from_f32 on non-NaN.
@@ -82,6 +85,8 @@ impl Lane8Dst for f16 {
 }
 
 impl Gather8 for f16 {
+    // SAFETY: per the Gather8 contract — every idx lane indexes into the
+    // slice behind `x`; AVX2+F16C context.
     #[inline(always)]
     unsafe fn gat8(x: *const Self, idx: __m256i) -> __m256 {
         // No 16-bit SIMD gather exists: pull the 8 half words through scalar
@@ -97,6 +102,7 @@ impl Gather8 for f16 {
 }
 
 impl Lane8 for f32 {
+    // SAFETY: per the Lane8 contract — 8 readable f32 at `p`, AVX2 on.
     #[inline(always)]
     unsafe fn ld8(p: *const Self) -> __m256 {
         _mm256_loadu_ps(p)
@@ -104,6 +110,7 @@ impl Lane8 for f32 {
 }
 
 impl Lane8Dst for f32 {
+    // SAFETY: per the Lane8Dst contract — 8 writable f32 at `p`, AVX2 on.
     #[inline(always)]
     unsafe fn st8(p: *mut Self, v: __m256) {
         _mm256_storeu_ps(p, v);
@@ -111,6 +118,8 @@ impl Lane8Dst for f32 {
 }
 
 impl Gather8 for f32 {
+    // SAFETY: per the Gather8 contract — every idx lane indexes into the
+    // slice behind `x`; AVX2 gather is in-bounds by that guarantee.
     #[inline(always)]
     unsafe fn gat8(x: *const Self, idx: __m256i) -> __m256 {
         _mm256_i32gather_ps::<4>(x, idx)
@@ -118,6 +127,7 @@ impl Gather8 for f32 {
 }
 
 impl Lane8 for f64 {
+    // SAFETY: per the Lane8 contract — 8 readable f64 at `p`, AVX2 on.
     #[inline(always)]
     unsafe fn ld8(p: *const Self) -> __m256 {
         // Two 4-wide rounds f64 → f32 (vcvtpd2ps is round-to-nearest-even,
@@ -146,6 +156,7 @@ pub(crate) trait Lane4Dst: Lane4 {
 }
 
 impl Lane4 for f16 {
+    // SAFETY: per the Lane4 contract — 4 readable f16 at `p`, F16C on.
     #[inline(always)]
     unsafe fn ld4(p: *const Self) -> __m256d {
         // Both steps are exact widenings, so this equals `to_f64` bitwise.
@@ -154,6 +165,7 @@ impl Lane4 for f16 {
 }
 
 impl Lane4 for f32 {
+    // SAFETY: per the Lane4 contract — 4 readable f32 at `p`, AVX2 on.
     #[inline(always)]
     unsafe fn ld4(p: *const Self) -> __m256d {
         _mm256_cvtps_pd(_mm_loadu_ps(p))
@@ -161,6 +173,7 @@ impl Lane4 for f32 {
 }
 
 impl Lane4Dst for f32 {
+    // SAFETY: per the Lane4Dst contract — 4 writable f32 at `p`, AVX2 on.
     #[inline(always)]
     unsafe fn st4(p: *mut Self, v: __m256d) {
         _mm_storeu_ps(p, _mm256_cvtpd_ps(v));
@@ -168,6 +181,7 @@ impl Lane4Dst for f32 {
 }
 
 impl Lane4 for f64 {
+    // SAFETY: per the Lane4 contract — 4 readable f64 at `p`, AVX2 on.
     #[inline(always)]
     unsafe fn ld4(p: *const Self) -> __m256d {
         _mm256_loadu_pd(p)
@@ -175,6 +189,7 @@ impl Lane4 for f64 {
 }
 
 impl Lane4Dst for f64 {
+    // SAFETY: per the Lane4Dst contract — 4 writable f64 at `p`, AVX2 on.
     #[inline(always)]
     unsafe fn st4(p: *mut Self, v: __m256d) {
         _mm256_storeu_pd(p, v);
@@ -185,6 +200,8 @@ impl Lane4Dst for f64 {
 // Horizontal reductions.
 // ---------------------------------------------------------------------------
 
+// SAFETY: pure register shuffles/adds — callers only need the AVX
+// feature their own #[target_feature] context already proves.
 #[inline(always)]
 unsafe fn hsum_ps(v: __m256) -> f32 {
     let q = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps::<1>(v));
@@ -192,6 +209,7 @@ unsafe fn hsum_ps(v: __m256) -> f32 {
     _mm_cvtss_f32(_mm_add_ss(d, _mm_shuffle_ps::<1>(d, d)))
 }
 
+// SAFETY: pure register ops; AVX proven by the caller's context.
 #[inline(always)]
 unsafe fn hsum_pd(v: __m256d) -> f64 {
     let d = _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd::<1>(v));
@@ -206,6 +224,9 @@ unsafe fn hsum_pd(v: __m256d) -> f64 {
 ///
 /// Bounds: the vector loops stop at `cols.len()`/`vals.len()`; gather
 /// indices are valid by the caller's contract (`try_spmv_row`'s safety doc).
+// SAFETY: caller must be in an AVX2+FMA+F16C context (dispatch latch)
+// and guarantee every `cols[i] < x.len()` (try_spmv_row's contract); all
+// loads stop at cols.len().min(vals.len()).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn spmv_row_a<TA: Lane8, TV: Gather8>(
     cols: &[u32],
@@ -241,6 +262,8 @@ pub(crate) unsafe fn spmv_row_a<TA: Lane8, TV: Gather8>(
 }
 
 /// World-B CSR row: `Σ to_f64(vals[i]) · x[cols[i]]` in f64.
+// SAFETY: same contract as spmv_row_a — AVX2+FMA+F16C context and
+// in-bounds column indices into `x`.
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn spmv_row_b<TA: Lane4>(cols: &[u32], vals: &[TA], x: &[f64]) -> f64 {
     let n = cols.len().min(vals.len());
@@ -281,6 +304,9 @@ pub(crate) unsafe fn spmv_row_b<TA: Lane4>(cols: &[u32], vals: &[TA], x: &[f64])
 ///
 /// Bounds: caller guarantees `(width - 1) · stride + 8` elements in
 /// `cols`/`vals` (see `try_sell_group8`'s safety doc).
+// SAFETY: AVX2+FMA+F16C context; caller guarantees
+// `(width-1)*stride + 8` elements in cols/vals and in-bounds column
+// indices (try_sell_group8's contract).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn sell_group8_a<TA: Lane8, TV: Gather8>(
     cols: &[u32],
@@ -304,6 +330,7 @@ pub(crate) unsafe fn sell_group8_a<TA: Lane8, TV: Gather8>(
 }
 
 /// World-B SELL group: result lane `l` is row `base + l`'s f64 accumulator.
+// SAFETY: same contract as sell_group8_a.
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn sell_group8_b<TA: Lane4>(
     cols: &[u32],
@@ -337,6 +364,7 @@ pub(crate) unsafe fn sell_group8_b<TA: Lane4>(
 
 /// World-A dot with independently stored operand precisions:
 /// `Σ to_f32(x[i]) · to_f32(v[i])`, f32 lanes, f64 cascade per block.
+// SAFETY: AVX2+FMA+F16C context; loads stop at x.len().min(v.len()).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn dot_stored_a<T: Lane8, S: Lane8>(x: &[T], v: &[S]) -> f64 {
     let n = x.len().min(v.len());
@@ -370,6 +398,7 @@ pub(crate) unsafe fn dot_stored_a<T: Lane8, S: Lane8>(x: &[T], v: &[S]) -> f64 {
 }
 
 /// World-B dot with a stored operand: `Σ x[i] · to_f64(v[i])`, f64 lanes.
+// SAFETY: AVX2+FMA+F16C context; loads stop at x.len().min(v.len()).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn dot_stored_b<S: Lane4>(x: &[f64], v: &[S]) -> f64 {
     let n = x.len().min(v.len());
@@ -403,6 +432,8 @@ pub(crate) unsafe fn dot_stored_b<S: Lane4>(x: &[f64], v: &[S]) -> f64 {
 }
 
 /// World-A fused pair of dots: `(x1·y1, x2·y2)` in one index sweep.
+// SAFETY: AVX2+FMA+F16C context; caller guarantees the four slices are
+// at least x1.len() long (dispatch wrappers pass equal-length views).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn dot2_a<T: Lane8>(x1: &[T], y1: &[T], x2: &[T], y2: &[T]) -> (f64, f64) {
     let n = x1.len();
@@ -435,6 +466,7 @@ pub(crate) unsafe fn dot2_a<T: Lane8>(x1: &[T], y1: &[T], x2: &[T], y2: &[T]) ->
 }
 
 /// World-B fused pair of dots.
+// SAFETY: same contract as dot2_a.
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn dot2_b(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64]) -> (f64, f64) {
     let n = x1.len();
@@ -472,6 +504,7 @@ pub(crate) unsafe fn dot2_b(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64]) -> (
 // ---------------------------------------------------------------------------
 
 /// World-A `y += a · v` with stored-precision `v`.
+// SAFETY: AVX2+FMA+F16C context; accesses stop at v.len().min(y.len()).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn axpy_stored_a<S: Lane8, T: Lane8Dst>(a: f32, v: &[S], y: &mut [T]) {
     let n = v.len().min(y.len());
@@ -493,6 +526,7 @@ pub(crate) unsafe fn axpy_stored_a<S: Lane8, T: Lane8Dst>(a: f32, v: &[S], y: &m
 }
 
 /// World-B `y += a · v` with stored-precision `v`.
+// SAFETY: AVX2+FMA+F16C context; accesses stop at v.len().min(y.len()).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn axpy_stored_b<S: Lane4>(a: f64, v: &[S], y: &mut [f64]) {
     let n = v.len().min(y.len());
@@ -514,6 +548,7 @@ pub(crate) unsafe fn axpy_stored_b<S: Lane4>(a: f64, v: &[S], y: &mut [f64]) {
 /// World-A fused `y += a·x` + `‖y_new‖²` (squares of the *stored*, rounded
 /// values, like the scalar kernel; the updated `y` is bit-identical to
 /// [`axpy_stored_a`]).
+// SAFETY: AVX2+FMA+F16C context; accesses stop at x.len().min(y.len()).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn axpy_norm2_a<T: Lane8Dst>(a: f32, x: &[T], y: &mut [T]) -> f64 {
     let n = x.len().min(y.len());
@@ -549,6 +584,7 @@ pub(crate) unsafe fn axpy_norm2_a<T: Lane8Dst>(a: f32, x: &[T], y: &mut [T]) -> 
 }
 
 /// World-B fused `y += a·x` + `‖y_new‖²`.
+// SAFETY: AVX2+FMA+F16C context; accesses stop at x.len().min(y.len()).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn axpy_norm2_b(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
     let n = x.len().min(y.len());
@@ -582,6 +618,8 @@ pub(crate) unsafe fn axpy_norm2_b(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
 
 /// World-A fused `w = a·x + b·y` + `‖w‖²` (vector output bit-identical to
 /// scalar `waxpby`: two multiplies, one add, one rounding).
+// SAFETY: AVX2+FMA+F16C context; accesses stop at the shortest of the
+// three slices.
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn waxpby_norm2_a<T: Lane8Dst>(
     a: f32,
@@ -627,6 +665,7 @@ pub(crate) unsafe fn waxpby_norm2_a<T: Lane8Dst>(
 }
 
 /// World-B fused `w = a·x + b·y` + `‖w‖²`.
+// SAFETY: same contract as waxpby_norm2_a.
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn waxpby_norm2_b(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) -> f64 {
     let n = x.len().min(y.len()).min(w.len());
@@ -667,6 +706,8 @@ pub(crate) unsafe fn waxpby_norm2_b(a: f64, x: &[f64], b: f64, y: &[f64], w: &mu
 /// core of `scale`/`scale_into`, compress-on-write and decompress.  Raw
 /// pointers so `src == dst` aliasing (in-place scale) is allowed: each block
 /// is fully read before it is written.
+// SAFETY: AVX2+FMA+F16C context; caller guarantees `n` elements readable
+// at `src` and writable at `dst` (exact aliasing allowed, see doc).
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn scale_a<S: Lane8, D: Lane8Dst>(c: f32, src: *const S, dst: *mut D, n: usize) {
     let vc = _mm256_set1_ps(c);
@@ -684,6 +725,7 @@ pub(crate) unsafe fn scale_a<S: Lane8, D: Lane8Dst>(c: f32, src: *const S, dst: 
 
 /// World-B scaled copy `dst[i] = narrow(to_f64(src[i]) · c)`; same aliasing
 /// contract as [`scale_a`].
+// SAFETY: same contract as scale_a.
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn scale_b<S: Lane4, D: Lane4Dst>(c: f64, src: *const S, dst: *mut D, n: usize) {
     let vc = _mm256_set1_pd(c);
@@ -705,6 +747,7 @@ pub(crate) unsafe fn scale_b<S: Lane4, D: Lane4Dst>(c: f64, src: *const S, dst: 
 // ---------------------------------------------------------------------------
 
 /// World-A `max |xᵢ|` (exact; NaNs dropped like the scalar `>` fold).
+// SAFETY: AVX2+FMA+F16C context; loads stop at x.len().
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn norm_inf_a<T: Lane8>(x: &[T]) -> f32 {
     let n = x.len();
@@ -738,6 +781,7 @@ pub(crate) unsafe fn norm_inf_a<T: Lane8>(x: &[T]) -> f32 {
 }
 
 /// World-B `max |xᵢ|`.
+// SAFETY: AVX2+FMA+F16C context; loads stop at x.len().
 #[target_feature(enable = "avx2,fma,f16c")]
 pub(crate) unsafe fn norm_inf_b(x: &[f64]) -> f64 {
     let n = x.len();

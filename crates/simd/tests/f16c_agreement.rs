@@ -16,6 +16,7 @@
 
 use half::f16;
 
+// SAFETY: callers must have verified F16C via is_x86_feature_detected!.
 #[target_feature(enable = "f16c")]
 unsafe fn widen1_hw(h: u16) -> f32 {
     use core::arch::x86_64::*;
@@ -23,6 +24,7 @@ unsafe fn widen1_hw(h: u16) -> f32 {
     _mm_cvtss_f32(v)
 }
 
+// SAFETY: callers must have verified F16C via is_x86_feature_detected!.
 #[target_feature(enable = "f16c")]
 unsafe fn narrow1_hw(v: f32) -> u16 {
     use core::arch::x86_64::*;

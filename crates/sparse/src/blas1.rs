@@ -42,14 +42,7 @@ use f3r_precision::{FromScalar, Scalar};
 /// (re-exported from the shared threshold table in `f3r-parallel`).
 pub use f3r_parallel::thresholds::PAR_LEN_THRESHOLD;
 
-/// Minimum elements per pool task.  A 2^15-element chunk streams 128–512 KiB
-/// depending on precision — tens of microseconds of memory traffic against
-/// the pool's ~1 µs dispatch cost, while still letting vectors just above
-/// [`PAR_LEN_THRESHOLD`] split across workers.  The grain doubled from 2^14
-/// when the SIMD backend landed: vectorised sweeps finish a chunk roughly
-/// 2–8× faster (most dramatically for fp16), so the old grain left the
-/// per-task dispatch overhead a visible fraction of the chunk runtime.
-const MIN_LEN_PER_TASK: usize = 1 << 15;
+use f3r_parallel::thresholds::MIN_LEN_PER_TASK;
 
 /// Elements accumulated in `T::Accum` before the partial sum is folded into
 /// `f64`.  This bounds every accumulation-precision chain at

@@ -60,11 +60,7 @@ use crate::sell::{ScaledSell, SellMatrix};
 /// `f3r-parallel`).
 pub use f3r_parallel::thresholds::PAR_ROW_THRESHOLD;
 
-/// Minimum rows handled per pool task.  A 2^12-row chunk of a typical
-/// stencil matrix moves a few hundred KiB of values/indices/vector traffic —
-/// comfortably above the pool's ~1 µs dispatch cost — while letting systems
-/// just past [`PAR_ROW_THRESHOLD`] still split across workers.
-const MIN_ROWS_PER_TASK: usize = 1 << 12;
+use f3r_parallel::thresholds::MIN_ROWS_PER_TASK;
 
 /// One CSR row: unrolled multi-accumulator dot of the row against `x`,
 /// returned in the accumulation precision (callers narrow once).
@@ -802,9 +798,8 @@ fn sell_sweep_multi<TA: Scalar, TV: Scalar>(
             // assert each panel column has n_cols elements, and the lane
             // window is in bounds because the chunk height and lane offset
             // are multiples of 8.
-            if let Some(accs) =
-                unsafe { f3r_simd::try_sell_group8(cols, vals, stride, width, &xs[..nc]) }
-            {
+            let accs = unsafe { f3r_simd::try_sell_group8(cols, vals, stride, width, &xs[..nc]) };
+            if let Some(accs) = accs {
                 let hi = end.min(g0 + 8);
                 for r in row..hi {
                     emit(r, 0, accs[r - g0]);
