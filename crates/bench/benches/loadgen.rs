@@ -1,0 +1,266 @@
+//! Serving-layer load generator: warm registry vs cold per-request setup.
+//!
+//! Closed-loop clients hammer a Zipf-ish mix of four problems (weighted
+//! 8/4/2/1) through two serving strategies at identical concurrency:
+//!
+//! * `cold` — the no-registry baseline: every request builds its own
+//!   `PreparedSolver` (precision copies + factorisation), opens a fresh
+//!   `SolveSession` and solves.  This is what a naive server pays per
+//!   request.
+//! * `warm` — the `f3r-serve` path: a fingerprint-keyed `SolverRegistry`
+//!   prepares each solver once, warm `SessionPool`s recycle workspaces, and
+//!   the admission-controlled `ServeHandle` runs the solves.  The registry
+//!   is pre-warmed, so the row measures cache steady state.
+//!
+//! Each mode runs for `F3R_LOADGEN_SECONDS` (default 5; CI smoke uses the
+//! default).  Rows report requests/s, the registry hit rate, and the
+//! per-precision modeled byte traffic, and are appended to `F3R_BENCH_JSON`
+//! like every other bench in this crate.  The PR 10 headline artifact
+//! (`BENCH_pr10.json`) is this bench's output: acceptance is
+//! `warm.req_per_s >= 1.25 x cold.req_per_s`.
+//!
+//! This is a custom `harness = false` main (throughput of a multi-threaded
+//! closed loop, not a criterion sample loop).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use f3r_core::prelude::*;
+use f3r_precision::counters::CounterSnapshot;
+use f3r_serve::{RequestOptions, ServeConfig, ServeHandle, SolverRegistry};
+use f3r_sparse::gen::{hpcg_matrix, random_rhs};
+use f3r_sparse::scaling::jacobi_scale;
+
+const CLIENTS: usize = 4;
+/// Zipf-ish request mix over the four problems (8/4/2/1 out of 15).
+const MIX: [usize; 15] = [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 3];
+
+/// Each problem as both its raw CSR form (what a request would arrive with —
+/// the cold mode rebuilds the multi-precision handle from it every time) and
+/// the shared handle the warm mode registers once.
+fn problems() -> Vec<(f3r_sparse::CsrMatrix<f64>, Arc<ProblemMatrix>)> {
+    [
+        jacobi_scale(&hpcg_matrix(12, 12, 12)),
+        jacobi_scale(&hpcg_matrix(10, 10, 10)),
+        jacobi_scale(&hpcg_matrix(8, 8, 8)),
+        jacobi_scale(&hpcg_matrix(14, 14, 14)),
+    ]
+    .into_iter()
+    .map(|a| {
+        let handle = Arc::new(ProblemMatrix::from_csr(a.clone()));
+        (a, handle)
+    })
+    .collect()
+}
+
+/// fp16-F3R with block-Jacobi IC(0) — the PR 4 `solver_reuse` configuration.
+/// Its innermost adaptive Richardson sweep is exactly what warm sessions
+/// amortize: the weights stay tuned to the preconditioned operator across
+/// pooled solves (a warmed solve saves a whole outer iteration on these
+/// problems), while every cold request re-learns them from scratch.
+fn spec() -> NestedSpec {
+    f3r_spec(
+        F3rParams::default(),
+        F3rScheme::Fp16,
+        &SolverSettings {
+            precond: f3r_precond::PrecondKind::BlockJacobiIc0 { blocks: 8, alpha: 1.0 },
+            ..SolverSettings::default()
+        },
+    )
+}
+
+struct ModeResult {
+    requests: u64,
+    elapsed: f64,
+    hit_rate: Option<f64>,
+    kernels: CounterSnapshot,
+}
+
+impl ModeResult {
+    fn req_per_s(&self) -> f64 {
+        self.requests as f64 / self.elapsed
+    }
+}
+
+/// Cold baseline: per-request `ProblemMatrix::from_csr` +
+/// `SolverBuilder::build()` + fresh session (nothing survives the request).
+fn run_cold(
+    matrices: &[(f3r_sparse::CsrMatrix<f64>, Arc<ProblemMatrix>)],
+    duration: Duration,
+) -> ModeResult {
+    let s = spec();
+    let completed = AtomicU64::new(0);
+    let kernels = std::sync::Mutex::new(CounterSnapshot::default());
+    let deadline = Instant::now() + duration;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let s = &s;
+            let completed = &completed;
+            let kernels = &kernels;
+            scope.spawn(move || {
+                let mut seed = 10_000 * (client as u64 + 1);
+                while Instant::now() < deadline {
+                    let (csr, _) = &matrices[MIX[(seed as usize) % MIX.len()]];
+                    let matrix = Arc::new(ProblemMatrix::from_csr(csr.clone()));
+                    let n = matrix.dim();
+                    let prepared = SolverBuilder::new(matrix).spec(s.clone()).build();
+                    let mut x = vec![0.0; n];
+                    let r = prepared.session().solve(&random_rhs(n, seed), &mut x);
+                    assert!(r.converged, "cold: {r}");
+                    seed += 1;
+                    kernels.lock().unwrap().accumulate(&r.counters);
+                    // ordering: statistics counter, no synchronization implied.
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    ModeResult {
+        requests: completed.load(Ordering::Relaxed),
+        elapsed: started.elapsed().as_secs_f64(),
+        hit_rate: None,
+        kernels: kernels.into_inner().unwrap(),
+    }
+}
+
+/// Warm path: pre-warmed registry + serve front-end, cache steady state.
+fn run_warm(
+    matrices: &[(f3r_sparse::CsrMatrix<f64>, Arc<ProblemMatrix>)],
+    duration: Duration,
+) -> ModeResult {
+    let s = spec();
+    let registry = SolverRegistry::with_defaults();
+    let serve = ServeHandle::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: CLIENTS,
+            queue_capacity: 2 * CLIENTS,
+            backpressure: f3r_serve::Backpressure::Block,
+        },
+    );
+    // Pre-warm: build every solver and push two concurrent rounds of
+    // `CLIENTS` requests through each pool, so `CLIENTS` sessions per solver
+    // get parked warm (workspaces allocated, Richardson weights settling)
+    // before the measured window — the cold misses are the other mode's job
+    // to price.
+    for (_, matrix) in matrices {
+        let solver = registry.get_or_prepare(matrix, &s).expect("valid spec");
+        for round in 0..2 {
+            let tickets: Vec<_> = (0..CLIENTS as u64)
+                .map(|i| {
+                    let b = random_rhs(matrix.dim(), 1 + round * CLIENTS as u64 + i);
+                    serve
+                        .submit(&solver, b, RequestOptions::default())
+                        .expect("warmup submit")
+                })
+                .collect();
+            for t in tickets {
+                assert!(t.wait().results[0].converged);
+            }
+        }
+    }
+    let warmup = serve.metrics();
+
+    let completed = AtomicU64::new(0);
+    let deadline = Instant::now() + duration;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let s = &s;
+            let registry = &registry;
+            let serve = &serve;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut seed = 20_000 * (client as u64 + 1);
+                while Instant::now() < deadline {
+                    let (_, matrix) = &matrices[MIX[(seed as usize) % MIX.len()]];
+                    let solver = registry.get_or_prepare(matrix, s).expect("valid spec");
+                    let b = random_rhs(matrix.dim(), seed);
+                    seed += 1;
+                    let r = serve
+                        .submit(&solver, b, RequestOptions::default())
+                        .expect("blocking admission never rejects")
+                        .wait();
+                    assert!(r.results[0].converged, "warm: {}", r.results[0]);
+                    // ordering: statistics counter, no synchronization implied.
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = serve.metrics();
+    serve.shutdown();
+
+    // Subtract the warmup lookups so the hit rate covers the measured window.
+    let hits = metrics.registry.hits - warmup.registry.hits;
+    let lookups =
+        hits + (metrics.registry.misses - warmup.registry.misses);
+    // Kernel counters include the warmup work (one solve per problem) —
+    // noise over a multi-second window, so the totals are reported as-is.
+    ModeResult {
+        requests: completed.load(Ordering::Relaxed),
+        elapsed,
+        hit_rate: Some(hits as f64 / lookups.max(1) as f64),
+        kernels: metrics.kernels,
+    }
+}
+
+fn emit(bench: &str, r: &ModeResult) {
+    let hit = r
+        .hit_rate
+        .map_or("null".to_string(), |h| format!("{h:.4}"));
+    println!(
+        "loadgen/{bench}: {:.1} req/s ({} requests in {:.2} s), hit rate {}, bytes [fp16 {}, fp32 {}, fp64 {}]",
+        r.req_per_s(),
+        r.requests,
+        r.elapsed,
+        hit,
+        r.kernels.bytes_moved[0],
+        r.kernels.bytes_moved[1],
+        r.kernels.bytes_moved[2],
+    );
+    if let Ok(path) = std::env::var("F3R_BENCH_JSON") {
+        let line = format!(
+            "{{\"group\":\"loadgen\",\"bench\":\"{bench}\",\"clients\":{CLIENTS},\"req_per_s\":{:.3},\"requests\":{},\"elapsed_s\":{:.3},\"hit_rate\":{hit},\"bytes_fp16\":{},\"bytes_fp32\":{},\"bytes_fp64\":{}}}",
+            r.req_per_s(),
+            r.requests,
+            r.elapsed,
+            r.kernels.bytes_moved[0],
+            r.kernels.bytes_moved[1],
+            r.kernels.bytes_moved[2],
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+fn main() {
+    f3r_bench::emit_parallel_meta();
+    let seconds: u64 = std::env::var("F3R_LOADGEN_SECONDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let duration = Duration::from_secs(seconds);
+    let matrices = problems();
+
+    let cold = run_cold(&matrices, duration);
+    emit("cold", &cold);
+    let warm = run_warm(&matrices, duration);
+    emit("warm", &warm);
+
+    let speedup = warm.req_per_s() / cold.req_per_s();
+    println!("loadgen/speedup: warm serves {speedup:.2}x the cold request rate at {CLIENTS} clients");
+    if let Ok(path) = std::env::var("F3R_BENCH_JSON") {
+        let line = format!(
+            "{{\"group\":\"loadgen\",\"bench\":\"warm_over_cold\",\"clients\":{CLIENTS},\"speedup\":{speedup:.3}}}"
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}

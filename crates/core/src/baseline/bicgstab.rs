@@ -166,6 +166,7 @@ impl SparseSolver for BiCgStabSolver {
             residual_history: history,
             counters: self.counters.snapshot(),
             solver_name: self.name(),
+            fingerprint: None,
         }
     }
 

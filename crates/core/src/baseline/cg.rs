@@ -129,6 +129,7 @@ impl SparseSolver for CgSolver {
             residual_history: history,
             counters: self.counters.snapshot(),
             solver_name: self.name(),
+            fingerprint: None,
         }
     }
 

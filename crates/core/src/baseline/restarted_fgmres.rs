@@ -131,6 +131,7 @@ impl SparseSolver for RestartedFgmresSolver {
             residual_history: history,
             counters: self.counters.snapshot(),
             solver_name: self.name(),
+            fingerprint: None,
         }
     }
 

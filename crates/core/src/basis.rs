@@ -106,6 +106,18 @@ impl<S: Scalar> CompressedBasis<S> {
         (self.n as u64) * S::bytes() as u64
     }
 
+    /// Total heap bytes held by the basis: every stored vector plus the
+    /// per-vector amplitude scales (the resident footprint, as opposed to
+    /// the per-sweep traffic of [`vector_bytes`](Self::vector_bytes)).
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        self.vecs
+            .iter()
+            .map(|v| v.len() as u64 * S::bytes() as u64)
+            .sum::<u64>()
+            + self.scales.len() as u64 * 8
+    }
+
     /// Compress `alpha * src` into slot `j` (one amplitude-scale reduction
     /// plus one narrowing sweep; see
     /// [`f3r_sparse::blas1::narrow_scaled_into`]).

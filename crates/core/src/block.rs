@@ -131,6 +131,27 @@ impl<T: Scalar, S: Scalar> BlockFgmresWorkspace<T, S> {
     pub fn basis_precision(&self) -> Precision {
         S::PRECISION
     }
+
+    /// Total heap bytes of the block workspace: both compressed bases, the
+    /// per-column Hessenberg/rotation/solution arrays and the three
+    /// working-precision panels.
+    #[must_use]
+    pub fn workspace_bytes(&self) -> u64 {
+        let dense: usize = self
+            .h
+            .iter()
+            .flat_map(|cols| cols.iter().map(Vec::len))
+            .sum::<usize>()
+            + self.cs.iter().map(Vec::len).sum::<usize>()
+            + self.sn.iter().map(Vec::len).sum::<usize>()
+            + self.g.iter().map(Vec::len).sum::<usize>()
+            + self.y.iter().map(Vec::len).sum::<usize>();
+        let panels = (self.w.len() + self.vj.len() + self.zj.len()) as u64;
+        self.basis.storage_bytes()
+            + self.zbasis.storage_bytes()
+            + dense as u64 * 8
+            + panels * T::bytes() as u64
+    }
 }
 
 /// Parameters of one block FGMRES cycle (the batched twin of

@@ -54,6 +54,11 @@ pub struct SolveResult {
     pub counters: CounterSnapshot,
     /// Name of the solver configuration that produced this result.
     pub solver_name: String,
+    /// Fingerprint of the prepared solver that answered
+    /// ([`PreparedSolver::fingerprint`](crate::session::PreparedSolver::fingerprint)),
+    /// so serve-layer logs identify which cached solver produced a result.
+    /// `None` for the baselines, which have no prepared-solver identity.
+    pub fingerprint: Option<u64>,
 }
 
 impl SolveResult {
@@ -81,12 +86,17 @@ impl SolveResult {
 
 impl fmt::Display for SolveResult {
     /// One-line human-readable summary, e.g.
-    /// `fp16-F3R: converged after 34 outer iterations (2176 M applications), relative residual 5.31e-9 in 0.123 s`.
+    /// `fp16-F3R[a1b2c3d4]: converged after 34 outer iterations (2176 M applications), relative residual 5.31e-9 in 0.123 s`
+    /// — the bracketed token is the leading 8 hex digits of the prepared
+    /// solver's fingerprint (omitted for baseline results, which carry none).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.solver_name)?;
+        if let Some(fp) = self.fingerprint {
+            write!(f, "[{:08x}]", fp >> 32)?;
+        }
         write!(
             f,
-            "{}: {} after {} outer iterations ({} M applications), relative residual {:.2e} in {:.3} s",
-            self.solver_name,
+            ": {} after {} outer iterations ({} M applications), relative residual {:.2e} in {:.3} s",
             self.stop_reason,
             self.outer_iterations,
             self.precond_applications,
@@ -126,6 +136,7 @@ mod tests {
             residual_history: history,
             counters: CounterSnapshot::default(),
             solver_name: "dummy".into(),
+            fingerprint: None,
         }
     }
 
@@ -144,6 +155,12 @@ mod tests {
         assert!(line.contains("2176 M applications"));
         assert!(line.contains("5.31e-9"));
         assert!(!line.contains('\n'));
+
+        // With a fingerprint the solver name gains an 8-hex-digit prefix tag.
+        let mut tagged = dummy(vec![1.0, 1e-8], 5.31e-9, 2176);
+        tagged.fingerprint = Some(0xa1b2_c3d4_0000_0001);
+        let line = tagged.to_string();
+        assert!(line.starts_with("dummy[a1b2c3d4]: converged"), "{line}");
         assert_eq!(StopReason::Stopped.to_string(), "stopped by observer");
         assert_eq!(StopReason::MaxIterations.to_string(), "iteration budget exhausted");
     }

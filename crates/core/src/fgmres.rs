@@ -158,6 +158,23 @@ impl<T: Scalar, S: Scalar> FgmresWorkspace<T, S> {
     pub fn basis_precision(&self) -> Precision {
         S::PRECISION
     }
+
+    /// Total heap bytes of the workspace: both compressed bases, the
+    /// Hessenberg/rotation/solution arrays and the three working-precision
+    /// scratch vectors.
+    #[must_use]
+    pub fn workspace_bytes(&self) -> u64 {
+        let dense = self.h.iter().map(Vec::len).sum::<usize>()
+            + self.cs.len()
+            + self.sn.len()
+            + self.g.len()
+            + self.y.len();
+        let scratch = (self.w.len() + self.vj.len() + self.zj.len()) as u64;
+        self.basis.storage_bytes()
+            + self.zbasis.storage_bytes()
+            + dense as u64 * 8
+            + scratch * T::bytes() as u64
+    }
 }
 
 /// Outcome of one FGMRES cycle.
@@ -567,6 +584,15 @@ impl<T: Scalar, S: Scalar> InnerSolver<T> for FgmresLevel<T, S> {
 
     fn depth(&self) -> usize {
         self.depth
+    }
+
+    fn workspace_bytes(&self) -> u64 {
+        self.ws.workspace_bytes()
+            + self
+                .block_ws
+                .as_ref()
+                .map_or(0, BlockFgmresWorkspace::workspace_bytes)
+            + self.inner.workspace_bytes()
     }
 }
 

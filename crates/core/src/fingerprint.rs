@@ -1,0 +1,302 @@
+//! Stable content fingerprints for cached prepared solvers.
+//!
+//! A serving layer that caches [`PreparedSolver`](crate::session::PreparedSolver)s
+//! needs a key that identifies *what the solver computes*: the coefficient
+//! matrix (down to the value bits of the fp64 CSR base, plus the SpMV
+//! backend, which fixes the streamed format and therefore the floating-point
+//! summation order) and the structural fields of the validated
+//! [`NestedSpec`].  Two solvers with equal
+//! fingerprints produce bitwise-identical FGMRES-only solves, so a cache may
+//! substitute one for the other.
+//!
+//! The hash is FNV-1a over an explicit, stable field serialization — *not*
+//! `std::hash::Hash`, whose output is allowed to change between Rust
+//! releases and which is not implemented for the `f64` fields carried by
+//! specs.  Cosmetic fields (the spec `name`) are excluded: renaming a
+//! configuration must still hit the cache.
+
+use f3r_precision::Precision;
+use f3r_precond::PrecondKind;
+
+use crate::nested::{LevelSpec, NestedSpec};
+use crate::operator::{MatrixStorage, ProblemMatrix, SpmvBackend};
+use crate::richardson::WeightStrategy;
+
+/// Incremental 64-bit FNV-1a hasher over little-endian field bytes.
+///
+/// FNV-1a is not cryptographic; the fingerprint distinguishes cache entries,
+/// it does not defend against adversarial collisions.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Start a fresh hash at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64 {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Absorb a single tag byte (enum discriminants, field separators).
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write(&[tag]);
+    }
+
+    /// Absorb a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb a `usize` widened to `u64` (stable across pointer widths).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorb an `f64` by its IEEE bit pattern (`-0.0` and `0.0` therefore
+    /// hash differently, as do distinct NaN payloads — exact bits, no
+    /// numeric equivalence).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn precision_tag(p: Precision) -> u8 {
+    match p {
+        Precision::Fp16 => 0,
+        Precision::Fp32 => 1,
+        Precision::Fp64 => 2,
+    }
+}
+
+fn write_storage(h: &mut Fnv64, s: MatrixStorage) {
+    match s {
+        MatrixStorage::Plain(p) => {
+            h.write_tag(0);
+            h.write_tag(precision_tag(p));
+        }
+        MatrixStorage::Scaled(p) => {
+            h.write_tag(1);
+            h.write_tag(precision_tag(p));
+        }
+    }
+}
+
+fn write_level(h: &mut Fnv64, level: &LevelSpec) {
+    match *level {
+        LevelSpec::Fgmres {
+            m,
+            matrix,
+            vector_prec,
+            basis_prec,
+        } => {
+            h.write_tag(0);
+            h.write_usize(m);
+            write_storage(h, matrix);
+            h.write_tag(precision_tag(vector_prec));
+            h.write_tag(precision_tag(basis_prec));
+        }
+        LevelSpec::Richardson {
+            m,
+            matrix,
+            vector_prec,
+            weight,
+        } => {
+            h.write_tag(1);
+            h.write_usize(m);
+            write_storage(h, matrix);
+            h.write_tag(precision_tag(vector_prec));
+            match weight {
+                WeightStrategy::Adaptive { cycle } => {
+                    h.write_tag(0);
+                    h.write_usize(cycle);
+                }
+                WeightStrategy::Fixed(w) => {
+                    h.write_tag(1);
+                    h.write_f64(w);
+                }
+            }
+        }
+    }
+}
+
+fn write_precond(h: &mut Fnv64, kind: &PrecondKind) {
+    match *kind {
+        PrecondKind::Identity => h.write_tag(0),
+        PrecondKind::Jacobi => h.write_tag(1),
+        PrecondKind::Ilu0 { alpha } => {
+            h.write_tag(2);
+            h.write_f64(alpha);
+        }
+        PrecondKind::Ic0 { alpha } => {
+            h.write_tag(3);
+            h.write_f64(alpha);
+        }
+        PrecondKind::BlockJacobiIlu0 { blocks, alpha } => {
+            h.write_tag(4);
+            h.write_usize(blocks);
+            h.write_f64(alpha);
+        }
+        PrecondKind::BlockJacobiIc0 { blocks, alpha } => {
+            h.write_tag(5);
+            h.write_usize(blocks);
+            h.write_f64(alpha);
+        }
+        PrecondKind::SdAinv { alpha, order } => {
+            h.write_tag(6);
+            h.write_f64(alpha);
+            h.write_usize(order);
+        }
+    }
+}
+
+/// Hash the structural fields of a spec: levels, preconditioner (kind and
+/// storage precision), tolerance bits and the outer-cycle cap.
+///
+/// The cosmetic `name` is deliberately excluded — two specs that differ only
+/// in their label prepare bitwise-identical solvers and must share a cache
+/// entry.
+#[must_use]
+pub fn spec_fingerprint(spec: &NestedSpec) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(spec.levels.len());
+    for level in &spec.levels {
+        write_level(&mut h, level);
+    }
+    write_precond(&mut h, &spec.precond);
+    h.write_tag(precision_tag(spec.precond_prec));
+    h.write_f64(spec.tol);
+    h.write_usize(spec.max_outer_cycles);
+    h.finish()
+}
+
+/// Hash the SpMV backend (part of the matrix identity: CSR and SELL stream
+/// rows in different orders, so equal values under different backends are
+/// *not* interchangeable bitwise).
+pub(crate) fn write_backend(h: &mut Fnv64, backend: SpmvBackend) {
+    match backend {
+        SpmvBackend::Csr => h.write_tag(0),
+        SpmvBackend::Sell { chunk } => {
+            h.write_tag(1);
+            h.write_usize(chunk);
+        }
+    }
+}
+
+/// Combined solver fingerprint: matrix content hash (cached on the
+/// [`ProblemMatrix`]) mixed with [`spec_fingerprint`].
+///
+/// This is exactly the value a prepared solver built from `(matrix, spec)`
+/// reports as [`fingerprint()`](crate::session::PreparedSolver::fingerprint),
+/// so a registry can compute the cache key *before* paying for construction.
+#[must_use]
+pub fn solver_fingerprint(matrix: &ProblemMatrix, spec: &NestedSpec) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(matrix.content_hash());
+    h.write_u64(spec_fingerprint(spec));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::f3r::{f3r_spec, F3rParams, F3rScheme, SolverSettings};
+    use f3r_sparse::gen::laplacian::poisson2d_5pt;
+
+    fn spec() -> NestedSpec {
+        f3r_spec(
+            F3rParams::default(),
+            F3rScheme::Fp16,
+            &SolverSettings::default(),
+        )
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a test vector: the empty string hashes to the offset basis,
+        // "a" to 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn name_is_cosmetic() {
+        let a = spec();
+        let mut b = spec();
+        b.name = "renamed".to_string();
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&b));
+    }
+
+    #[test]
+    fn structural_fields_change_the_fingerprint() {
+        let base = spec();
+        let mut tol = spec();
+        tol.tol = 1e-6;
+        assert_ne!(spec_fingerprint(&base), spec_fingerprint(&tol));
+        let mut cycles = spec();
+        cycles.max_outer_cycles += 1;
+        assert_ne!(spec_fingerprint(&base), spec_fingerprint(&cycles));
+        // Compressing the bases (default storage = vector precision) changes
+        // the level structure and therefore the fingerprint.
+        let compressed = base.clone().with_basis_storage(Precision::Fp16);
+        assert_ne!(spec_fingerprint(&base), spec_fingerprint(&compressed));
+    }
+
+    #[test]
+    fn matrix_values_and_backend_feed_the_hash() {
+        let a = poisson2d_5pt(8, 8);
+        let m1 = ProblemMatrix::from_csr(a.clone());
+        let m2 = ProblemMatrix::from_csr(a.clone());
+        assert_eq!(m1.content_hash(), m2.content_hash());
+
+        let mut perturbed = a.clone();
+        // Flip the last mantissa bit of one entry: same shape, different bits.
+        let v = perturbed.values()[0];
+        perturbed.values_mut()[0] = f64::from_bits(v.to_bits() ^ 1);
+        let m3 = ProblemMatrix::from_csr(perturbed);
+        assert_ne!(m1.content_hash(), m3.content_hash());
+
+        let sell = ProblemMatrix::new(a, SpmvBackend::Sell { chunk: 32 });
+        assert_ne!(m1.content_hash(), sell.content_hash());
+    }
+
+    #[test]
+    fn solver_fingerprint_mixes_both_parts() {
+        let m = ProblemMatrix::from_csr(poisson2d_5pt(8, 8));
+        let s = spec();
+        let fp = solver_fingerprint(&m, &s);
+        assert_eq!(fp, solver_fingerprint(&m, &s), "deterministic");
+        let mut other = s.clone();
+        other.tol = 1e-4;
+        assert_ne!(fp, solver_fingerprint(&m, &other));
+    }
+}

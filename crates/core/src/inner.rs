@@ -75,6 +75,17 @@ pub trait InnerSolver<T: Scalar>: Send {
 
     /// Nesting depth of this solver (1 = outermost).
     fn depth(&self) -> usize;
+
+    /// Heap bytes of this solver's own workspaces plus (recursively) its
+    /// child chain's.  Shared state merely borrowed from the
+    /// [`PreparedSolver`](crate::session::PreparedSolver) — matrix variants,
+    /// the factorized `M` — is *not* counted; see
+    /// [`SolveSession::workspace_bytes`](crate::session::SolveSession::workspace_bytes)
+    /// for the split.  The default of 0 fits stateless adapters like
+    /// [`PrecondInner`].
+    fn workspace_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Adapter exposing the primary preconditioner `M` as an [`InnerSolver`], for
@@ -225,6 +236,12 @@ impl<TP: Scalar, TC: Scalar> InnerSolver<TP> for PrecisionBridge<TP, TC> {
 
     fn depth(&self) -> usize {
         self.child.depth()
+    }
+
+    fn workspace_bytes(&self) -> u64 {
+        (self.v_lo.len() + self.z_lo.len()) as u64 * TC::bytes() as u64
+            + self.scales.len() as u64 * 8
+            + self.child.workspace_bytes()
     }
 }
 

@@ -86,6 +86,7 @@ pub mod convergence;
 pub mod cost_model;
 pub mod f3r;
 pub mod fgmres;
+pub mod fingerprint;
 pub mod inner;
 pub mod nested;
 pub mod operator;

@@ -225,6 +225,10 @@ pub struct ProblemMatrix {
     backend: SpmvBackend,
     n: usize,
     nnz: usize,
+    /// Lazily computed content hash (see [`content_hash`](Self::content_hash));
+    /// every narrower variant is derived from the base, so hashing the base
+    /// plus the backend identifies the whole store.
+    content_hash: OnceLock<u64>,
 }
 
 impl ProblemMatrix {
@@ -252,6 +256,7 @@ impl ProblemMatrix {
             backend,
             n,
             nnz,
+            content_hash: OnceLock::new(),
         }
     }
 
@@ -293,6 +298,35 @@ impl ProblemMatrix {
     #[must_use]
     pub fn csr_f64(&self) -> &Arc<CsrMatrix<f64>> {
         &self.base
+    }
+
+    /// Stable 64-bit content hash of the store: dimensions, row pointers,
+    /// column indices and the exact value bits of the fp64 CSR base, plus
+    /// the SpMV backend (which fixes the streamed format and therefore the
+    /// floating-point summation order).  Computed on first use and cached —
+    /// the base is immutable behind the `Arc`, so the hash never goes stale.
+    ///
+    /// This is the matrix half of
+    /// [`solver_fingerprint`](crate::fingerprint::solver_fingerprint); the
+    /// serving layer keys its prepared-solver cache on it.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        *self.content_hash.get_or_init(|| {
+            let mut h = crate::fingerprint::Fnv64::new();
+            h.write_usize(self.base.n_rows());
+            h.write_usize(self.base.n_cols());
+            for &p in self.base.row_ptr() {
+                h.write_usize(p);
+            }
+            for &c in self.base.col_idx() {
+                h.write_u64(u64::from(c));
+            }
+            for &v in self.base.values() {
+                h.write_f64(v);
+            }
+            crate::fingerprint::write_backend(&mut h, self.backend);
+            h.finish()
+        })
     }
 
     /// Build (or fetch) the variant for `storage` in the backend's format.

@@ -84,6 +84,19 @@ impl AnyPrecond {
         }
     }
 
+    /// Resident bytes of the stored factors
+    /// ([`Preconditioner::storage_bytes`] of the underlying implementation).
+    /// Together with [`ProblemMatrix::storage_bytes`] this prices everything
+    /// a [`PreparedSolver`](crate::session::PreparedSolver) keeps alive.
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        match self {
+            AnyPrecond::F64(p) => p.storage_bytes(),
+            AnyPrecond::F32(p) => p.storage_bytes(),
+            AnyPrecond::F16(p) => p.storage_bytes(),
+        }
+    }
+
     /// Human-readable name of the underlying preconditioner.
     #[must_use]
     pub fn name(&self) -> String {

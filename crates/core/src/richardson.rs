@@ -197,6 +197,11 @@ impl<T: Scalar> InnerSolver<T> for RichardsonLevel<T> {
         format!("R{}(A:{}, v:{}, {})", self.m, self.mat_storage, T::name(), strat)
     }
 
+    fn workspace_bytes(&self) -> u64 {
+        self.weights.len() as u64 * 8
+            + (self.r.len() + self.mr.len() + self.amr.len()) as u64 * T::bytes() as u64
+    }
+
     fn depth(&self) -> usize {
         self.depth
     }

@@ -569,11 +569,13 @@ impl SolverBuilder {
             &spec.precond,
             spec.precond_prec,
         ));
+        let fingerprint = crate::fingerprint::solver_fingerprint(&matrix, &spec);
         Ok(Arc::new(PreparedSolver {
             matrix,
             precond,
             spec,
             policy,
+            fingerprint,
         }))
     }
 
@@ -608,6 +610,7 @@ pub struct PreparedSolver {
     precond: Arc<AnyPrecond>,
     spec: NestedSpec,
     policy: Option<AdaptivePolicy>,
+    fingerprint: u64,
 }
 
 impl fmt::Debug for PreparedSolver {
@@ -663,6 +666,31 @@ impl PreparedSolver {
     #[must_use]
     pub fn adaptive_policy(&self) -> Option<&AdaptivePolicy> {
         self.policy.as_ref()
+    }
+
+    /// Stable content fingerprint of this solver: the matrix
+    /// [`content_hash`](ProblemMatrix::content_hash) mixed with the
+    /// structural fields of the validated spec (see
+    /// [`fingerprint`](crate::fingerprint)).  Equal fingerprints mean "built
+    /// from bit-identical inputs", which is what the serving layer's
+    /// registry keys its cache on — and it can compute the same value
+    /// *before* building via
+    /// [`solver_fingerprint`](crate::fingerprint::solver_fingerprint).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Total resident bytes of this prepared solver: every materialized
+    /// matrix variant ([`ProblemMatrix::storage_bytes`]) plus the factorized
+    /// preconditioner ([`AnyPrecond::storage_bytes`]).  This is the price a
+    /// cache pays to keep the solver warm, and the value the serving-layer
+    /// registry charges against its byte cap.  Session workspaces are
+    /// accounted separately ([`SolveSession::workspace_bytes`]) — they
+    /// belong to the session, not the shared setup.
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        self.matrix.storage_bytes() + self.precond.storage_bytes()
     }
 
     /// Open a new solve session: a private set of mutable level workspaces
@@ -1095,6 +1123,35 @@ impl SolveSession {
         self.generation
     }
 
+    /// Heap bytes of this session's own mutable state: the outer FGMRES
+    /// workspace (plus the block twin if `solve_batch` allocated it), the
+    /// whole inner-solver chain, the true-residual scratch and the batched
+    /// RHS/solution panels.  0 before the first solve (workspaces are lazy).
+    ///
+    /// This is the *per-session* complement of
+    /// [`PreparedSolver::storage_bytes`]: the shared matrix variants and
+    /// preconditioner factors the session borrows are priced there, so a
+    /// pool holding `s` warm sessions costs
+    /// `storage_bytes() + s × workspace_bytes()` resident bytes in total.
+    #[must_use]
+    pub fn workspace_bytes(&self) -> u64 {
+        let Some(work) = &self.work else { return 0 };
+        let outer = match &work.outer {
+            OuterWorkspace::F64(ws) => ws.workspace_bytes(),
+            OuterWorkspace::F32(ws) => ws.workspace_bytes(),
+            OuterWorkspace::F16(ws) => ws.workspace_bytes(),
+        };
+        let block = work.block.as_ref().map_or(0, |b| {
+            let ws = match &b.outer {
+                OuterBlockWorkspace::F64(ws) => ws.workspace_bytes(),
+                OuterBlockWorkspace::F32(ws) => ws.workspace_bytes(),
+                OuterBlockWorkspace::F16(ws) => ws.workspace_bytes(),
+            };
+            ws + (b.bp.len() + b.xp.len()) as u64 * 8
+        });
+        outer + block + work.inner.workspace_bytes() + work.residual.len() as u64 * 8
+    }
+
     /// The escalation-ladder rung an adaptive session currently runs at
     /// (0 = the spec as built), or `None` for a fixed-precision session.
     /// The rung persists across solves: a matrix that forced an escalation
@@ -1408,6 +1465,7 @@ impl SolveSession {
                 residual_history: run.history,
                 counters: snapshot,
                 solver_name: self.prepared.spec.name.clone(),
+                fingerprint: Some(self.prepared.fingerprint),
             })
             .collect()
     }
@@ -1660,6 +1718,7 @@ impl SolveSession {
             residual_history: history,
             counters: self.counters.snapshot(),
             solver_name: self.prepared.spec.name.clone(),
+            fingerprint: Some(self.prepared.fingerprint),
         }
     }
 }

@@ -133,6 +133,7 @@ mod tests {
                 residual_history: vec![1.0, 1e-9],
                 counters: CounterSnapshot::default(),
                 solver_name: name.into(),
+                fingerprint: None,
             },
         }
     }

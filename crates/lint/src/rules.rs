@@ -51,7 +51,7 @@ pub const RULES: &[(&str, &str)] = &[
     (RULE_FLOAT_CAST, "no raw float-to-float `as` casts in hot kernel modules"),
     (RULE_MUL_ADD, "no mul_add in element-wise update kernels (bitwise parity)"),
     (RULE_TARGET_FEATURE, "#[target_feature] fns are unsafe and live in f3r-simd"),
-    (RULE_ATOMIC_ORDERING, "every atomic Ordering in the pool has an `ordering:` note"),
+    (RULE_ATOMIC_ORDERING, "every atomic Ordering in the pool and serve crates has an `ordering:` note"),
     (RULE_PAR_THRESHOLDS, "PAR_*/MIN_*_PER_TASK constants live in f3r_parallel::thresholds"),
     (RULE_MALFORMED_SUPPRESSION, "f3r-lint allow() comments must name rules and give a reason"),
 ];
@@ -807,7 +807,7 @@ fn rule_target_feature(an: &Analysis, out: &mut FileOutcome) {
 // Rule: atomic-ordering-documented.
 // ---------------------------------------------------------------------------
 
-const ORDERING_SCOPE: &[&str] = &["crates/parallel/src/"];
+const ORDERING_SCOPE: &[&str] = &["crates/parallel/src/", "crates/serve/src/"];
 const ORDERING_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 fn ordering_marker(c: &Comment) -> bool {

@@ -444,6 +444,37 @@ impl CounterSnapshot {
             switch_bytes: self.switch_bytes.saturating_sub(earlier.switch_bytes),
         }
     }
+
+    /// Add `other` into `self`, field by field (the inverse of
+    /// [`since`](Self::since)).  Lets an aggregator — e.g. the serving
+    /// layer's metrics, which merge per-request deltas from many worker
+    /// sessions — maintain one running total.
+    pub fn accumulate(&mut self, other: &CounterSnapshot) {
+        let add3 = |a: &mut [u64; 3], b: [u64; 3]| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = x.saturating_add(y);
+            }
+        };
+        let add8 = |a: &mut [u64; 8], b: [u64; 8]| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = x.saturating_add(y);
+            }
+        };
+        self.precond_applies = self.precond_applies.saturating_add(other.precond_applies);
+        add3(&mut self.spmv_calls, other.spmv_calls);
+        add3(&mut self.blas1_calls, other.blas1_calls);
+        add3(&mut self.bytes_moved, other.bytes_moved);
+        add3(&mut self.basis_bytes_read, other.basis_bytes_read);
+        add3(&mut self.basis_bytes_written, other.basis_bytes_written);
+        add3(&mut self.matrix_bytes_read, other.matrix_bytes_read);
+        add8(&mut self.level_iterations, other.level_iterations);
+        self.weight_updates = self.weight_updates.saturating_add(other.weight_updates);
+        add3(&mut self.spmm_calls, other.spmm_calls);
+        add3(&mut self.spmm_columns, other.spmm_columns);
+        add8(&mut self.level_escalations, other.level_escalations);
+        add8(&mut self.level_deescalations, other.level_deescalations);
+        self.switch_bytes = self.switch_bytes.saturating_add(other.switch_bytes);
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,11 @@ impl<T: Scalar> Preconditioner<T> for SdAinvPrecond<T> {
     fn sweeps_per_apply(&self) -> usize {
         self.order
     }
+
+    fn storage_bytes(&self) -> u64 {
+        // The iteration-matrix CSR plus the reciprocal diagonal.
+        self.g.storage_bytes() + self.inv_diag.len() as u64 * T::PRECISION.bytes() as u64
+    }
 }
 
 #[cfg(test)]

@@ -136,6 +136,12 @@ impl<T: Scalar, P: Preconditioner<T>> Preconditioner<T> for BlockJacobiPrecond<P
     fn name(&self) -> String {
         format!("{} x{} ({})", self.kind, self.blocks.len(), T::name())
     }
+
+    fn storage_bytes(&self) -> u64 {
+        // The per-block factors plus the block-offset table.
+        self.blocks.iter().map(P::storage_bytes).sum::<u64>()
+            + self.offsets.len() as u64 * 8
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,11 @@ impl<T: Scalar> Preconditioner<T> for JacobiPrecond<T> {
     fn sweeps_per_apply(&self) -> usize {
         0
     }
+
+    fn storage_bytes(&self) -> u64 {
+        // A bare reciprocal diagonal: no indices, no row pointers.
+        self.inv_diag.len() as u64 * T::PRECISION.bytes() as u64
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,55 @@
+//! Serving layer over the prepared-solver API.
+//!
+//! The solver crates answer "how do I solve `Ax = b` fast once?"; this crate
+//! answers "how do I serve many solves over a handful of matrices without
+//! paying setup per request?".  Three layers, each usable on its own:
+//!
+//! 1. [`registry::SolverRegistry`] — a fingerprint-keyed cache of
+//!    [`PreparedSolver`](f3r_core::session::PreparedSolver)s with
+//!    single-flight construction and LRU + byte-cap eviction.  The key is
+//!    [`solver_fingerprint`](f3r_core::fingerprint::solver_fingerprint):
+//!    matrix content hash × structural spec hash, computable before building.
+//! 2. [`pool::SessionPool`] — per-entry pools of warm
+//!    [`SolveSession`](f3r_core::session::SolveSession)s, checked out per
+//!    request and returned on guard drop, so repeat requests reuse allocated
+//!    workspaces and settled adaptive weights.
+//! 3. [`front::ServeHandle`] — a request/response front-end: bounded
+//!    submission queue with explicit [`Backpressure`] (block or reject),
+//!    worker threads, per-request [`RequestOptions`], batched submission,
+//!    and a [`MetricsSnapshot`] (latency quantiles, hit rates, per-precision
+//!    kernel counters).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use f3r_core::f3r::{f3r_spec, F3rParams, F3rScheme, SolverSettings};
+//! use f3r_core::operator::ProblemMatrix;
+//! use f3r_serve::{ServeConfig, ServeHandle, SolverRegistry, RequestOptions};
+//! use f3r_sparse::gen::laplacian::poisson2d_5pt;
+//!
+//! let matrix = Arc::new(ProblemMatrix::from_csr(poisson2d_5pt(16, 16)));
+//! let spec = f3r_spec(F3rParams::default(), F3rScheme::Fp32, &SolverSettings::default());
+//!
+//! let registry = SolverRegistry::with_defaults();
+//! let serve = ServeHandle::start(Arc::clone(&registry), ServeConfig::default());
+//!
+//! let solver = registry.get_or_prepare(&matrix, &spec).unwrap();
+//! let b = vec![1.0; matrix.dim()];
+//! let ticket = serve.submit(&solver, b, RequestOptions::default()).unwrap();
+//! let response = ticket.wait();
+//! assert!(response.results[0].converged);
+//! serve.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod front;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+
+pub use front::{
+    Backpressure, RequestOptions, ServeConfig, ServeHandle, SolveResponse, SubmitError, Ticket,
+};
+pub use metrics::{LatencyHistogram, MetricsSnapshot};
+pub use pool::{PooledSession, PoolStats, SessionPool};
+pub use registry::{CachedSolver, RegistryConfig, RegistryStats, SolverRegistry};

@@ -1,0 +1,171 @@
+//! Serving-layer metrics: a lock-free latency histogram and the aggregate
+//! snapshot reported by [`ServeHandle::metrics`](crate::front::ServeHandle::metrics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use f3r_precision::counters::CounterSnapshot;
+
+use crate::pool::PoolStats;
+use crate::registry::RegistryStats;
+
+/// Number of log₂-microsecond buckets.  Bucket `i` covers latencies in
+/// `[2^i, 2^(i+1))` µs (bucket 0 additionally absorbs sub-microsecond
+/// requests), so 32 buckets span ~1 µs to ~2³¹ µs ≈ 36 minutes.
+const BUCKETS: usize = 32;
+
+/// Fixed-bucket log₂ latency histogram.
+///
+/// `record` is a single relaxed atomic increment, so worker threads never
+/// contend on a lock to report a latency; quantiles are read by walking the
+/// bucket counts.  Bucket resolution is a factor of two, which is plenty for
+/// p50/p99 dashboards (the histogram answers "microseconds or milliseconds?",
+/// not "1.2 ms or 1.3 ms?").
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_index(latency: Duration) -> usize {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        if micros == 0 {
+            0
+        } else {
+            (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Record one observed latency.
+    pub fn record(&self, latency: Duration) {
+        // ordering: statistics counter, no synchronization implied.
+        self.buckets[Self::bucket_index(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            // ordering: statistics counters, no synchronization implied.
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Approximate `q`-quantile (`0.0 ≤ q ≤ 1.0`) in seconds, or `None` if
+    /// nothing has been recorded.  Reports the geometric midpoint of the
+    /// bucket containing the quantile rank, so the answer is within ~√2× of
+    /// the true latency.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            // ordering: statistics counters, no synchronization implied.
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the requested quantile, 1-based, clamped into range.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)) µs.
+                let midpoint_us = 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+                return Some(midpoint_us * 1e-6);
+            }
+        }
+        unreachable!("rank is clamped to the total count")
+    }
+}
+
+/// Point-in-time view of a [`ServeHandle`](crate::front::ServeHandle) and
+/// everything behind it (registry, per-entry pools, kernel counters).
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted but not yet picked up by a worker.
+    pub queue_depth: usize,
+    /// Requests currently being solved by a worker.
+    pub in_flight: usize,
+    /// Requests accepted into the queue since start.
+    pub submitted: u64,
+    /// Requests fully processed (response sent or receiver gone).
+    pub completed: u64,
+    /// Requests refused by [`Backpressure::Reject`](crate::front::Backpressure::Reject).
+    pub rejected: u64,
+    /// Individual right-hand sides solved (a batch request counts each RHS).
+    pub solves: u64,
+    /// Median end-to-end latency (queue wait + solve) in seconds, if any
+    /// request completed.
+    pub p50_seconds: Option<f64>,
+    /// 99th-percentile end-to-end latency in seconds, if any request
+    /// completed.
+    pub p99_seconds: Option<f64>,
+    /// Registry counters (hits, misses, builds, evictions, resident bytes).
+    pub registry: RegistryStats,
+    /// Per-cached-entry session-pool counters.
+    pub pools: Vec<PoolStats>,
+    /// Kernel work aggregated across every completed request (per-precision
+    /// SpMV/BLAS1 calls, bytes moved, …).
+    pub kernels: CounterSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_nanos(10)), 0);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(1)), 0);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(2)), 1);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(3)), 1);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(4)), 2);
+        // Milliseconds land around bucket 10 (1024 µs).
+        assert_eq!(
+            LatencyHistogram::bucket_index(Duration::from_millis(1)),
+            9,
+            "1000 us is still in [512, 1024)"
+        );
+        // Hours saturate into the last bucket instead of indexing out of range.
+        assert_eq!(
+            LatencyHistogram::bucket_index(Duration::from_secs(86_400)),
+            BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_millis(100)); // bucket 16
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((5e-5..2e-4).contains(&p50), "p50 ≈ 90 µs, got {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 < 2e-4, "p99 rank 99 still falls in the fast bucket");
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 > 5e-2, "max lands in the 100 ms bucket, got {p100}");
+    }
+}

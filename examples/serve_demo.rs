@@ -1,0 +1,134 @@
+//! Closed-loop demo of the serving layer (`f3r::serve`).
+//!
+//! Two problems — the 2-D Laplacian familiar from the Figure 1 runs and an
+//! HPCG 16³ system — are served through one [`ServeHandle`]: a
+//! fingerprint-keyed [`SolverRegistry`] prepares each solver exactly once,
+//! warm [`SessionPool`](f3r::serve::SessionPool)s recycle solve workspaces
+//! across requests, and a bounded queue admits the load.  Four client
+//! threads run a closed loop (submit → wait → repeat) for 30 seconds
+//! (override with `F3R_SERVE_DEMO_SECONDS`), then the aggregate metrics are
+//! printed: request throughput, end-to-end p50/p99, registry hit rate and
+//! per-pool warm rates.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use f3r::prelude::*;
+use f3r::serve::{RequestOptions, ServeConfig, ServeHandle, SolverRegistry};
+use f3r::sparse::gen::{hpcg_matrix, poisson2d_5pt, random_rhs};
+use f3r::sparse::scaling::jacobi_scale;
+
+fn main() {
+    let seconds: u64 = std::env::var("F3R_SERVE_DEMO_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    const CLIENTS: usize = 4;
+
+    // The two served problems, both diagonally scaled as in the paper.
+    let laplace = Arc::new(ProblemMatrix::from_csr(jacobi_scale(&poisson2d_5pt(64, 64))));
+    let hpcg = Arc::new(ProblemMatrix::from_csr(jacobi_scale(&hpcg_matrix(16, 16, 16))));
+    // FGMRES-only two-level spec: cheap per request, bitwise-stable under
+    // warm session reuse.
+    let spec = f2_spec(&SolverSettings::default());
+
+    let registry = SolverRegistry::with_defaults();
+    let serve = ServeHandle::start(Arc::clone(&registry), ServeConfig::default());
+
+    println!(
+        "serving laplace 64x64 (n = {}) and HPCG 16^3 (n = {}) for {seconds} s with {CLIENTS} closed-loop clients ...",
+        laplace.dim(),
+        hpcg.dim()
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let completed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let serve = &serve;
+            let registry = &registry;
+            let spec = &spec;
+            let laplace = &laplace;
+            let hpcg = &hpcg;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut seed = 1000 * (client as u64 + 1);
+                while Instant::now() < deadline {
+                    // 3:1 mix — the Laplacian is "hot", HPCG the long tail.
+                    let matrix = if seed.is_multiple_of(4) { hpcg } else { laplace };
+                    // The registry makes the per-request path cheap: after the
+                    // first request per matrix this is a pure cache hit.
+                    let solver = registry.get_or_prepare(matrix, spec).expect("valid spec");
+                    let b = random_rhs(matrix.dim(), seed);
+                    seed += 1;
+                    let response = serve
+                        .submit(&solver, b, RequestOptions::default())
+                        .expect("blocking admission never rejects")
+                        .wait();
+                    assert!(response.results[0].converged, "{}", response.results[0]);
+                    // ordering: statistics counter, no synchronization implied.
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = serve.metrics();
+    serve.shutdown();
+
+    let done = completed.load(Ordering::Relaxed);
+    println!("\n--- front-end ---");
+    println!("requests completed   {done}");
+    println!("throughput           {:.1} req/s", done as f64 / elapsed);
+    println!(
+        "latency p50 / p99    {:.2} ms / {:.2} ms",
+        metrics.p50_seconds.unwrap_or(0.0) * 1e3,
+        metrics.p99_seconds.unwrap_or(0.0) * 1e3
+    );
+
+    let reg = metrics.registry;
+    let lookups = reg.hits + reg.misses;
+    println!("\n--- registry ---");
+    println!("entries              {} ({:.2} MiB resident)", reg.entries, reg.resident_bytes as f64 / (1u64 << 20) as f64);
+    println!(
+        "hit rate             {:.3} ({} hits / {} lookups, {} builds, {} evictions)",
+        reg.hits as f64 / lookups.max(1) as f64,
+        reg.hits,
+        lookups,
+        reg.builds,
+        reg.evictions
+    );
+
+    println!("\n--- session pools ---");
+    for pool in &metrics.pools {
+        let checkouts = pool.warm_checkouts + pool.cold_checkouts;
+        println!(
+            "{:>20} [{:08x}]  warm rate {:.3} ({} warm / {} checkouts), idle {} ({:.1} KiB workspaces)",
+            pool.solver_name,
+            pool.fingerprint >> 32,
+            pool.warm_checkouts as f64 / checkouts.max(1) as f64,
+            pool.warm_checkouts,
+            checkouts,
+            pool.idle,
+            pool.idle_workspace_bytes as f64 / 1024.0
+        );
+    }
+
+    let spmv: u64 = metrics.kernels.spmv_calls.iter().sum();
+    println!("\n--- kernels (all requests) ---");
+    println!(
+        "SpMV calls           {spmv} [fp16 {}, fp32 {}, fp64 {}]",
+        metrics.kernels.spmv_calls[0], metrics.kernels.spmv_calls[1], metrics.kernels.spmv_calls[2]
+    );
+    println!(
+        "bytes moved          {:.1} MiB",
+        metrics.kernels.total_bytes() as f64 / (1u64 << 20) as f64
+    );
+}

@@ -13,7 +13,11 @@
 //!   (`SolverBuilder` → `PreparedSolver` → `SolveSession`), the
 //!   nested-solver framework, the adaptive-weight Richardson sweep
 //!   (Algorithm 1), the CG / BiCGStab / FGMRES(64) baselines and the cost
-//!   model.
+//!   model,
+//! * [`serve`] — the serving layer: a fingerprint-keyed registry of prepared
+//!   solvers with single-flight construction and LRU/byte-cap eviction, warm
+//!   session pools, and an admission-controlled request/response front-end
+//!   with latency and hit-rate metrics.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +56,7 @@
 pub use f3r_core as core;
 pub use f3r_precision as precision;
 pub use f3r_precond as precond;
+pub use f3r_serve as serve;
 pub use f3r_sparse as sparse;
 
 /// One-stop re-exports for applications: solver presets, the nested-solver
